@@ -1,0 +1,43 @@
+//! Reverse-mode differentiation over the computation-graph IR.
+//!
+//! The paper checks backward passes too ("the approach and our
+//! implementation can check both passes", §6.1) but could only capture one
+//! model's backward graph through TorchDynamo. This crate removes that
+//! bottleneck for the reproduction: [`backward`] takes any forward graph
+//! built from the supported operator subset and emits an extended graph
+//! containing explicit gradient computation for every graph input — the
+//! `G_s` (and, after distribution, `G_d`) that training-time refinement
+//! checks consume.
+//!
+//! Gradients are expressed entirely in the existing operator vocabulary
+//! (plus [`entangle_ir::Op::OnesLike`], [`entangle_ir::Op::Step`] and
+//! [`entangle_ir::Op::EmbeddingGrad`]), so the checker's lemma corpus
+//! applies to backward graphs unchanged. Every VJP rule is validated against
+//! central finite differences in this crate's tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use entangle_autodiff::backward;
+//! use entangle_ir::{DType, GraphBuilder, Op};
+//!
+//! let mut g = GraphBuilder::new("f");
+//! let x = g.input("x", &[3, 2], DType::F32);
+//! let w = g.input("w", &[2, 1], DType::F32);
+//! let y = g.input("y", &[3, 1], DType::F32);
+//! let p = g.apply("p", Op::Matmul, &[x, w]).unwrap();
+//! let loss = g.apply("loss", Op::MseLoss, &[p, y]).unwrap();
+//! g.mark_output(loss);
+//! let graph = g.finish().unwrap();
+//!
+//! let grads = backward(&graph, loss).unwrap();
+//! let gw = grads.grad_of(w).expect("w gets a gradient");
+//! assert_eq!(grads.graph.tensor(gw).shape.to_string(), "[2, 1]");
+//! ```
+
+mod rules;
+
+pub use rules::{backward, AutodiffError, GradGraph};
+
+#[cfg(test)]
+mod tests;

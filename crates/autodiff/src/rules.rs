@@ -1,0 +1,566 @@
+//! The backward pass: reverse topological accumulation of vector-Jacobian
+//! products, expressed as ordinary IR operators.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use entangle_ir::{Dim, Graph, IrError, Node, Op, Shape, TensorId};
+
+/// A forward graph extended with explicit gradient computation.
+#[derive(Debug, Clone)]
+pub struct GradGraph {
+    /// The extended graph: the forward nodes plus gradient nodes; gradients
+    /// of graph inputs are additional outputs.
+    pub graph: Graph,
+    grads: HashMap<TensorId, TensorId>,
+}
+
+impl GradGraph {
+    /// The gradient tensor for a forward-graph input, if one was produced
+    /// (integer inputs like token ids get none).
+    pub fn grad_of(&self, input: TensorId) -> Option<TensorId> {
+        self.grads.get(&input).copied()
+    }
+
+    /// Iterates `(input, gradient)` pairs.
+    pub fn grads(&self) -> impl Iterator<Item = (TensorId, TensorId)> + '_ {
+        self.grads.iter().map(|(a, b)| (*a, *b))
+    }
+}
+
+/// Differentiation failure.
+#[derive(Debug)]
+pub enum AutodiffError {
+    /// The loss tensor is not a rank-0 tensor of this graph.
+    NotScalarLoss(String),
+    /// An operator on the path to the loss has no VJP rule.
+    Unsupported(String),
+    /// Gradient construction produced an invalid graph (a rule bug).
+    Ir(IrError),
+}
+
+impl fmt::Display for AutodiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutodiffError::NotScalarLoss(m) => write!(f, "loss must be a scalar tensor: {m}"),
+            AutodiffError::Unsupported(m) => write!(f, "no VJP rule for operator {m}"),
+            AutodiffError::Ir(e) => write!(f, "gradient construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AutodiffError {}
+
+impl From<IrError> for AutodiffError {
+    fn from(e: IrError) -> Self {
+        AutodiffError::Ir(e)
+    }
+}
+
+/// Differentiates `graph` with respect to every (float) graph input,
+/// seeding at the scalar `loss` tensor.
+///
+/// Returns the forward graph extended with gradient nodes; each input's
+/// gradient is marked as a graph output (so distributed training checks see
+/// them in `O(G)`).
+///
+/// # Errors
+///
+/// - [`AutodiffError::NotScalarLoss`] when `loss` has rank > 0;
+/// - [`AutodiffError::Unsupported`] when an operator on a gradient path has
+///   no VJP rule (norm/attention/collective gradients are out of the v1
+///   subset — see the crate docs).
+pub fn backward(graph: &Graph, loss: TensorId) -> Result<GradGraph, AutodiffError> {
+    let loss_tensor = graph.tensor(loss);
+    if loss_tensor.shape.rank() != 0 {
+        return Err(AutodiffError::NotScalarLoss(format!(
+            "{} has shape {}",
+            loss_tensor.name, loss_tensor.shape
+        )));
+    }
+    let mut b = Builder {
+        g: graph.clone(),
+        fresh: 0,
+    };
+    let mut adjoint: HashMap<TensorId, TensorId> = HashMap::new();
+    let seed = b.ap("grad_seed", Op::OnesLike, &[loss])?;
+    adjoint.insert(loss, seed);
+
+    // Reverse topological order: every node's output adjoint is complete
+    // before the node is processed.
+    let nodes: Vec<Node> = graph.nodes().to_vec();
+    for node in nodes.iter().rev() {
+        let Some(&upstream) = adjoint.get(&node.output) else {
+            continue; // does not influence the loss
+        };
+        let contributions = vjp(&mut b, node, upstream)?;
+        for (input, grad) in contributions {
+            accumulate(&mut b, &mut adjoint, input, grad)?;
+        }
+    }
+
+    let mut grads = HashMap::new();
+    for &input in graph.inputs() {
+        if let Some(&g) = adjoint.get(&input) {
+            b.g.add_output(g);
+            grads.insert(input, g);
+        }
+    }
+    b.g.validate()?;
+    Ok(GradGraph { graph: b.g, grads })
+}
+
+struct Builder {
+    g: Graph,
+    fresh: usize,
+}
+
+impl Builder {
+    fn ap(&mut self, name: &str, op: Op, inputs: &[TensorId]) -> Result<TensorId, AutodiffError> {
+        self.fresh += 1;
+        let unique = format!("d{}#{}", name, self.fresh);
+        Ok(self.g.append(&unique, op, inputs)?)
+    }
+
+    fn shape(&self, t: TensorId) -> Shape {
+        self.g.tensor(t).shape.clone()
+    }
+}
+
+fn accumulate(
+    b: &mut Builder,
+    adjoint: &mut HashMap<TensorId, TensorId>,
+    tensor: TensorId,
+    grad: TensorId,
+) -> Result<(), AutodiffError> {
+    let merged = match adjoint.get(&tensor) {
+        Some(&existing) => b.ap("acc", Op::Add, &[existing, grad])?,
+        None => grad,
+    };
+    adjoint.insert(tensor, merged);
+    Ok(())
+}
+
+/// Reduces `grad` back to `target`'s shape after broadcasting: sums the
+/// extra leading dims, then sums (keepdim) over axes broadcast from size 1.
+fn unbroadcast(
+    b: &mut Builder,
+    grad: TensorId,
+    target: &Shape,
+) -> Result<TensorId, AutodiffError> {
+    let mut g = grad;
+    while b.shape(g).rank() > target.rank() {
+        g = b.ap("unb_lead", Op::SumDim { dim: 0, keepdim: false }, &[g])?;
+    }
+    let gshape = b.shape(g);
+    for d in 0..target.rank() {
+        let t1 = target.dim(d).as_const() == Some(1);
+        let g1 = gshape.dim(d).as_const() == Some(1);
+        if t1 && !g1 {
+            g = b.ap("unb_axis", Op::SumDim { dim: d, keepdim: true }, &[g])?;
+        }
+    }
+    Ok(g)
+}
+
+/// One operator's VJP: gradients for each of its tensor inputs.
+fn vjp(
+    b: &mut Builder,
+    node: &Node,
+    u: TensorId,
+) -> Result<Vec<(TensorId, TensorId)>, AutodiffError> {
+    let ins = node.inputs.clone();
+    let y = node.output;
+    let out = match &node.op {
+        Op::Add => {
+            let ga = unbroadcast_to(b, u, ins[0])?;
+            let gb = unbroadcast_to(b, u, ins[1])?;
+            vec![(ins[0], ga), (ins[1], gb)]
+        }
+        Op::Sub => {
+            let ga = unbroadcast_to(b, u, ins[0])?;
+            let n = b.ap("neg", Op::Neg, &[u])?;
+            let gb = unbroadcast_to(b, n, ins[1])?;
+            vec![(ins[0], ga), (ins[1], gb)]
+        }
+        Op::Mul => {
+            let ua = b.ap("mul_gb", Op::Mul, &[u, ins[1]])?;
+            let ub = b.ap("mul_ga", Op::Mul, &[u, ins[0]])?;
+            vec![
+                (ins[0], unbroadcast_to(b, ua, ins[0])?),
+                (ins[1], unbroadcast_to(b, ub, ins[1])?),
+            ]
+        }
+        Op::Div => {
+            let ga = b.ap("div_ga", Op::Div, &[u, ins[1]])?;
+            let num = b.ap("div_num", Op::Mul, &[u, ins[0]])?;
+            let den = b.ap("div_den", Op::Mul, &[ins[1], ins[1]])?;
+            let frac = b.ap("div_frac", Op::Div, &[num, den])?;
+            let gb = b.ap("div_gb", Op::Neg, &[frac])?;
+            vec![
+                (ins[0], unbroadcast_to(b, ga, ins[0])?),
+                (ins[1], unbroadcast_to(b, gb, ins[1])?),
+            ]
+        }
+        Op::Neg => vec![(ins[0], b.ap("neg", Op::Neg, &[u])?)],
+        Op::Exp => vec![(ins[0], b.ap("exp", Op::Mul, &[u, y])?)],
+        Op::Sqrt => {
+            let r = b.ap("rsqrt", Op::Rsqrt, &[ins[0]])?;
+            let half = b.ap("half", Op::ScalarMul { numer: 1, denom: 2 }, &[r])?;
+            vec![(ins[0], b.ap("sqrt", Op::Mul, &[u, half])?)]
+        }
+        Op::Rsqrt => {
+            // d/dx x^(-1/2) = -1/2 · y / x
+            let frac = b.ap("rs_frac", Op::Div, &[y, ins[0]])?;
+            let scaled = b.ap("rs_scale", Op::ScalarMul { numer: -1, denom: 2 }, &[frac])?;
+            vec![(ins[0], b.ap("rsqrt", Op::Mul, &[u, scaled])?)]
+        }
+        Op::Tanh => {
+            let ones = b.ap("ones", Op::OnesLike, &[y])?;
+            let yy = b.ap("yy", Op::Mul, &[y, y])?;
+            let one_m = b.ap("one_m", Op::Sub, &[ones, yy])?;
+            vec![(ins[0], b.ap("tanh", Op::Mul, &[u, one_m])?)]
+        }
+        Op::Sigmoid => {
+            let ones = b.ap("ones", Op::OnesLike, &[y])?;
+            let one_m = b.ap("one_m", Op::Sub, &[ones, y])?;
+            let yd = b.ap("yd", Op::Mul, &[y, one_m])?;
+            vec![(ins[0], b.ap("sigmoid", Op::Mul, &[u, yd])?)]
+        }
+        Op::Relu => {
+            let mask = b.ap("mask", Op::Step, &[ins[0]])?;
+            vec![(ins[0], b.ap("relu", Op::Mul, &[u, mask])?)]
+        }
+        Op::Gelu => {
+            let d = b.ap("gelu_d", Op::GeluGrad, &[ins[0]])?;
+            vec![(ins[0], b.ap("gelu", Op::Mul, &[u, d])?)]
+        }
+        Op::Silu => {
+            let d = b.ap("silu_d", Op::SiluGrad, &[ins[0]])?;
+            vec![(ins[0], b.ap("silu", Op::Mul, &[u, d])?)]
+        }
+        Op::Cos => {
+            let s = b.ap("sin", Op::Sin, &[ins[0]])?;
+            let us = b.ap("us", Op::Mul, &[u, s])?;
+            vec![(ins[0], b.ap("cos", Op::Neg, &[us])?)]
+        }
+        Op::Sin => {
+            let c = b.ap("cos", Op::Cos, &[ins[0]])?;
+            vec![(ins[0], b.ap("sin", Op::Mul, &[u, c])?)]
+        }
+        Op::ScalarMul { numer, denom } => {
+            let g = b.ap(
+                "smul",
+                Op::ScalarMul {
+                    numer: *numer,
+                    denom: *denom,
+                },
+                &[u],
+            )?;
+            vec![(ins[0], g)]
+        }
+        Op::Identity => vec![(ins[0], u)],
+        Op::Step | Op::OnesLike | Op::GeluGrad | Op::SiluGrad => {
+            // Zero (or unsupported-second-order) derivative almost
+            // everywhere: no gradient flows back.
+            vec![]
+        }
+        Op::SumDim { dim, keepdim } => {
+            let expanded = if *keepdim {
+                u
+            } else {
+                let mut dims: Vec<Dim> = b.shape(u).dims().to_vec();
+                dims.insert(*dim, Dim::from(1i64));
+                b.ap("sd_keep", Op::Reshape { shape: dims }, &[u])?
+            };
+            let ones = b.ap("ones", Op::OnesLike, &[ins[0]])?;
+            vec![(ins[0], b.ap("sum_dim", Op::Mul, &[ones, expanded])?)]
+        }
+        Op::MeanDim { dim, keepdim } => {
+            let n = b
+                .shape(ins[0])
+                .dim(*dim)
+                .as_const()
+                .ok_or_else(|| AutodiffError::Unsupported("mean over symbolic dim".into()))?;
+            let expanded = if *keepdim {
+                u
+            } else {
+                let mut dims: Vec<Dim> = b.shape(u).dims().to_vec();
+                dims.insert(*dim, Dim::from(1i64));
+                b.ap("md_keep", Op::Reshape { shape: dims }, &[u])?
+            };
+            let ones = b.ap("ones", Op::OnesLike, &[ins[0]])?;
+            let spread = b.ap("md_spread", Op::Mul, &[ones, expanded])?;
+            vec![(
+                ins[0],
+                b.ap("mean_dim", Op::ScalarMul { numer: 1, denom: n }, &[spread])?,
+            )]
+        }
+        Op::SumAll => {
+            let ones = b.ap("ones", Op::OnesLike, &[ins[0]])?;
+            vec![(ins[0], b.ap("sum_all", Op::Mul, &[ones, u])?)]
+        }
+        Op::MeanAll => {
+            let n = b
+                .shape(ins[0])
+                .numel()
+                .ok_or_else(|| AutodiffError::Unsupported("mean over symbolic shape".into()))?;
+            let ones = b.ap("ones", Op::OnesLike, &[ins[0]])?;
+            let spread = b.ap("ma_spread", Op::Mul, &[ones, u])?;
+            vec![(
+                ins[0],
+                b.ap("mean_all", Op::ScalarMul { numer: 1, denom: n }, &[spread])?,
+            )]
+        }
+        Op::Softmax { dim } => {
+            // gx = y ⊙ (u − Σ_d (u ⊙ y))
+            let uy = b.ap("sm_uy", Op::Mul, &[u, y])?;
+            let s = b.ap(
+                "sm_sum",
+                Op::SumDim {
+                    dim: *dim,
+                    keepdim: true,
+                },
+                &[uy],
+            )?;
+            let centered = b.ap("sm_center", Op::Sub, &[u, s])?;
+            vec![(ins[0], b.ap("softmax", Op::Mul, &[y, centered])?)]
+        }
+        Op::Matmul => {
+            let (a, bb) = (ins[0], ins[1]);
+            let (ra, rb) = (b.shape(a).rank(), b.shape(bb).rank());
+            let bt = b.ap(
+                "mm_bt",
+                Op::Transpose {
+                    d0: rb - 2,
+                    d1: rb - 1,
+                },
+                &[bb],
+            )?;
+            let ga = b.ap("mm_ga", Op::Matmul, &[u, bt])?;
+            let at = b.ap(
+                "mm_at",
+                Op::Transpose {
+                    d0: ra - 2,
+                    d1: ra - 1,
+                },
+                &[a],
+            )?;
+            let gb = b.ap("mm_gb", Op::Matmul, &[at, u])?;
+            vec![
+                (a, unbroadcast_to(b, ga, a)?),
+                (bb, unbroadcast_to(b, gb, bb)?),
+            ]
+        }
+        Op::MseLoss => {
+            let n = b
+                .shape(ins[0])
+                .numel()
+                .ok_or_else(|| AutodiffError::Unsupported("mse over symbolic shape".into()))?;
+            let diff = b.ap("mse_diff", Op::Sub, &[ins[0], ins[1]])?;
+            let scaled = b.ap("mse_scale", Op::ScalarMul { numer: 2, denom: n }, &[diff])?;
+            let gp = b.ap("mse_gp", Op::Mul, &[scaled, u])?;
+            let gt = b.ap("mse_gt", Op::Neg, &[gp])?;
+            vec![(ins[0], gp), (ins[1], gt)]
+        }
+        Op::Slice { dim, start, end } => {
+            let size = b.shape(ins[0]).dim(*dim).0.clone();
+            let after = Dim(size - end.0.clone());
+            let g = b.ap(
+                "slice",
+                Op::Pad {
+                    dim: *dim,
+                    before: start.clone(),
+                    after,
+                },
+                &[u],
+            )?;
+            vec![(ins[0], g)]
+        }
+        Op::Pad { dim, before, after: _ } => {
+            let size = b.shape(ins[0]).dim(*dim).0.clone();
+            let lo = before.clone();
+            let hi = Dim(before.0.clone() + size);
+            let g = b.ap(
+                "pad",
+                Op::Slice {
+                    dim: *dim,
+                    start: lo,
+                    end: hi,
+                },
+                &[u],
+            )?;
+            vec![(ins[0], g)]
+        }
+        Op::Concat { dim } | Op::AllGather { dim } => {
+            let mut out = Vec::with_capacity(ins.len());
+            let mut offset = entangle_symbolic_zero();
+            for &input in &ins {
+                let len = b.shape(input).dim(*dim).0.clone();
+                let lo = Dim(offset.clone());
+                let hi = Dim(offset.clone() + len.clone());
+                let g = b.ap(
+                    "concat",
+                    Op::Slice {
+                        dim: *dim,
+                        start: lo,
+                        end: hi,
+                    },
+                    &[u],
+                )?;
+                out.push((input, g));
+                offset = offset + len;
+            }
+            out
+        }
+        Op::Transpose { d0, d1 } => {
+            vec![(ins[0], b.ap("transp", Op::Transpose { d0: *d0, d1: *d1 }, &[u])?)]
+        }
+        Op::Permute { perm } => {
+            let mut inverse = vec![0usize; perm.len()];
+            for (i, &p) in perm.iter().enumerate() {
+                inverse[p] = i;
+            }
+            vec![(ins[0], b.ap("perm", Op::Permute { perm: inverse }, &[u])?)]
+        }
+        Op::Reshape { .. } => {
+            let dims = b.shape(ins[0]).dims().to_vec();
+            vec![(ins[0], b.ap("reshape", Op::Reshape { shape: dims }, &[u])?)]
+        }
+        Op::Maximum => {
+            // Subgradient: the larger operand gets the flow (ties drop it —
+            // a measure-zero event under continuous inputs).
+            let d_ab = b.ap("max_dab", Op::Sub, &[ins[0], ins[1]])?;
+            let mask_a = b.ap("max_ma", Op::Step, &[d_ab])?;
+            let d_ba = b.ap("max_dba", Op::Sub, &[ins[1], ins[0]])?;
+            let mask_b = b.ap("max_mb", Op::Step, &[d_ba])?;
+            let ga = b.ap("max_ga", Op::Mul, &[u, mask_a])?;
+            let gb = b.ap("max_gb", Op::Mul, &[u, mask_b])?;
+            vec![
+                (ins[0], unbroadcast_to(b, ga, ins[0])?),
+                (ins[1], unbroadcast_to(b, gb, ins[1])?),
+            ]
+        }
+        Op::Rope => {
+            // Rope is a rotation; its transpose is the inverse rotation —
+            // the same rope with the sine table negated. The (constant)
+            // tables get no gradient.
+            let (x, cos, sin) = (ins[0], ins[1], ins[2]);
+            let nsin = b.ap("rope_nsin", Op::Neg, &[sin])?;
+            let dx = b.ap("rope_dx", Op::Rope, &[u, cos, nsin])?;
+            let _ = x;
+            vec![(ins[0], dx)]
+        }
+        Op::RmsNorm => {
+            // y = x ⊙ r ⊙ w with r = rsqrt(mean(x², -1) + ε), ε = 1e-5
+            // (matching the runtime's NORM_EPS).
+            //   dx = w⊙u⊙r − x ⊙ mean(w⊙u⊙x, -1) ⊙ r³
+            //   dw = Σ_rows u ⊙ x ⊙ r
+            let (x, w) = (ins[0], ins[1]);
+            let rank = b.shape(x).rank();
+            let last = rank - 1;
+            let xx = b.ap("rms_xx", Op::Mul, &[x, x])?;
+            let ms = b.ap("rms_ms", Op::MeanDim { dim: last, keepdim: true }, &[xx])?;
+            let ones = b.ap("rms_ones", Op::OnesLike, &[ms])?;
+            let eps = b.ap(
+                "rms_eps",
+                Op::ScalarMul { numer: 1, denom: 100_000 },
+                &[ones],
+            )?;
+            let ms_eps = b.ap("rms_mse", Op::Add, &[ms, eps])?;
+            let r = b.ap("rms_r", Op::Rsqrt, &[ms_eps])?;
+            // dw: sum over all leading dims of u ⊙ x ⊙ r.
+            let ux = b.ap("rms_ux", Op::Mul, &[u, x])?;
+            let uxr = b.ap("rms_uxr", Op::Mul, &[ux, r])?;
+            let mut dw = uxr;
+            for _ in 0..rank - 1 {
+                dw = b.ap("rms_dw_sum", Op::SumDim { dim: 0, keepdim: false }, &[dw])?;
+            }
+            // dx.
+            let wu = b.ap("rms_wu", Op::Mul, &[u, w])?;
+            let term1 = b.ap("rms_t1", Op::Mul, &[wu, r])?;
+            let wux = b.ap("rms_wux", Op::Mul, &[wu, x])?;
+            let m = b.ap("rms_m", Op::MeanDim { dim: last, keepdim: true }, &[wux])?;
+            let r2 = b.ap("rms_r2", Op::Mul, &[r, r])?;
+            let r3 = b.ap("rms_r3", Op::Mul, &[r2, r])?;
+            let mr3 = b.ap("rms_mr3", Op::Mul, &[m, r3])?;
+            let term2 = b.ap("rms_t2", Op::Mul, &[x, mr3])?;
+            let dx = b.ap("rms_dx", Op::Sub, &[term1, term2])?;
+            vec![(x, dx), (w, dw)]
+        }
+        Op::LayerNorm => {
+            // y = n ⊙ w + b with n = (x − μ)·r, r = rsqrt(var + ε).
+            //   dx = r ⊙ (g − mean(g, -1) − n ⊙ mean(g ⊙ n, -1)), g = u⊙w
+            //   dw = Σ_rows u ⊙ n;  db = Σ_rows u
+            let (x, w, bias) = (ins[0], ins[1], ins[2]);
+            let rank = b.shape(x).rank();
+            let last = rank - 1;
+            let mu = b.ap("ln_mu", Op::MeanDim { dim: last, keepdim: true }, &[x])?;
+            let centered = b.ap("ln_center", Op::Sub, &[x, mu])?;
+            let sq = b.ap("ln_sq", Op::Mul, &[centered, centered])?;
+            let var = b.ap("ln_var", Op::MeanDim { dim: last, keepdim: true }, &[sq])?;
+            let ones = b.ap("ln_ones", Op::OnesLike, &[var])?;
+            let eps = b.ap(
+                "ln_eps",
+                Op::ScalarMul { numer: 1, denom: 100_000 },
+                &[ones],
+            )?;
+            let var_eps = b.ap("ln_vareps", Op::Add, &[var, eps])?;
+            let r = b.ap("ln_r", Op::Rsqrt, &[var_eps])?;
+            let n = b.ap("ln_n", Op::Mul, &[centered, r])?;
+            // dw, db.
+            let un = b.ap("ln_un", Op::Mul, &[u, n])?;
+            let mut dw = un;
+            let mut db = u;
+            for _ in 0..rank - 1 {
+                dw = b.ap("ln_dw_sum", Op::SumDim { dim: 0, keepdim: false }, &[dw])?;
+                db = b.ap("ln_db_sum", Op::SumDim { dim: 0, keepdim: false }, &[db])?;
+            }
+            // dx.
+            let g = b.ap("ln_g", Op::Mul, &[u, w])?;
+            let mg = b.ap("ln_mg", Op::MeanDim { dim: last, keepdim: true }, &[g])?;
+            let gn = b.ap("ln_gn", Op::Mul, &[g, n])?;
+            let mgn = b.ap("ln_mgn", Op::MeanDim { dim: last, keepdim: true }, &[gn])?;
+            let nm = b.ap("ln_nm", Op::Mul, &[n, mgn])?;
+            let inner = b.ap("ln_inner", Op::Sub, &[g, mg])?;
+            let inner2 = b.ap("ln_inner2", Op::Sub, &[inner, nm])?;
+            let dx = b.ap("ln_dx", Op::Mul, &[r, inner2])?;
+            vec![(x, dx), (w, dw), (bias, db)]
+        }
+        Op::Embedding => {
+            let vocab = b
+                .shape(ins[0])
+                .dim(0)
+                .as_const()
+                .ok_or_else(|| AutodiffError::Unsupported("symbolic vocab".into()))?
+                as usize;
+            let gw = b.ap("emb", Op::EmbeddingGrad { vocab }, &[ins[1], u])?;
+            vec![(ins[0], gw)] // no gradient for the integer ids
+        }
+        Op::AllReduce => {
+            // d(Σᵢ xᵢ)/dxᵢ = 1: the upstream grad flows to every input.
+            ins.iter().map(|&i| (i, u)).collect()
+        }
+        unsupported => {
+            return Err(AutodiffError::Unsupported(format!(
+                "{} (node {})",
+                unsupported.name(),
+                node.name
+            )));
+        }
+    };
+    Ok(out)
+}
+
+fn unbroadcast_to(
+    b: &mut Builder,
+    grad: TensorId,
+    target: TensorId,
+) -> Result<TensorId, AutodiffError> {
+    let shape = b.shape(target);
+    unbroadcast(b, grad, &shape)
+}
+
+fn entangle_symbolic_zero() -> entangle_symbolic::SymExpr {
+    entangle_symbolic::SymExpr::zero()
+}

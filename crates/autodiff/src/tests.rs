@@ -1,0 +1,430 @@
+use std::collections::HashMap;
+
+use entangle_ir::{DType, Dim, Graph, GraphBuilder, Op, TensorId};
+use entangle_runtime::{eval_graph, random_ids, random_value, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{backward, AutodiffError};
+
+/// Central finite differences of the loss with respect to `input`, computed
+/// on the *forward* graph — the ground truth every VJP rule must match.
+fn finite_diff(
+    graph: &Graph,
+    inputs: &HashMap<TensorId, Value>,
+    loss: TensorId,
+    wrt: TensorId,
+    eps: f64,
+) -> Value {
+    let mut grad = Value::zeros(inputs[&wrt].shape().to_vec());
+    for i in 0..grad.numel() {
+        let mut plus = inputs.clone();
+        plus.get_mut(&wrt).unwrap().data_mut()[i] += eps;
+        let mut minus = inputs.clone();
+        minus.get_mut(&wrt).unwrap().data_mut()[i] -= eps;
+        let lp = eval_graph(graph, &plus).unwrap()[&loss].as_scalar();
+        let lm = eval_graph(graph, &minus).unwrap()[&loss].as_scalar();
+        grad.data_mut()[i] = (lp - lm) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Checks every produced gradient against finite differences.
+fn check_grads(graph: &Graph, loss: TensorId, seed: u64, tol: f64) {
+    let grads = backward(graph, loss).unwrap_or_else(|e| panic!("backward failed: {e}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inputs = HashMap::new();
+    for &i in graph.inputs() {
+        let t = graph.tensor(i);
+        let dims: Vec<usize> = t
+            .shape
+            .as_concrete()
+            .unwrap()
+            .iter()
+            .map(|&d| d as usize)
+            .collect();
+        let v = match t.dtype {
+            DType::I64 => random_ids(&mut rng, &dims, 4),
+            _ => random_value(&mut rng, &dims),
+        };
+        inputs.insert(i, v);
+    }
+    let env = eval_graph(&grads.graph, &inputs).expect("extended graph evaluates");
+    for &input in graph.inputs() {
+        let Some(g) = grads.grad_of(input) else {
+            continue;
+        };
+        let analytic = &env[&g];
+        let numeric = finite_diff(graph, &inputs, loss, input, 1e-5);
+        assert!(
+            analytic.allclose(&numeric, tol),
+            "gradient mismatch for {} (max diff {:?})",
+            graph.tensor(input).name,
+            analytic.max_abs_diff(&numeric)
+        );
+    }
+}
+
+fn unary_chain(op: Op) -> (Graph, TensorId) {
+    let mut g = GraphBuilder::new("unary");
+    let x = g.input("x", &[2, 3], DType::F32);
+    let y = g.apply("y", op, &[x]).unwrap();
+    // Square before reducing so the gradient isn't constant.
+    let sq = g.apply("sq", Op::Mul, &[y, y]).unwrap();
+    let loss = g.apply("loss", Op::MeanAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    (g.finish().unwrap(), loss)
+}
+
+#[test]
+fn unary_gradients_match_finite_differences() {
+    for (i, op) in [
+        Op::Neg,
+        Op::Exp,
+        Op::Tanh,
+        Op::Sigmoid,
+        Op::Gelu,
+        Op::Silu,
+        Op::Relu,
+        Op::Sin,
+        Op::Cos,
+        Op::Identity,
+        Op::ScalarMul { numer: 3, denom: 7 },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let (graph, loss) = unary_chain(op.clone());
+        check_grads(&graph, loss, 100 + i as u64, 2e-5);
+    }
+}
+
+#[test]
+fn sqrt_rsqrt_gradients() {
+    // Positive inputs only: shift x into (1, 2).
+    for (i, op) in [Op::Sqrt, Op::Rsqrt].into_iter().enumerate() {
+        let mut g = GraphBuilder::new("posdomain");
+        let x = g.input("x", &[2, 2], DType::F32);
+        let sq = g.apply("sq", Op::Mul, &[x, x]).unwrap();
+        let ones = g.apply("ones", Op::OnesLike, &[sq]).unwrap();
+        let shifted = g.apply("shift", Op::Add, &[sq, ones]).unwrap();
+        let y = g.apply("y", op.clone(), &[shifted]).unwrap();
+        let loss = g.apply("loss", Op::SumAll, &[y]).unwrap();
+        g.mark_output(loss);
+        let graph = g.finish().unwrap();
+        check_grads(&graph, loss, 200 + i as u64, 1e-4);
+    }
+}
+
+#[test]
+fn binary_gradients_with_broadcasting() {
+    for (i, op) in [Op::Add, Op::Sub, Op::Mul, Op::Div].into_iter().enumerate() {
+        let mut g = GraphBuilder::new("binary");
+        let a = g.input("a", &[2, 3], DType::F32);
+        let bcast = g.input("b", &[3], DType::F32);
+        // Keep divisors away from zero: b' = b² + 1.
+        let b2 = g.apply("b2", Op::Mul, &[bcast, bcast]).unwrap();
+        let ones = g.apply("ones", Op::OnesLike, &[b2]).unwrap();
+        let safe = g.apply("safe", Op::Add, &[b2, ones]).unwrap();
+        let y = g.apply("y", op.clone(), &[a, safe]).unwrap();
+        let loss = g.apply("loss", Op::MeanAll, &[y]).unwrap();
+        g.mark_output(loss);
+        let graph = g.finish().unwrap();
+        check_grads(&graph, loss, 300 + i as u64, 1e-4);
+    }
+}
+
+#[test]
+fn matmul_gradients() {
+    let mut g = GraphBuilder::new("mm");
+    let a = g.input("a", &[3, 4], DType::F32);
+    let b = g.input("b", &[4, 2], DType::F32);
+    let y = g.apply("y", Op::Matmul, &[a, b]).unwrap();
+    let loss = g.apply("loss", Op::MeanAll, &[y]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 7, 1e-5);
+}
+
+#[test]
+fn batched_matmul_with_broadcast_rhs() {
+    let mut g = GraphBuilder::new("bmm");
+    let a = g.input("a", &[2, 3, 4], DType::F32);
+    let b = g.input("b", &[4, 2], DType::F32);
+    let y = g.apply("y", Op::Matmul, &[a, b]).unwrap();
+    let loss = g.apply("loss", Op::SumAll, &[y]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 8, 1e-5);
+}
+
+#[test]
+fn reduction_and_softmax_gradients() {
+    let mut g = GraphBuilder::new("reductions");
+    let x = g.input("x", &[2, 4], DType::F32);
+    let sm = g.apply("sm", Op::Softmax { dim: 1 }, &[x]).unwrap();
+    let sd = g
+        .apply("sd", Op::SumDim { dim: 0, keepdim: false }, &[sm])
+        .unwrap();
+    let md = g
+        .apply("md", Op::MeanDim { dim: 0, keepdim: true }, &[sd])
+        .unwrap();
+    let sq = g.apply("sq", Op::Mul, &[md, md]).unwrap();
+    let loss = g.apply("loss", Op::SumAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 9, 1e-5);
+}
+
+#[test]
+fn slice_concat_pad_transpose_gradients() {
+    let mut g = GraphBuilder::new("movement");
+    let x = g.input("x", &[4, 3], DType::F32);
+    let top = g
+        .apply("top", Op::Slice { dim: 0, start: Dim::from(0), end: Dim::from(2) }, &[x])
+        .unwrap();
+    let bottom = g
+        .apply("bottom", Op::Slice { dim: 0, start: Dim::from(2), end: Dim::from(4) }, &[x])
+        .unwrap();
+    let swapped = g.apply("swapped", Op::Concat { dim: 0 }, &[bottom, top]).unwrap();
+    let padded = g
+        .apply("padded", Op::Pad { dim: 1, before: Dim::from(1), after: Dim::from(0) }, &[swapped])
+        .unwrap();
+    let t = g.apply("t", Op::Transpose { d0: 0, d1: 1 }, &[padded]).unwrap();
+    let r = g
+        .apply("r", Op::Reshape { shape: vec![Dim::from(2), Dim::from(8)] }, &[t])
+        .unwrap();
+    let sq = g.apply("sq", Op::Mul, &[r, r]).unwrap();
+    let loss = g.apply("loss", Op::MeanAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 10, 1e-5);
+}
+
+#[test]
+fn embedding_gradient_scatter_adds() {
+    let mut g = GraphBuilder::new("emb");
+    let w = g.input("w", &[4, 3], DType::F32);
+    let ids = g.input("ids", &[5], DType::I64);
+    let e = g.apply("e", Op::Embedding, &[w, ids]).unwrap();
+    let sq = g.apply("sq", Op::Mul, &[e, e]).unwrap();
+    let loss = g.apply("loss", Op::SumAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 11, 1e-5);
+}
+
+#[test]
+fn mse_regression_matches_closed_form() {
+    // The generated backward must agree with the hand-written
+    // regression_training graph: grad_w = (2/N) xᵀ(pred − y).
+    let cfg = entangle_models::RegressionConfig::tiny();
+    let fwd = entangle_models::regression(&cfg);
+    let loss = fwd.outputs()[0];
+    let grads = backward(&fwd, loss).unwrap();
+    check_grads(&fwd, loss, 12, 1e-5);
+
+    // Shapes of the produced gradients match the parameters.
+    let w = fwd.tensor_by_name("w").unwrap().id;
+    let gw = grads.grad_of(w).unwrap();
+    assert_eq!(
+        grads.graph.tensor(gw).shape,
+        fwd.tensor(w).shape,
+        "gradient shape matches parameter shape"
+    );
+}
+
+#[test]
+fn fan_out_accumulates() {
+    // x feeds two branches; the adjoint must be the sum of both.
+    let mut g = GraphBuilder::new("fanout");
+    let x = g.input("x", &[3], DType::F32);
+    let a = g.apply("a", Op::Tanh, &[x]).unwrap();
+    let b = g.apply("b", Op::Sigmoid, &[x]).unwrap();
+    let s = g.apply("s", Op::Add, &[a, b]).unwrap();
+    let sq = g.apply("sq", Op::Mul, &[s, s]).unwrap();
+    let loss = g.apply("loss", Op::SumAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 13, 1e-5);
+}
+
+#[test]
+fn non_scalar_loss_rejected() {
+    let mut g = GraphBuilder::new("vec");
+    let x = g.input("x", &[3], DType::F32);
+    let y = g.apply("y", Op::Tanh, &[x]).unwrap();
+    g.mark_output(y);
+    let graph = g.finish().unwrap();
+    assert!(matches!(
+        backward(&graph, y),
+        Err(AutodiffError::NotScalarLoss(_))
+    ));
+}
+
+#[test]
+fn rms_norm_gradients_match_finite_differences() {
+    let mut g = GraphBuilder::new("rms");
+    let x = g.input("x", &[3, 4], DType::F32);
+    let w = g.input("w", &[4], DType::F32);
+    let y = g.apply("y", Op::RmsNorm, &[x, w]).unwrap();
+    let sq = g.apply("sq", Op::Mul, &[y, y]).unwrap();
+    let loss = g.apply("loss", Op::MeanAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 40, 1e-4);
+}
+
+#[test]
+fn layer_norm_gradients_match_finite_differences() {
+    let mut g = GraphBuilder::new("ln");
+    let x = g.input("x", &[2, 6], DType::F32);
+    let w = g.input("w", &[6], DType::F32);
+    let bias = g.input("b", &[6], DType::F32);
+    let y = g.apply("y", Op::LayerNorm, &[x, w, bias]).unwrap();
+    let sq = g.apply("sq", Op::Mul, &[y, y]).unwrap();
+    let loss = g.apply("loss", Op::SumAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 41, 1e-4);
+}
+
+#[test]
+fn norm_mlp_training_step_differentiates() {
+    // A small "norm + MLP" block: the shape the bug 5/9 gradient scenarios
+    // live in, now generated instead of hand-written.
+    let mut g = GraphBuilder::new("norm-mlp");
+    let x = g.input("x", &[4, 6], DType::F32);
+    let w_ln = g.input("w_ln", &[6], DType::F32);
+    let w1 = g.input("w1", &[6, 8], DType::F32);
+    let w2 = g.input("w2", &[8, 6], DType::F32);
+    let n = g.apply("n", Op::RmsNorm, &[x, w_ln]).unwrap();
+    let h = g.apply("h", Op::Matmul, &[n, w1]).unwrap();
+    let a = g.apply("a", Op::Silu, &[h]).unwrap();
+    let o = g.apply("o", Op::Matmul, &[a, w2]).unwrap();
+    let res = g.apply("res", Op::Add, &[x, o]).unwrap();
+    let sq = g.apply("sq", Op::Mul, &[res, res]).unwrap();
+    let loss = g.apply("loss", Op::SumAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 42, 1e-4);
+}
+
+#[test]
+fn maximum_gradients_match_finite_differences() {
+    let mut g = GraphBuilder::new("max");
+    let a = g.input("a", &[3, 3], DType::F32);
+    let b = g.input("b", &[3, 3], DType::F32);
+    let y = g.apply("y", Op::Maximum, &[a, b]).unwrap();
+    let sq = g.apply("sq", Op::Mul, &[y, y]).unwrap();
+    let loss = g.apply("loss", Op::MeanAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    check_grads(&graph, loss, 50, 1e-4);
+}
+
+#[test]
+fn rope_gradient_is_the_inverse_rotation() {
+    // Build real interleaved tables (cos²+sin²=1 per pair) so the rope in
+    // the graph is an honest rotation.
+    let (s, h) = (4usize, 4usize);
+    let mut g = GraphBuilder::new("rope");
+    let x = g.input("x", &[2, s as i64, h as i64], DType::F32);
+    let cos = g.input("cos", &[s as i64, h as i64], DType::F32);
+    let sin = g.input("sin", &[s as i64, h as i64], DType::F32);
+    let y = g.apply("y", Op::Rope, &[x, cos, sin]).unwrap();
+    let sq = g.apply("sq", Op::Mul, &[y, y]).unwrap();
+    let loss = g.apply("loss", Op::SumAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+
+    // Custom input env: tables fixed, x random; finite-diff only w.r.t. x.
+    let grads = backward(&graph, loss).unwrap();
+    let mut rng = StdRng::seed_from_u64(51);
+    let mut inputs = HashMap::new();
+    let (cv, sv) = entangle_models::rope_tables(s, h);
+    inputs.insert(x, random_value(&mut rng, &[2, s, h]));
+    inputs.insert(cos, Value::new(vec![s, h], cv).unwrap());
+    inputs.insert(sin, Value::new(vec![s, h], sv).unwrap());
+    let env = eval_graph(&grads.graph, &inputs).unwrap();
+    let gx = grads.grad_of(x).expect("x gets a gradient");
+    let analytic = &env[&gx];
+    let numeric = finite_diff(&graph, &inputs, loss, x, 1e-5);
+    assert!(
+        analytic.allclose(&numeric, 1e-4),
+        "rope grad mismatch: {:?}",
+        analytic.max_abs_diff(&numeric)
+    );
+    // The tables are constants: no gradients produced.
+    assert!(grads.grad_of(cos).is_none());
+    assert!(grads.grad_of(sin).is_none());
+}
+
+#[test]
+fn unsupported_ops_reported_by_name() {
+    let mut g = GraphBuilder::new("attn");
+    let q = g.input("q", &[2, 4, 8], DType::F32);
+    let y = g
+        .apply("y", Op::Attention { heads: 2, causal: false }, &[q, q, q])
+        .unwrap();
+    let loss = g.apply("loss", Op::SumAll, &[y]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    match backward(&graph, loss) {
+        Err(AutodiffError::Unsupported(msg)) => assert!(msg.contains("attention"), "{msg}"),
+        other => panic!("expected Unsupported, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn unused_branches_get_no_gradient_nodes() {
+    // An input not on any loss path gets no gradient output.
+    let mut g = GraphBuilder::new("dead");
+    let x = g.input("x", &[2], DType::F32);
+    let dead = g.input("dead", &[2], DType::F32);
+    let _unused = g.apply("unused", Op::Tanh, &[dead]).unwrap();
+    let sq = g.apply("sq", Op::Mul, &[x, x]).unwrap();
+    let loss = g.apply("loss", Op::SumAll, &[sq]).unwrap();
+    g.mark_output(loss);
+    let graph = g.finish().unwrap();
+    let grads = backward(&graph, loss).unwrap();
+    assert!(grads.grad_of(x).is_some());
+    assert!(grads.grad_of(dead).is_none());
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Random chains of differentiable unary/binary steps always match
+        /// finite differences.
+        #[test]
+        fn random_chains_differentiate_correctly(
+            ops in proptest::collection::vec(0u8..6, 1..5),
+            seed in 0u64..1000,
+        ) {
+            let mut g = GraphBuilder::new("chain");
+            let mut x = g.input("x", &[2, 3], DType::F32);
+            let w = g.input("w", &[3], DType::F32);
+            for (i, op) in ops.iter().enumerate() {
+                x = match op {
+                    0 => g.apply(&format!("t{i}"), Op::Tanh, &[x]).unwrap(),
+                    1 => g.apply(&format!("s{i}"), Op::Sigmoid, &[x]).unwrap(),
+                    2 => g.apply(&format!("g{i}"), Op::Gelu, &[x]).unwrap(),
+                    3 => g.apply(&format!("a{i}"), Op::Add, &[x, w]).unwrap(),
+                    4 => g.apply(&format!("m{i}"), Op::Mul, &[x, w]).unwrap(),
+                    _ => g
+                        .apply(&format!("k{i}"), Op::ScalarMul { numer: 1, denom: 2 }, &[x])
+                        .unwrap(),
+                };
+            }
+            let loss = g.apply("loss", Op::MeanAll, &[x]).unwrap();
+            g.mark_output(loss);
+            let graph = g.finish().unwrap();
+            check_grads(&graph, loss, seed, 1e-4);
+        }
+    }
+}

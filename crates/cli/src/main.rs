@@ -1,0 +1,13 @@
+//! Binary entry point; all logic lives in the library for testability.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match entangle_cli::parse_args(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", entangle_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(entangle_cli::run(&cmd));
+}

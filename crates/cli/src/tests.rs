@@ -1,0 +1,176 @@
+use std::fs;
+
+use entangle_models::{gpt, Arch, ModelConfig};
+use entangle_parallel::{parallelize, Strategy};
+
+use crate::{parse_args, parse_map_spec, parse_maps_file, run, Command};
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("entangle-cli-test-{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn parse_check_command() {
+    let args: Vec<String> = ["check", "a.json", "b.json", "--map", "A=(concat A1 A2 1)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    match parse_args(&args).unwrap() {
+        Command::Check { gs, gd, maps } => {
+            assert_eq!(gs, "a.json");
+            assert_eq!(gd, "b.json");
+            assert_eq!(maps, vec![("A".to_owned(), "(concat A1 A2 1)".to_owned())]);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn parse_errors() {
+    let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    assert!(parse_args(&to_args(&["check"])).is_err());
+    assert!(parse_args(&to_args(&["check", "a"])).is_err());
+    assert!(parse_args(&to_args(&["check", "a", "b", "--map"])).is_err());
+    assert!(parse_args(&to_args(&["check", "a", "b", "--bogus"])).is_err());
+    assert!(parse_args(&to_args(&["expect", "a", "b"])).is_err()); // missing fs/fd
+    assert!(parse_args(&to_args(&["frobnicate"])).is_err());
+    assert!(parse_args(&to_args(&["info", "g.json", "--bogus"])).is_err());
+    assert!(matches!(
+        parse_args(&to_args(&["info", "g.json", "--dot"])),
+        Ok(Command::Info { dot: true, .. })
+    ));
+    assert!(matches!(parse_args(&to_args(&["help"])), Ok(Command::Help)));
+    assert!(matches!(parse_args(&[]), Ok(Command::Help)));
+}
+
+#[test]
+fn map_spec_parsing() {
+    assert_eq!(
+        parse_map_spec("A = (concat A1 A2 1)").unwrap(),
+        ("A".to_owned(), "(concat A1 A2 1)".to_owned())
+    );
+    assert!(parse_map_spec("no-equals-sign").is_err());
+}
+
+#[test]
+fn maps_file_parsing() {
+    let text = "# input relation\nA = (concat A1 A2 1)\n\nB=B_d\n";
+    let maps = parse_maps_file(text).unwrap();
+    assert_eq!(maps.len(), 2);
+    assert_eq!(maps[1], ("B".to_owned(), "B_d".to_owned()));
+    assert!(parse_maps_file("bad line without equals").is_err());
+}
+
+#[test]
+fn end_to_end_check_via_files() {
+    let dir = tmpdir();
+    let cfg = ModelConfig::tiny();
+    let gs = gpt(&cfg);
+    let dist = parallelize(&cfg, Arch::Gpt, &Strategy::tp(2));
+
+    let gs_path = dir.join("gs.json");
+    let gd_path = dir.join("gd.json");
+    let maps_path = dir.join("maps.txt");
+    fs::write(&gs_path, gs.to_json().unwrap()).unwrap();
+    fs::write(&gd_path, dist.graph.to_json().unwrap()).unwrap();
+    let maps_text: String = dist
+        .input_maps
+        .iter()
+        .map(|(n, e)| format!("{n} = {e}\n"))
+        .collect();
+    fs::write(&maps_path, maps_text).unwrap();
+
+    let cmd = Command::Check {
+        gs: gs_path.to_str().unwrap().to_owned(),
+        gd: gd_path.to_str().unwrap().to_owned(),
+        maps: parse_maps_file(&fs::read_to_string(&maps_path).unwrap()).unwrap(),
+    };
+    assert_eq!(run(&cmd), 0, "correct TP implementation verifies");
+
+    // A wrong mapping turns it into exit code 1.
+    let mut bad_maps = parse_maps_file(&fs::read_to_string(&maps_path).unwrap()).unwrap();
+    for (name, expr) in &mut bad_maps {
+        if name == "L0.wq" {
+            *expr = "(concat L0.wq.1 L0.wq.0 1)".to_owned();
+        }
+    }
+    let cmd = Command::Check {
+        gs: gs_path.to_str().unwrap().to_owned(),
+        gd: gd_path.to_str().unwrap().to_owned(),
+        maps: bad_maps,
+    };
+    assert_eq!(run(&cmd), 1, "swapped shards are a detected bug");
+
+    // Missing files and malformed maps exit 2.
+    let cmd = Command::Check {
+        gs: "/nonexistent.json".to_owned(),
+        gd: gd_path.to_str().unwrap().to_owned(),
+        maps: vec![],
+    };
+    assert_eq!(run(&cmd), 2);
+
+    let cmd = Command::Info {
+        graph: gs_path.to_str().unwrap().to_owned(),
+        dot: false,
+    };
+    assert_eq!(run(&cmd), 0);
+    let cmd = Command::Info {
+        graph: gs_path.to_str().unwrap().to_owned(),
+        dot: true,
+    };
+    assert_eq!(run(&cmd), 0);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn expect_subcommand_end_to_end() {
+    use entangle_ir::{DType, GraphBuilder, Op};
+    let dir = tmpdir();
+    // G_s: g = sum over rows; G_d: per-rank partials + aggregate.
+    let mut gs = GraphBuilder::new("seq");
+    let x = gs.input("x", &[4, 2], DType::F32);
+    let g = gs
+        .apply("grad", Op::SumDim { dim: 0, keepdim: false }, &[x])
+        .unwrap();
+    gs.mark_output(g);
+    let gs = gs.finish().unwrap();
+
+    let mut gd = GraphBuilder::new("dist");
+    let x0 = gd.input("x.0", &[2, 2], DType::F32);
+    let x1 = gd.input("x.1", &[2, 2], DType::F32);
+    let g0 = gd
+        .apply("grad.0", Op::SumDim { dim: 0, keepdim: false }, &[x0])
+        .unwrap();
+    let g1 = gd
+        .apply("grad.1", Op::SumDim { dim: 0, keepdim: false }, &[x1])
+        .unwrap();
+    let agg = gd.apply("grad_agg", Op::AllReduce, &[g0, g1]).unwrap();
+    gd.mark_output(g0);
+    gd.mark_output(g1);
+    gd.mark_output(agg);
+    let gd = gd.finish().unwrap();
+
+    let gs_path = dir.join("exp_gs.json");
+    let gd_path = dir.join("exp_gd.json");
+    fs::write(&gs_path, gs.to_json().unwrap()).unwrap();
+    fs::write(&gd_path, gd.to_json().unwrap()).unwrap();
+
+    let base = |fd: &str| Command::Expect {
+        gs: gs_path.to_str().unwrap().to_owned(),
+        gd: gd_path.to_str().unwrap().to_owned(),
+        maps: vec![("x".to_owned(), "(concat x.0 x.1 0)".to_owned())],
+        fs: "grad".to_owned(),
+        fd: fd.to_owned(),
+    };
+    // Correct expectation: the aggregated gradient.
+    assert_eq!(run(&base("grad_agg")), 0);
+    // Wrong expectation: rank-local partial — violation, exit code 1.
+    assert_eq!(run(&base("grad.0")), 1);
+    // Malformed expectation — usage error, exit code 2.
+    assert_eq!(run(&base("(concat nonexistent grad.0 0)")), 2);
+
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,577 @@
+//! The refinement-checking algorithm (Listings 1–3).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use entangle_egraph::{EGraph, ENode, Extractor, Id, RecExpr, Rewrite, Runner};
+use entangle_ir::{Graph, Node, NodeId, TensorId};
+use entangle_lemmas::{registry, rewrites_of, TensorAnalysis};
+use entangle_symbolic::SymCtx;
+
+use crate::encode::{clean_cost, encode_node, encode_op, CleanOps};
+use crate::relation::Relation;
+
+/// Tuning knobs and ablation switches for [`check_refinement`].
+pub struct CheckOptions {
+    /// Saturation iteration limit per round.
+    pub iter_limit: usize,
+    /// E-node limit per operator e-graph.
+    pub node_limit: usize,
+    /// Wall-clock limit per operator.
+    pub time_limit: Duration,
+    /// The Listing 3 frontier optimization: only pull `G_d` operators whose
+    /// inputs are related to the current operator into the e-graph. Turning
+    /// this off reproduces the unoptimized Listing 2 step 3 (ablation).
+    pub frontier: bool,
+    /// Process each `G_s` operator in a fresh e-graph (the paper's iterative
+    /// design). `false` keeps one monolithic e-graph across operators — the
+    /// whole-graph-saturation ablation.
+    pub fresh_egraph_per_op: bool,
+    /// §4.3.2 pruning: how many simplest mappings to keep per tensor.
+    pub max_mappings: usize,
+    /// The clean-operator set.
+    pub clean: CleanOps,
+    /// Symbolic-scalar context (user constraints on symbolic dims).
+    pub sym_ctx: SymCtx,
+    /// The rewrites to saturate with; `None` uses the full lemma registry.
+    pub rewrites: Option<Vec<Rewrite<TensorAnalysis>>>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            iter_limit: 12,
+            node_limit: 30_000,
+            time_limit: Duration::from_secs(10),
+            frontier: true,
+            fresh_egraph_per_op: true,
+            max_mappings: 4,
+            clean: CleanOps::default(),
+            sym_ctx: SymCtx::new(),
+            rewrites: None,
+        }
+    }
+}
+
+/// Per-lemma application counts, aggregated over the whole check — the raw
+/// data of the paper's Figure 6 heatmap.
+#[derive(Debug, Clone, Default)]
+pub struct LemmaStats {
+    counts: HashMap<String, u64>,
+}
+
+impl LemmaStats {
+    /// Merges another run's counts in.
+    pub fn merge(&mut self, other: &HashMap<String, u64>) {
+        for (k, v) in other {
+            *self.counts.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Applications of one lemma.
+    pub fn count(&self, lemma: &str) -> u64 {
+        self.counts.get(lemma).copied().unwrap_or(0)
+    }
+
+    /// Total applications across all lemmas.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Iterates `(lemma, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Timing/size report for one processed `G_s` operator.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    /// The operator's node name.
+    pub name: String,
+    /// Wall-clock time to compute its output relation.
+    pub elapsed: Duration,
+    /// E-graph size after processing.
+    pub egraph_nodes: usize,
+    /// Number of clean mappings found for its output.
+    pub mappings: usize,
+}
+
+/// The result of a successful refinement check: the certificate of §3.3.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// Clean mappings for every `G_s` output — the relation `R_o`.
+    pub output_relation: Relation,
+    /// Clean mappings for every `G_s` tensor (inputs, intermediates,
+    /// outputs).
+    pub full_relation: Relation,
+    /// Aggregated lemma-application counts.
+    pub lemma_stats: LemmaStats,
+    /// Per-operator reports, in processing order.
+    pub op_reports: Vec<OpReport>,
+}
+
+/// Refinement failure: `G_d` does not (provably) refine `G_s`.
+///
+/// Carries the identity of the first unmappable operator and the mappings of
+/// its inputs — the paper's actionable bug-localization output (§6.2).
+#[derive(Debug, Clone)]
+pub enum RefinementError {
+    /// The input relation does not map every `G_s` input.
+    MissingInputMapping {
+        /// Name of the unmapped `G_s` input tensor.
+        tensor: String,
+    },
+    /// A `G_s` *output* tensor has clean mappings, but none over `G_d`'s
+    /// outputs alone (Listing 1 line 9 restricts `R_o` to `T ⊆ O(G_d)`):
+    /// the deployed implementation never materializes the values needed to
+    /// reconstruct this output — e.g. a missing all-reduce leaves only
+    /// partial sums on the ranks.
+    OutputUnmapped {
+        /// Name of the `G_s` output tensor.
+        tensor: String,
+        /// The operator producing it (or `<input>` for passthrough).
+        operator: String,
+        /// The clean mappings that exist but use `G_d` intermediates.
+        intermediate_mappings: Vec<String>,
+    },
+    /// No clean mapping exists for an operator's output (Listing 1 line 6).
+    OperatorUnmapped {
+        /// The failing operator's node name.
+        operator: String,
+        /// The operator kind (e.g. `matmul`).
+        op: String,
+        /// The failing node's id in `G_s`.
+        node: NodeId,
+        /// The mappings of the operator's inputs, for debugging: pairs of
+        /// `(G_s tensor name, clean expressions over G_d)`.
+        input_mappings: Vec<(String, Vec<String>)>,
+    },
+}
+
+impl fmt::Display for RefinementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefinementError::MissingInputMapping { tensor } => {
+                write!(f, "input relation has no mapping for G_s input {tensor:?}")
+            }
+            RefinementError::OutputUnmapped {
+                tensor,
+                operator,
+                intermediate_mappings,
+            } => {
+                writeln!(
+                    f,
+                    "G_s output {tensor:?} (produced by {operator:?}) cannot be \
+                     reconstructed from G_d's outputs alone"
+                )?;
+                if intermediate_mappings.is_empty() {
+                    writeln!(f, "no clean mappings exist at all for this output")?;
+                } else {
+                    writeln!(
+                        f,
+                        "clean mappings exist only over G_d intermediates (values the \
+                         deployment never emits):"
+                    )?;
+                    for m in intermediate_mappings {
+                        writeln!(f, "  {tensor} -> {m}")?;
+                    }
+                }
+                write!(
+                    f,
+                    "a combining step (e.g. an all-reduce or all-gather) is likely \
+                     missing before G_d's outputs"
+                )
+            }
+            RefinementError::OperatorUnmapped {
+                operator,
+                op,
+                node,
+                input_mappings,
+            } => {
+                writeln!(
+                    f,
+                    "could not map outputs for operator {operator:?} ({op}, {node}); \
+                     the distributed implementation does not refine the model here."
+                )?;
+                writeln!(f, "input mappings at this operator:")?;
+                for (tensor, exprs) in input_mappings {
+                    if exprs.is_empty() {
+                        writeln!(f, "  {tensor} -> (no clean mapping)")?;
+                    }
+                    for e in exprs {
+                        writeln!(f, "  {tensor} -> {e}")?;
+                    }
+                }
+                write!(
+                    f,
+                    "inspect this operator, its inputs' mappings, and the G_d operators \
+                     feeding them to localize the bug"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RefinementError {}
+
+/// Checks that `gd` refines `gs` under the input relation `ri`, returning
+/// the clean output relation `R_o` (Listing 1).
+///
+/// # Errors
+///
+/// Returns [`RefinementError`] when an input lacks a mapping or when some
+/// operator's outputs cannot be cleanly reconstructed from `G_d` — which,
+/// under the paper's assumptions (§3.3), indicates a distribution bug.
+pub fn check_refinement(
+    gs: &Graph,
+    gd: &Graph,
+    ri: &Relation,
+    opts: &CheckOptions,
+) -> Result<CheckOutcome, RefinementError> {
+    for &input in gs.inputs() {
+        if !ri.contains(input) {
+            return Err(RefinementError::MissingInputMapping {
+                tensor: gs.tensor(input).name.clone(),
+            });
+        }
+    }
+    let rewrites = opts
+        .rewrites
+        .clone()
+        .unwrap_or_else(|| rewrites_of(&registry()));
+
+    let mut relation = ri.clone();
+    let mut stats = LemmaStats::default();
+    let mut op_reports = Vec::with_capacity(gs.num_nodes());
+
+    // Monolithic (ablation) mode: one shared e-graph with all of G_d.
+    let mut shared: Option<EGraph<TensorAnalysis>> = if opts.fresh_egraph_per_op {
+        None
+    } else {
+        let mut eg = fresh_egraph(gd, opts);
+        for node in gd.nodes() {
+            encode_node(&mut eg, gd, node);
+        }
+        Some(eg)
+    };
+
+    for node in gs.nodes() {
+        let start = Instant::now();
+        let (mappings, nodes_after) = match &mut shared {
+            Some(eg) => {
+                let m = node_out_rel(gs, gd, node, &relation, opts, &rewrites, &mut stats, eg, false)?;
+                (m, eg.total_nodes())
+            }
+            None => {
+                let mut eg = fresh_egraph(gd, opts);
+                let m = node_out_rel(
+                    gs,
+                    gd,
+                    node,
+                    &relation,
+                    opts,
+                    &rewrites,
+                    &mut stats,
+                    &mut eg,
+                    opts.frontier,
+                )?;
+                (m, eg.total_nodes())
+            }
+        };
+        op_reports.push(OpReport {
+            name: node.name.clone(),
+            elapsed: start.elapsed(),
+            egraph_nodes: nodes_after,
+            mappings: mappings.len(),
+        });
+        for expr in mappings {
+            relation.insert(node.output, expr);
+        }
+    }
+
+    // Listing 1 line 9: R_o keeps only mappings whose leaves are G_d
+    // *outputs* — the tensors a deployed implementation actually emits.
+    let gd_output_names: HashSet<&str> = gd
+        .outputs()
+        .iter()
+        .map(|&t| gd.tensor(t).name.as_str())
+        .collect();
+    let mut output_relation = Relation::new();
+    for &out in gs.outputs() {
+        let Some(maps) = relation.mappings(out) else {
+            // An output that is a graph input must be covered by R_i (already
+            // checked); an operator output is covered by the loop above.
+            unreachable!("relation must cover every produced tensor");
+        };
+        let over_outputs: Vec<_> = maps
+            .iter()
+            .filter(|m| {
+                m.leaf_symbols()
+                    .iter()
+                    .all(|s| gd_output_names.contains(s.as_str()))
+            })
+            .cloned()
+            .collect();
+        if over_outputs.is_empty() {
+            return Err(RefinementError::OutputUnmapped {
+                tensor: gs.tensor(out).name.clone(),
+                operator: gs
+                    .producer(out)
+                    .map(|n| n.name.clone())
+                    .unwrap_or_else(|| "<input>".to_owned()),
+                intermediate_mappings: maps.iter().map(|m| m.to_string()).collect(),
+            });
+        }
+        for m in over_outputs {
+            output_relation.insert(out, m);
+        }
+    }
+
+    Ok(CheckOutcome {
+        output_relation,
+        full_relation: relation,
+        lemma_stats: stats,
+        op_reports,
+    })
+}
+
+fn fresh_egraph(gd: &Graph, opts: &CheckOptions) -> EGraph<TensorAnalysis> {
+    let mut analysis = TensorAnalysis::with_ctx(opts.sym_ctx.clone());
+    for t in gd.tensors() {
+        analysis.register_leaf(&t.name, t.shape.clone(), t.dtype);
+    }
+    EGraph::with_analysis(analysis)
+}
+
+/// Computes the clean output relation for one `G_s` operator (Listing 2,
+/// with the Listing 3 frontier when `frontier` is true).
+#[allow(clippy::too_many_arguments)]
+fn node_out_rel(
+    gs: &Graph,
+    gd: &Graph,
+    node: &Node,
+    relation: &Relation,
+    opts: &CheckOptions,
+    rewrites: &[Rewrite<TensorAnalysis>],
+    stats: &mut LemmaStats,
+    eg: &mut EGraph<TensorAnalysis>,
+    frontier: bool,
+) -> Result<Vec<RecExpr>, RefinementError> {
+    let fail = |relation: &Relation| RefinementError::OperatorUnmapped {
+        operator: node.name.clone(),
+        op: node.op.name().to_owned(),
+        node: node.id,
+        input_mappings: node
+            .inputs
+            .iter()
+            .map(|&t| {
+                (
+                    gs.tensor(t).name.clone(),
+                    relation
+                        .mappings(t)
+                        .map(|ms| ms.iter().map(|m| m.to_string()).collect())
+                        .unwrap_or_default(),
+                )
+            })
+            .collect(),
+    };
+
+    // Step 1: express the operator's output over G_d tensors by substituting
+    // the relation's mappings for each input (rewrite_t_to_expr). Every
+    // mapping of one tensor denotes that tensor, so all of an input's
+    // expressions are unioned into one class before the operator is applied
+    // — the e-graph-native form of "return all rewritings".
+    let per_input: Vec<&[RecExpr]> = node
+        .inputs
+        .iter()
+        .map(|&t| relation.mappings(t).unwrap_or(&[]))
+        .collect();
+    if per_input.iter().any(|m| m.is_empty()) {
+        return Err(fail(relation));
+    }
+    let mut input_ids: Vec<Id> = Vec::with_capacity(per_input.len());
+    for exprs in &per_input {
+        let mut rep: Option<Id> = None;
+        for e in *exprs {
+            let id = eg.add_expr(e);
+            rep = Some(match rep {
+                None => id,
+                Some(prev) => {
+                    eg.union_with(
+                        prev,
+                        id,
+                        entangle_egraph::Reason::Given("mappings of one tensor".to_owned()),
+                    )
+                    .0
+                }
+            });
+        }
+        input_ids.push(rep.expect("non-empty mapping list"));
+    }
+    let base = encode_op(eg, &node.op, &input_ids);
+    eg.rebuild();
+
+    // Steps 2–3: saturate with lemmas while growing the frontier of G_d
+    // operators whose inputs relate to this operator (Listing 3), or with
+    // everything at once when the optimization is disabled.
+    let name_to_tensor: HashMap<&str, TensorId> =
+        gd.tensors().iter().map(|t| (t.name.as_str(), t.id)).collect();
+    let mut t_rel: HashSet<TensorId> = HashSet::new();
+    for exprs in &per_input {
+        for e in *exprs {
+            for sym in e.leaf_symbols() {
+                if let Some(&t) = name_to_tensor.get(sym.as_str()) {
+                    t_rel.insert(t);
+                }
+            }
+        }
+    }
+    let mut defs_added: HashSet<NodeId> = HashSet::new();
+    if !frontier {
+        // The e-graph either already holds all of G_d (monolithic mode) or
+        // gets it here (fresh graph, frontier ablation). encode_node is
+        // idempotent thanks to hash-consing, so re-encoding is harmless.
+        for n in gd.nodes() {
+            encode_node(eg, gd, n);
+            defs_added.insert(n.id);
+        }
+    }
+
+    // Frontier iteration (Listing 3): repeatedly pull in G_d operators all
+    // of whose inputs are related to this operator, saturate, and extend the
+    // related set with the newly computable outputs. Operators consuming
+    // tensors *not* related to v (e.g. the E-branch of Figure 2, or the
+    // next layer's weights) are never encoded — the size win the paper's
+    // optimization is after.
+    let mut first_round = true;
+    loop {
+        let mut added_any = false;
+        if frontier {
+            for n in gd.nodes() {
+                if defs_added.contains(&n.id) {
+                    continue;
+                }
+                if n.inputs.iter().all(|t| t_rel.contains(t)) {
+                    encode_node(eg, gd, n);
+                    defs_added.insert(n.id);
+                    t_rel.insert(n.output);
+                    added_any = true;
+                }
+            }
+        }
+        if !added_any && !first_round {
+            break;
+        }
+        first_round = false;
+        eg.rebuild();
+
+        let owned = std::mem::replace(eg, EGraph::with_analysis(TensorAnalysis::default()));
+        let mut runner = Runner::new(owned)
+            .with_iter_limit(opts.iter_limit)
+            .with_node_limit(opts.node_limit)
+            .with_time_limit(opts.time_limit);
+        let report = runner.run(rewrites);
+        *eg = runner.egraph;
+        stats.merge(&report.applications);
+    }
+
+    // Step 4: extract the clean expressions in the output's class,
+    // preferring G_d output leaves on ties (Listing 1 line 9 only keeps
+    // output-leaf mappings for G_s outputs).
+    let gd_outputs: HashSet<&str> = gd
+        .outputs()
+        .iter()
+        .map(|&t| gd.tensor(t).name.as_str())
+        .collect();
+    let variants = extract_clean_variants(eg, base, &opts.clean, &gd_outputs, opts.max_mappings);
+    if variants.is_empty() {
+        return Err(fail(relation));
+    }
+    Ok(variants)
+}
+
+/// Extracts up to `max` distinct clean expressions from a class, simplest
+/// first (the §4.3.2 "simplest representative" pruning, but keeping a few
+/// alternates — the paper returns e.g. both `sum(C1, C2)` and
+/// `concat(D1, D2)` for Figure 2's `C`).
+fn extract_clean_variants(
+    eg: &EGraph<TensorAnalysis>,
+    class: Id,
+    clean: &CleanOps,
+    prefer: &HashSet<&str>,
+    max: usize,
+) -> Vec<RecExpr> {
+    let cost = clean_cost(clean, prefer);
+    let extractor = Extractor::new(eg, &cost);
+    let mut variants: Vec<(f64, RecExpr)> = Vec::new();
+    for node in &eg[class].nodes {
+        let candidate = match node {
+            ENode::Op(sym, ch)
+                if ch.is_empty()
+                    && !sym
+                        .as_str()
+                        .starts_with(entangle_lemmas::SYNTHETIC_LEAF_PREFIX) =>
+            {
+                let mut e = RecExpr::new();
+                e.add(node.clone());
+                Some((1.0, e))
+            }
+            ENode::Op(sym, ch) if clean.is_clean(sym.as_str()) => {
+                let mut children_exprs = Vec::with_capacity(ch.len());
+                let mut total = 1.0;
+                let mut ok = true;
+                for &c in ch {
+                    match extractor.find_best(c) {
+                        Some((ccost, cexpr)) => {
+                            total += ccost;
+                            children_exprs.push(cexpr);
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                ok.then(|| (total, compose(node, &children_exprs)))
+            }
+            _ => None,
+        };
+        if let Some((cost, expr)) = candidate {
+            if !variants.iter().any(|(_, v)| v == &expr) {
+                variants.push((cost, expr));
+            }
+        }
+    }
+    variants.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.to_string().cmp(&b.1.to_string()))
+    });
+    variants.truncate(max);
+    variants.into_iter().map(|(_, e)| e).collect()
+}
+
+/// Builds a `RecExpr` applying `node` to already-extracted child
+/// expressions.
+fn compose(node: &ENode, children: &[RecExpr]) -> RecExpr {
+    let mut out = RecExpr::new();
+    let mut child_roots = Vec::with_capacity(children.len());
+    for child in children {
+        let offset = out.len();
+        for n in child.nodes() {
+            let mapped = n.map_children(|c| Id::from_index(c.index() + offset));
+            out.add(mapped);
+        }
+        child_roots.push(Id::from_index(out.len() - 1));
+    }
+    let mut idx = 0;
+    let root = node.map_children(|_| {
+        let id = child_roots[idx];
+        idx += 1;
+        id
+    });
+    out.add(root);
+    out
+}

@@ -1,0 +1,473 @@
+//! The e-graph data structure with deferred rebuilding and class analyses.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::explain::{ProofForest, Reason};
+use crate::node::{ENode, RecExpr};
+use crate::symbol::Symbol;
+use crate::unionfind::{Id, UnionFind};
+
+/// Per-e-class semilattice data, computed bottom-up and merged on union.
+///
+/// This mirrors `egg::Analysis`. The checker uses it to attach tensor shapes
+/// and const-folded scalar values to classes, which lemma conditions consult.
+pub trait Analysis: Sized + 'static {
+    /// The data attached to each e-class.
+    type Data: Clone + PartialEq + fmt::Debug;
+
+    /// Computes the data for a freshly added node from its children's data.
+    fn make(egraph: &EGraph<Self>, enode: &ENode) -> Self::Data;
+
+    /// Merges `b` into `a` when two classes are unioned.
+    ///
+    /// Returns `(a_changed, b_changed)`: whether the merged value differs
+    /// from the original `a` (resp. `b`). Changed classes have their parents
+    /// re-analyzed during rebuild.
+    fn merge(a: &mut Self::Data, b: Self::Data) -> (bool, bool);
+
+    /// Optional hook run after a class's data is created or updated, with
+    /// mutable access to the e-graph (e.g. to materialize a const-folded
+    /// scalar node).
+    fn modify(_egraph: &mut EGraph<Self>, _id: Id) {}
+}
+
+/// The trivial analysis: no data.
+impl Analysis for () {
+    type Data = ();
+    fn make(_egraph: &EGraph<Self>, _enode: &ENode) -> () {}
+    fn merge(_a: &mut (), _b: ()) -> (bool, bool) {
+        (false, false)
+    }
+}
+
+/// An equivalence class of e-nodes.
+#[derive(Debug, Clone)]
+pub struct EClass<D> {
+    /// Canonical id of this class.
+    pub id: Id,
+    /// The nodes in this class (children canonical as of the last rebuild).
+    pub nodes: Vec<ENode>,
+    /// The analysis data.
+    pub data: D,
+    /// Parent nodes: `(node, class-of-node)` pairs that reference this class.
+    pub(crate) parents: Vec<(ENode, Id)>,
+}
+
+impl<D> EClass<D> {
+    /// Iterates over the nodes in this class.
+    pub fn iter(&self) -> impl Iterator<Item = &ENode> {
+        self.nodes.iter()
+    }
+
+    /// Number of nodes in this class.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the class holds no nodes (never the case after `add`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// A congruence-closed e-graph.
+///
+/// Follows the `egg` design: adds are hash-consed through `memo`; unions are
+/// recorded in a union-find and invariants are restored in batch by
+/// [`EGraph::rebuild`].
+///
+/// # Examples
+///
+/// ```
+/// use entangle_egraph::{EGraph, ENode};
+///
+/// let mut eg = EGraph::<()>::default();
+/// let x = eg.add(ENode::leaf("x"));
+/// let y = eg.add(ENode::leaf("y"));
+/// let fx = eg.add(ENode::op("f", vec![x]));
+/// let fy = eg.add(ENode::op("f", vec![y]));
+/// assert_ne!(eg.find(fx), eg.find(fy));
+/// eg.union(x, y);
+/// eg.rebuild();
+/// // Congruence: x ≡ y ⇒ f(x) ≡ f(y).
+/// assert_eq!(eg.find(fx), eg.find(fy));
+/// ```
+pub struct EGraph<A: Analysis> {
+    unionfind: UnionFind,
+    memo: HashMap<ENode, Id>,
+    classes: HashMap<Id, EClass<A::Data>>,
+    /// Classes whose parents need congruence repair.
+    pending: Vec<Id>,
+    /// Classes whose data changed and whose parents need re-analysis.
+    analysis_pending: Vec<Id>,
+    /// Monotonic counter of successful (state-changing) unions.
+    union_count: usize,
+    /// Operator symbols ever added (presence index for search prefiltering;
+    /// never shrinks, which only costs precision, not correctness).
+    op_index: HashSet<Symbol>,
+    /// Why unions happened (the proof forest behind [`EGraph::explain`]).
+    proof: ProofForest,
+    /// User context available to analyses and conditions.
+    pub analysis: A,
+}
+
+impl<A: Analysis + Default> Default for EGraph<A> {
+    fn default() -> Self {
+        Self::with_analysis(A::default())
+    }
+}
+
+impl<A: Analysis> EGraph<A> {
+    /// Creates an empty e-graph with the given analysis context.
+    pub fn with_analysis(analysis: A) -> Self {
+        EGraph {
+            unionfind: UnionFind::default(),
+            memo: HashMap::new(),
+            classes: HashMap::new(),
+            pending: Vec::new(),
+            analysis_pending: Vec::new(),
+            union_count: 0,
+            op_index: HashSet::new(),
+            proof: ProofForest::default(),
+            analysis,
+        }
+    }
+
+    /// Total number of e-nodes across all classes.
+    pub fn total_nodes(&self) -> usize {
+        self.classes.values().map(|c| c.nodes.len()).sum()
+    }
+
+    /// Number of canonical e-classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Count of state-changing unions performed so far; useful for
+    /// saturation detection.
+    pub fn union_count(&self) -> usize {
+        self.union_count
+    }
+
+    /// `true` if any non-leaf node with this operator symbol was ever added
+    /// — a cheap presence test letting rule search skip inapplicable rules.
+    pub fn has_op(&self, sym: Symbol) -> bool {
+        self.op_index.contains(&sym)
+    }
+
+    /// The canonical id of `id`.
+    pub fn find(&self, id: Id) -> Id {
+        self.unionfind.find_immutable(id)
+    }
+
+    /// Iterates over canonical classes.
+    pub fn classes(&self) -> impl Iterator<Item = &EClass<A::Data>> {
+        self.classes.values()
+    }
+
+    /// Canonical class ids (snapshot).
+    pub fn class_ids(&self) -> Vec<Id> {
+        self.classes.keys().copied().collect()
+    }
+
+    /// Adds a node (hash-consed) and returns its class.
+    pub fn add(&mut self, enode: ENode) -> Id {
+        let enode = enode.map_children(|c| self.find(c));
+        if let Some(&id) = self.memo.get(&enode) {
+            return self.find(id);
+        }
+        let id = self.unionfind.make_set();
+        self.proof.make_set();
+        if let ENode::Op(sym, ch) = &enode {
+            if !ch.is_empty() {
+                self.op_index.insert(*sym);
+            }
+        }
+        let data = A::make(self, &enode);
+        let class = EClass {
+            id,
+            nodes: vec![enode.clone()],
+            data,
+            parents: Vec::new(),
+        };
+        for &child in enode.children() {
+            self.classes
+                .get_mut(&child)
+                .expect("child class must exist")
+                .parents
+                .push((enode.clone(), id));
+        }
+        self.classes.insert(id, class);
+        self.memo.insert(enode, id);
+        A::modify(self, id);
+        id
+    }
+
+    /// Adds every node of a [`RecExpr`], returning the root's class.
+    pub fn add_expr(&mut self, expr: &RecExpr) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for node in expr.nodes() {
+            let mapped = node.map_children(|c| ids[c.index()]);
+            ids.push(self.add(mapped));
+        }
+        *ids.last().expect("add_expr on empty RecExpr")
+    }
+
+    /// Looks up a node without inserting it.
+    ///
+    /// Children are canonicalized first. Returns the canonical class if the
+    /// node is already represented.
+    pub fn lookup(&self, enode: &ENode) -> Option<Id> {
+        let canonical = enode.map_children(|c| self.find(c));
+        self.memo.get(&canonical).map(|&id| self.find(id))
+    }
+
+    /// Looks up a whole expression without inserting; `None` if any node is
+    /// absent. Used by *constrained lemmas* (§4.3.2): a generative rewrite
+    /// only fires when its target already exists.
+    pub fn lookup_expr(&self, expr: &RecExpr) -> Option<Id> {
+        let mut ids: Vec<Id> = Vec::with_capacity(expr.len());
+        for node in expr.nodes() {
+            let mapped = node.map_children(|c| ids[c.index()]);
+            ids.push(self.lookup(&mapped)?);
+        }
+        ids.last().copied()
+    }
+
+    /// Accesses a class by (possibly non-canonical) id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never created by this e-graph.
+    pub fn class(&self, id: Id) -> &EClass<A::Data> {
+        let id = self.find(id);
+        self.classes.get(&id).expect("class must exist")
+    }
+
+    /// Mutable access to a class's data.
+    pub fn data_mut(&mut self, id: Id) -> &mut A::Data {
+        let id = self.find(id);
+        &mut self.classes.get_mut(&id).expect("class must exist").data
+    }
+
+    /// The parent nodes of a class: every e-node (in some class) that has
+    /// this class as a child. Used by constrained generative lemmas
+    /// (§4.3.2) that must only fire when their target subterms already
+    /// exist.
+    pub fn parent_nodes(&self, id: Id) -> Vec<ENode> {
+        self.class(id).parents.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Unions two classes; returns `(root, changed)`.
+    ///
+    /// Invariants are *not* restored until [`EGraph::rebuild`] is called.
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        self.union_with(a, b, Reason::Given("union".to_owned()))
+    }
+
+    /// Like [`EGraph::union`], recording why the classes are equal; the
+    /// reason is replayed by [`EGraph::explain`].
+    pub fn union_with(&mut self, a: Id, b: Id, reason: Reason) -> (Id, bool) {
+        let (oa, ob) = (a, b);
+        let a = self.find(a);
+        let b = self.find(b);
+        if a == b {
+            return (a, false);
+        }
+        self.proof.union(oa, ob, reason);
+        self.union_count += 1;
+        // Union by parent-list size: keep the bigger class as root so fewer
+        // parent links need to move.
+        let (root, other) = {
+            let pa = self.classes[&a].parents.len();
+            let pb = self.classes[&b].parents.len();
+            if pa >= pb {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        };
+        self.unionfind.union(root, other);
+        let merged = self.classes.remove(&other).expect("class must exist");
+        let class = self.classes.get_mut(&root).expect("class must exist");
+        class.id = root;
+        class.nodes.extend(merged.nodes);
+        class.parents.extend(merged.parents);
+        let (root_changed, _other_changed) = A::merge(&mut class.data, merged.data);
+        self.pending.push(root);
+        if root_changed {
+            self.analysis_pending.push(root);
+        }
+        A::modify(self, root);
+        (root, true)
+    }
+
+    /// Restores congruence closure and re-propagates analysis data.
+    ///
+    /// Must be called after a batch of unions before searching again; the
+    /// [`crate::Runner`] does this automatically once per iteration.
+    pub fn rebuild(&mut self) {
+        loop {
+            let mut made_progress = false;
+            while let Some(id) = self.pending.pop() {
+                made_progress = true;
+                self.repair(id);
+            }
+            while let Some(id) = self.analysis_pending.pop() {
+                made_progress = true;
+                self.repair_analysis(id);
+            }
+            if !made_progress {
+                break;
+            }
+        }
+        debug_assert!(self.check_memo_canonical());
+    }
+
+    fn repair(&mut self, id: Id) {
+        let id = self.find(id);
+        let Some(class) = self.classes.get_mut(&id) else {
+            return; // merged away by a union triggered from repair
+        };
+        let parents = std::mem::take(&mut class.parents);
+        // First pass: remove stale memo entries.
+        for (pnode, _) in &parents {
+            self.memo.remove(pnode);
+        }
+        // Second pass: re-canonicalize, detect congruent duplicates.
+        let mut seen: HashMap<ENode, Id> = HashMap::with_capacity(parents.len());
+        for (pnode, pid) in parents {
+            let canonical = pnode.map_children(|c| self.find(c));
+            let pid = self.find(pid);
+            if let Some(&existing) = seen.get(&canonical) {
+                let (_, _) = self.union_with(existing, pid, Reason::Congruence);
+            } else if let Some(&memo_id) = self.memo.get(&canonical) {
+                let memo_id = self.find(memo_id);
+                if memo_id != pid {
+                    let (_, _) = self.union_with(memo_id, pid, Reason::Congruence);
+                }
+                seen.insert(canonical, self.find(pid));
+            } else {
+                self.memo.insert(canonical.clone(), pid);
+                seen.insert(canonical, pid);
+            }
+        }
+        let id = self.find(id);
+        if let Some(class) = self.classes.get_mut(&id) {
+            let existing = std::mem::take(&mut class.parents);
+            let mut merged: Vec<(ENode, Id)> = existing;
+            for (n, p) in seen {
+                if !merged.iter().any(|(mn, _)| *mn == n) {
+                    merged.push((n, p));
+                }
+            }
+            class.parents = merged;
+            // Dedup the class's own nodes under the new canonicalization.
+            let canon_nodes: HashSet<ENode> = class
+                .nodes
+                .iter()
+                .map(|n| n.map_children(|c| self.unionfind.find_immutable(c)))
+                .collect();
+            let class = self.classes.get_mut(&id).expect("class must exist");
+            class.nodes = canon_nodes.into_iter().collect();
+            class.nodes.sort();
+        }
+    }
+
+    fn repair_analysis(&mut self, id: Id) {
+        let id = self.find(id);
+        let Some(class) = self.classes.get(&id) else {
+            return;
+        };
+        let parents: Vec<(ENode, Id)> = class.parents.clone();
+        for (pnode, pid) in parents {
+            let pid = self.find(pid);
+            let new_data = A::make(self, &pnode.map_children(|c| self.find(c)));
+            let class = self.classes.get_mut(&pid).expect("class must exist");
+            let (changed, _) = A::merge(&mut class.data, new_data);
+            if changed {
+                self.analysis_pending.push(pid);
+                A::modify(self, pid);
+            }
+        }
+    }
+
+    /// Debug invariant (hashcons completeness): the canonical form of every
+    /// node in every class resolves through the memo back to that class.
+    ///
+    /// Note the memo may retain *stale* keys (non-canonical forms left over
+    /// from earlier unions); those are unreachable — every lookup
+    /// canonicalizes its query first — and therefore harmless. This mirrors
+    /// egg's behaviour.
+    fn check_memo_canonical(&self) -> bool {
+        self.classes.iter().all(|(id, class)| {
+            class.nodes.iter().all(|n| {
+                let canon = n.map_children(|c| self.find(c));
+                self.memo.get(&canon).map(|&m| self.find(m)) == Some(*id)
+            })
+        })
+    }
+
+    /// Explains why two ids are equivalent: the chain of union reasons
+    /// (lemma names, congruence steps, caller-given facts) connecting them.
+    /// Returns `None` when the ids were never proven equal.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use entangle_egraph::{EGraph, RecExpr, Reason, Rewrite, Runner};
+    ///
+    /// let rw: Rewrite<()> = Rewrite::parse("add-zero", "(add ?x 0)", "?x").unwrap();
+    /// let mut eg = EGraph::<()>::default();
+    /// let l = eg.add_expr(&"(add q 0)".parse::<RecExpr>().unwrap());
+    /// let r = eg.add_expr(&"q".parse::<RecExpr>().unwrap());
+    /// let mut runner = Runner::new(eg);
+    /// runner.run(&[rw]);
+    /// let reasons = runner.egraph.explain(l, r).unwrap();
+    /// assert!(reasons.contains(&Reason::Rule("add-zero".to_owned())));
+    /// ```
+    pub fn explain(&self, a: Id, b: Id) -> Option<Vec<Reason>> {
+        if self.find(a) != self.find(b) {
+            return None;
+        }
+        self.proof.explain(a, b)
+    }
+
+    /// Checks whether two expressions are currently known equivalent.
+    pub fn equivs(&self, a: &RecExpr, b: &RecExpr) -> bool {
+        match (self.lookup_expr(a), self.lookup_expr(b)) {
+            (Some(x), Some(y)) => self.find(x) == self.find(y),
+            _ => false,
+        }
+    }
+}
+
+impl<A: Analysis> fmt::Debug for EGraph<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "EGraph {{ classes: {}, nodes: {} }}",
+            self.num_classes(),
+            self.total_nodes()
+        )?;
+        let mut ids: Vec<_> = self.classes.keys().collect();
+        ids.sort();
+        for id in ids {
+            let class = &self.classes[id];
+            write!(f, "  {id}: ")?;
+            for n in &class.nodes {
+                write!(f, "{n} ")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl<A: Analysis> std::ops::Index<Id> for EGraph<A> {
+    type Output = EClass<A::Data>;
+    fn index(&self, id: Id) -> &Self::Output {
+        self.class(id)
+    }
+}

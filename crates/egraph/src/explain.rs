@@ -1,0 +1,108 @@
+//! Explanations: a proof forest recording *why* classes were unioned.
+//!
+//! Equality saturation proves `a ≡ b` as a by-product of many small unions.
+//! The paper leans on the resulting relation being "a certificate of
+//! soundness" (§3.3); this module makes the certificate inspectable: every
+//! union carries a [`Reason`] (the lemma that fired, congruence during
+//! rebuilding, or a caller-supplied fact), and [`crate::EGraph::explain`]
+//! returns the chain of reasons connecting two ids.
+//!
+//! The implementation is the classic *proof forest* (as in egg's
+//! explanations): an undirected tree per equivalence class, maintained by
+//! re-rooting one side on each union, so any two equivalent ids are
+//! connected by exactly one path.
+
+use crate::unionfind::Id;
+
+/// Why a union happened.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Reason {
+    /// A rewrite rule (lemma) fired; carries the rule name.
+    Rule(String),
+    /// Congruence closure during rebuilding: equal children imply equal
+    /// applications.
+    Congruence,
+    /// A caller-supplied fact (e.g. "this is the definition of a `G_d`
+    /// operator" or "these are two mappings of the same tensor").
+    Given(String),
+}
+
+impl std::fmt::Display for Reason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reason::Rule(name) => write!(f, "lemma {name}"),
+            Reason::Congruence => write!(f, "congruence"),
+            Reason::Given(what) => write!(f, "given: {what}"),
+        }
+    }
+}
+
+/// The proof forest: `parent[i]` is the edge from `i` toward its tree root,
+/// labeled with the union's reason.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProofForest {
+    parent: Vec<Option<(Id, Reason)>>,
+}
+
+impl ProofForest {
+    pub(crate) fn make_set(&mut self) {
+        self.parent.push(None);
+    }
+
+    /// Records the union of (original, pre-canonical) ids `a` and `b`:
+    /// re-roots `b`'s tree at `b`, then hangs it under `a`.
+    pub(crate) fn union(&mut self, a: Id, b: Id, reason: Reason) {
+        self.reroot(b);
+        debug_assert!(self.parent[b.index()].is_none());
+        self.parent[b.index()] = Some((a, reason));
+    }
+
+    /// Makes `x` the root of its tree by reversing the edges on its
+    /// root-path.
+    fn reroot(&mut self, x: Id) {
+        // Collect the path x -> root.
+        let mut path = vec![x];
+        while let Some((p, _)) = &self.parent[path.last().unwrap().index()] {
+            path.push(*p);
+        }
+        // Reverse each edge along the path.
+        for w in path.windows(2) {
+            let (child, parent) = (w[0], w[1]);
+            let (_, reason) = self.parent[child.index()].take().expect("edge exists");
+            self.parent[parent.index()] = Some((child, reason));
+        }
+    }
+
+    fn path_to_root(&self, mut x: Id) -> Vec<(Id, Option<Reason>)> {
+        let mut path = vec![(x, None)];
+        while let Some((p, r)) = &self.parent[x.index()] {
+            path.push((*p, Some(r.clone())));
+            x = *p;
+        }
+        path
+    }
+
+    /// The reasons along the unique path between `a` and `b`, if they are
+    /// in the same tree.
+    pub(crate) fn explain(&self, a: Id, b: Id) -> Option<Vec<Reason>> {
+        if a == b {
+            return Some(Vec::new());
+        }
+        let pa = self.path_to_root(a);
+        let pb = self.path_to_root(b);
+        if pa.last().map(|(id, _)| *id) != pb.last().map(|(id, _)| *id) {
+            return None; // different trees: never unioned
+        }
+        // Trim the common suffix (paths share the tail up to the LCA).
+        let mut ia = pa.len();
+        let mut ib = pb.len();
+        while ia > 1 && ib > 1 && pa[ia - 2].0 == pb[ib - 2].0 {
+            ia -= 1;
+            ib -= 1;
+        }
+        // a -> LCA reasons, then LCA -> b reasons (reversed side).
+        let mut reasons: Vec<Reason> = pa[1..ia].iter().filter_map(|(_, r)| r.clone()).collect();
+        reasons.extend(pb[1..ib].iter().rev().filter_map(|(_, r)| r.clone()));
+        Some(reasons)
+    }
+}

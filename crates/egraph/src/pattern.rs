@@ -1,0 +1,392 @@
+//! Patterns and e-matching.
+//!
+//! Patterns use the paper's s-expression surface syntax with `?x` variables:
+//! `(slice (concat ?t1 ?t2 ?dim1) ?dim2 ?begin ?end)` (Listing 4).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::egraph::{Analysis, EGraph};
+use crate::node::{parse_sexp, ENode, ParseExprError, RecExpr, Sexp};
+use crate::symbol::Symbol;
+use crate::unionfind::Id;
+
+/// A pattern variable (`?name`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Symbol);
+
+impl Var {
+    /// Creates a variable; the leading `?` is optional.
+    pub fn new(name: &str) -> Var {
+        Var(Symbol::new(name.strip_prefix('?').unwrap_or(name)))
+    }
+
+    /// The variable's name, without the `?`.
+    pub fn as_str(self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl FromStr for Var {
+    type Err = ParseExprError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('?') {
+            if !rest.is_empty() {
+                return Ok(Var::new(rest));
+            }
+        }
+        Err(ParseExprError::new(format!("invalid variable {s:?}")))
+    }
+}
+
+/// A variable binding produced by e-matching.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: Vec<(Var, Id)>,
+}
+
+impl Subst {
+    /// An empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The class bound to `var`, if any.
+    pub fn get(&self, var: Var) -> Option<Id> {
+        self.map.iter().find(|(v, _)| *v == var).map(|(_, id)| *id)
+    }
+
+    /// Binds `var` to `id`, overwriting any existing binding.
+    pub fn insert(&mut self, var: Var, id: Id) {
+        if let Some(slot) = self.map.iter_mut().find(|(v, _)| *v == var) {
+            slot.1 = id;
+        } else {
+            self.map.push((var, id));
+        }
+    }
+
+    /// Iterates over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Id)> + '_ {
+        self.map.iter().copied()
+    }
+}
+
+impl std::ops::Index<Var> for Subst {
+    type Output = Id;
+    fn index(&self, var: Var) -> &Id {
+        self.map
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map(|(_, id)| id)
+            .unwrap_or_else(|| panic!("unbound pattern variable {var}"))
+    }
+}
+
+/// The AST of a pattern: a tree over vars, scalars and operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternAst {
+    /// A pattern variable matching any e-class.
+    Var(Var),
+    /// A literal integer scalar.
+    Int(i64),
+    /// An operator with sub-patterns; nullary ops are tensor leaves.
+    Op(Symbol, Vec<PatternAst>),
+}
+
+impl PatternAst {
+    fn from_sexp(sexp: &Sexp) -> Result<PatternAst, ParseExprError> {
+        match sexp {
+            Sexp::Atom(a) => {
+                if let Ok(i) = a.parse::<i64>() {
+                    Ok(PatternAst::Int(i))
+                } else if a.starts_with('?') {
+                    Ok(PatternAst::Var(a.parse()?))
+                } else {
+                    Ok(PatternAst::Op(Symbol::new(a), Vec::new()))
+                }
+            }
+            Sexp::List(items) => {
+                let Some(Sexp::Atom(head)) = items.first() else {
+                    return Err(ParseExprError::new("pattern list must start with an atom"));
+                };
+                if head.starts_with('?') {
+                    return Err(ParseExprError::new(
+                        "pattern variables cannot be applied as operators",
+                    ));
+                }
+                let children = items[1..]
+                    .iter()
+                    .map(PatternAst::from_sexp)
+                    .collect::<Result<_, _>>()?;
+                Ok(PatternAst::Op(Symbol::new(head), children))
+            }
+        }
+    }
+
+    /// All variables in the pattern, in first-occurrence order.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            PatternAst::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            PatternAst::Int(_) => {}
+            PatternAst::Op(_, ch) => ch.iter().for_each(|c| c.collect_vars(out)),
+        }
+    }
+
+    /// Instantiates the pattern under `subst`, adding nodes to the e-graph.
+    pub fn instantiate<A: Analysis>(&self, egraph: &mut EGraph<A>, subst: &Subst) -> Id {
+        match self {
+            PatternAst::Var(v) => subst[*v],
+            PatternAst::Int(i) => egraph.add(ENode::Int(*i)),
+            PatternAst::Op(sym, ch) => {
+                let children = ch.iter().map(|c| c.instantiate(egraph, subst)).collect();
+                egraph.add(ENode::Op(*sym, children))
+            }
+        }
+    }
+
+    /// Looks up the instantiation *without inserting*; `None` if any node of
+    /// the instantiated term is absent from the e-graph. This implements the
+    /// §4.3.2 "constrained lemma" check: the target must already exist.
+    pub fn lookup_instantiation<A: Analysis>(
+        &self,
+        egraph: &EGraph<A>,
+        subst: &Subst,
+    ) -> Option<Id> {
+        match self {
+            PatternAst::Var(v) => subst.get(*v),
+            PatternAst::Int(i) => egraph.lookup(&ENode::Int(*i)),
+            PatternAst::Op(sym, ch) => {
+                let mut children = Vec::with_capacity(ch.len());
+                for c in ch {
+                    children.push(c.lookup_instantiation(egraph, subst)?);
+                }
+                egraph.lookup(&ENode::Op(*sym, children))
+            }
+        }
+    }
+
+    /// Converts a ground (variable-free) pattern into a [`RecExpr`].
+    pub fn to_rec_expr(&self) -> Option<RecExpr> {
+        let mut out = RecExpr::new();
+        self.build_rec(&mut out)?;
+        Some(out)
+    }
+
+    fn build_rec(&self, out: &mut RecExpr) -> Option<Id> {
+        match self {
+            PatternAst::Var(_) => None,
+            PatternAst::Int(i) => Some(out.add(ENode::Int(*i))),
+            PatternAst::Op(sym, ch) => {
+                let mut children = Vec::with_capacity(ch.len());
+                for c in ch {
+                    children.push(c.build_rec(out)?);
+                }
+                Some(out.add(ENode::Op(*sym, children)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for PatternAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternAst::Var(v) => write!(f, "{v}"),
+            PatternAst::Int(i) => write!(f, "{i}"),
+            PatternAst::Op(sym, ch) if ch.is_empty() => write!(f, "{sym}"),
+            PatternAst::Op(sym, ch) => {
+                write!(f, "({sym}")?;
+                for c in ch {
+                    write!(f, " {c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A compiled pattern, searchable against an e-graph.
+///
+/// # Examples
+///
+/// ```
+/// use entangle_egraph::{EGraph, Pattern, RecExpr};
+///
+/// let mut eg = EGraph::<()>::default();
+/// let e: RecExpr = "(matmul A B)".parse().unwrap();
+/// eg.add_expr(&e);
+/// let pat: Pattern = "(matmul ?x ?y)".parse().unwrap();
+/// let matches = pat.search(&eg);
+/// assert_eq!(matches.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    ast: PatternAst,
+}
+
+/// All matches of a pattern within one e-class.
+#[derive(Debug, Clone)]
+pub struct SearchMatches {
+    /// The matched e-class.
+    pub eclass: Id,
+    /// One substitution per distinct way the pattern matches.
+    pub substs: Vec<Subst>,
+}
+
+impl Pattern {
+    /// Compiles a pattern from its AST.
+    pub fn from_ast(ast: PatternAst) -> Pattern {
+        Pattern { ast }
+    }
+
+    /// The underlying AST.
+    pub fn ast(&self) -> &PatternAst {
+        &self.ast
+    }
+
+    /// The pattern's variables.
+    pub fn vars(&self) -> Vec<Var> {
+        self.ast.vars()
+    }
+
+    /// Operator symbols that must be present for any match (non-leaf ops in
+    /// the pattern).
+    pub fn required_ops(&self) -> Vec<Symbol> {
+        fn collect(ast: &PatternAst, out: &mut Vec<Symbol>) {
+            if let PatternAst::Op(sym, ch) = ast {
+                if !ch.is_empty() && !out.contains(sym) {
+                    out.push(*sym);
+                }
+                ch.iter().for_each(|c| collect(c, out));
+            }
+        }
+        let mut out = Vec::new();
+        collect(&self.ast, &mut out);
+        out
+    }
+
+    /// Searches the whole e-graph.
+    pub fn search<A: Analysis>(&self, egraph: &EGraph<A>) -> Vec<SearchMatches> {
+        // Prefilter: a pattern whose operators never occur cannot match.
+        if self
+            .required_ops()
+            .iter()
+            .any(|&sym| !egraph.has_op(sym))
+        {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for id in egraph.class_ids() {
+            if let Some(m) = self.search_eclass(egraph, id) {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Searches one e-class.
+    pub fn search_eclass<A: Analysis>(
+        &self,
+        egraph: &EGraph<A>,
+        eclass: Id,
+    ) -> Option<SearchMatches> {
+        let substs = match_pattern(egraph, &self.ast, egraph.find(eclass), Subst::new());
+        if substs.is_empty() {
+            None
+        } else {
+            let mut dedup: Vec<Subst> = Vec::with_capacity(substs.len());
+            for s in substs {
+                if !dedup.contains(&s) {
+                    dedup.push(s);
+                }
+            }
+            Some(SearchMatches {
+                eclass: egraph.find(eclass),
+                substs: dedup,
+            })
+        }
+    }
+}
+
+fn match_pattern<A: Analysis>(
+    egraph: &EGraph<A>,
+    pat: &PatternAst,
+    id: Id,
+    subst: Subst,
+) -> Vec<Subst> {
+    match pat {
+        PatternAst::Var(v) => {
+            if let Some(bound) = subst.get(*v) {
+                if egraph.find(bound) == id {
+                    vec![subst]
+                } else {
+                    vec![]
+                }
+            } else {
+                let mut s = subst;
+                s.insert(*v, id);
+                vec![s]
+            }
+        }
+        PatternAst::Int(i) => match egraph.lookup(&ENode::Int(*i)) {
+            Some(found) if found == id => vec![subst],
+            _ => vec![],
+        },
+        PatternAst::Op(sym, pats) => {
+            let mut out = Vec::new();
+            for node in &egraph[id].nodes {
+                let ENode::Op(nsym, children) = node else {
+                    continue;
+                };
+                if nsym != sym || children.len() != pats.len() {
+                    continue;
+                }
+                let mut partials = vec![subst.clone()];
+                for (p, &c) in pats.iter().zip(children.iter()) {
+                    let mut next = Vec::new();
+                    for s in partials {
+                        next.extend(match_pattern(egraph, p, egraph.find(c), s));
+                    }
+                    partials = next;
+                    if partials.is_empty() {
+                        break;
+                    }
+                }
+                out.extend(partials);
+            }
+            out
+        }
+    }
+}
+
+impl FromStr for Pattern {
+    type Err = ParseExprError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let sexp = parse_sexp(s)?;
+        Ok(Pattern {
+            ast: PatternAst::from_sexp(&sexp)?,
+        })
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ast)
+    }
+}
+

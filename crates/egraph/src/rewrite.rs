@@ -1,0 +1,192 @@
+//! Rewrite rules (the paper's *lemmas*) and their appliers.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::egraph::{Analysis, EGraph};
+use crate::node::ParseExprError;
+use crate::pattern::{Pattern, Subst};
+use crate::unionfind::Id;
+
+/// The right-hand side of a rewrite: given a matched e-class and bindings,
+/// produce the e-classes to union with it.
+///
+/// [`Pattern`] implements this by instantiation. Conditioned lemmas
+/// (Listing 4, lines 10–21) use [`Rewrite::parse_dyn`], whose closure plays
+/// the role of the paper's `|egraph, subst| { ... }` block.
+pub trait Applier<A: Analysis>: Send + Sync {
+    /// Applies to one match; returns ids to union with `eclass`.
+    fn apply_one(&self, egraph: &mut EGraph<A>, eclass: Id, subst: &Subst) -> Vec<Id>;
+}
+
+impl<A: Analysis> Applier<A> for Pattern {
+    fn apply_one(&self, egraph: &mut EGraph<A>, _eclass: Id, subst: &Subst) -> Vec<Id> {
+        vec![self.ast().instantiate(egraph, subst)]
+    }
+}
+
+/// A dynamic applier backed by a closure.
+pub struct DynApplier<A: Analysis> {
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&mut EGraph<A>, Id, &Subst) -> Vec<Id> + Send + Sync>,
+}
+
+impl<A: Analysis> Applier<A> for DynApplier<A> {
+    fn apply_one(&self, egraph: &mut EGraph<A>, eclass: Id, subst: &Subst) -> Vec<Id> {
+        (self.f)(egraph, eclass, subst)
+    }
+}
+
+/// A side condition gating a conditional rewrite.
+///
+/// Receives the e-graph (read-only), the matched e-class and the bindings.
+pub type Condition<A> = Arc<dyn Fn(&EGraph<A>, Id, &Subst) -> bool + Send + Sync>;
+
+/// A named rewrite rule: searcher pattern + optional condition + applier.
+///
+/// # Examples
+///
+/// A universal lemma in the paper's exact surface syntax:
+///
+/// ```
+/// use entangle_egraph::Rewrite;
+///
+/// let rw: Rewrite<()> = Rewrite::parse(
+///     "matmul-first-concat-commutative",
+///     "(matmul (concat ?A0 ?A1 0) ?B)",
+///     "(concat (matmul ?A0 ?B) (matmul ?A1 ?B) 0)",
+/// ).unwrap();
+/// assert_eq!(rw.name(), "matmul-first-concat-commutative");
+/// ```
+pub struct Rewrite<A: Analysis> {
+    name: String,
+    searcher: Pattern,
+    condition: Option<Condition<A>>,
+    applier: Arc<dyn Applier<A>>,
+}
+
+impl<A: Analysis> Clone for Rewrite<A> {
+    fn clone(&self) -> Self {
+        Rewrite {
+            name: self.name.clone(),
+            searcher: self.searcher.clone(),
+            condition: self.condition.clone(),
+            applier: self.applier.clone(),
+        }
+    }
+}
+
+impl<A: Analysis> fmt::Debug for Rewrite<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rewrite({} : {})", self.name, self.searcher)
+    }
+}
+
+impl<A: Analysis> Rewrite<A> {
+    /// Parses a *universal* lemma `lhs => rhs` (both sides are patterns).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either side fails to parse or the right-hand
+    /// side uses a variable not bound by the left.
+    pub fn parse(name: &str, lhs: &str, rhs: &str) -> Result<Self, ParseExprError> {
+        let searcher: Pattern = lhs.parse()?;
+        let applier: Pattern = rhs.parse()?;
+        let bound = searcher.vars();
+        for v in applier.vars() {
+            if !bound.contains(&v) {
+                return Err(ParseExprError::new(format!(
+                    "rewrite {name}: rhs variable {v} not bound by lhs"
+                )));
+            }
+        }
+        Ok(Rewrite {
+            name: name.to_owned(),
+            searcher,
+            condition: None,
+            applier: Arc::new(applier),
+        })
+    }
+
+    /// Parses a *conditioned* lemma: `lhs => rhs` gated by `condition`.
+    pub fn parse_if(
+        name: &str,
+        lhs: &str,
+        rhs: &str,
+        condition: impl Fn(&EGraph<A>, Id, &Subst) -> bool + Send + Sync + 'static,
+    ) -> Result<Self, ParseExprError> {
+        let mut rw = Self::parse(name, lhs, rhs)?;
+        rw.condition = Some(Arc::new(condition));
+        Ok(rw)
+    }
+
+    /// Parses a lemma whose right-hand side is computed dynamically — the
+    /// paper's `|egraph, subst| { ... }` form. The closure returns the ids
+    /// to union with the matched class (empty = does not apply).
+    pub fn parse_dyn(
+        name: &str,
+        lhs: &str,
+        applier: impl Fn(&mut EGraph<A>, Id, &Subst) -> Vec<Id> + Send + Sync + 'static,
+    ) -> Result<Self, ParseExprError> {
+        Ok(Rewrite {
+            name: name.to_owned(),
+            searcher: lhs.parse()?,
+            condition: None,
+            applier: Arc::new(DynApplier { f: Arc::new(applier) }),
+        })
+    }
+
+    /// Adds (or replaces) a condition on an existing rewrite.
+    pub fn with_condition(
+        mut self,
+        condition: impl Fn(&EGraph<A>, Id, &Subst) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.condition = Some(Arc::new(condition));
+        self
+    }
+
+    /// The rule's name (lemma id).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The left-hand-side pattern.
+    pub fn searcher(&self) -> &Pattern {
+        &self.searcher
+    }
+
+    /// Searches the e-graph for matches of the left-hand side.
+    pub fn search(&self, egraph: &EGraph<A>) -> Vec<crate::pattern::SearchMatches> {
+        self.searcher.search(egraph)
+    }
+
+    /// Applies previously found matches; returns the number of unions that
+    /// changed the e-graph (the per-lemma count behind Figure 6).
+    pub fn apply(
+        &self,
+        egraph: &mut EGraph<A>,
+        matches: &[crate::pattern::SearchMatches],
+    ) -> usize {
+        let mut changed = 0;
+        for m in matches {
+            for subst in &m.substs {
+                if let Some(cond) = &self.condition {
+                    if !cond(egraph, m.eclass, subst) {
+                        continue;
+                    }
+                }
+                for id in self.applier.apply_one(egraph, m.eclass, subst) {
+                    let (_, did) = egraph.union_with(
+                        m.eclass,
+                        id,
+                        crate::explain::Reason::Rule(self.name.clone()),
+                    );
+                    if did {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+}

@@ -1,0 +1,137 @@
+//! Equality saturation driver with resource limits and per-rule statistics.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::egraph::{Analysis, EGraph};
+use crate::rewrite::Rewrite;
+
+/// Why a saturation run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No rewrite changed the e-graph in the last iteration.
+    Saturated,
+    /// The iteration limit was reached.
+    IterationLimit,
+    /// The node limit was reached.
+    NodeLimit,
+    /// The time limit was reached.
+    TimeLimit,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// E-nodes at the end of the run.
+    pub egraph_nodes: usize,
+    /// E-classes at the end of the run.
+    pub egraph_classes: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Per-rule count of e-graph-changing applications.
+    pub applications: HashMap<String, u64>,
+}
+
+/// Runs equality saturation over an e-graph.
+///
+/// # Examples
+///
+/// ```
+/// use entangle_egraph::{EGraph, RecExpr, Rewrite, Runner};
+///
+/// let comm: Rewrite<()> = Rewrite::parse("add-comm", "(add ?a ?b)", "(add ?b ?a)").unwrap();
+/// let mut eg = EGraph::<()>::default();
+/// let ab = eg.add_expr(&"(add a b)".parse::<RecExpr>().unwrap());
+/// let ba = eg.add_expr(&"(add b a)".parse::<RecExpr>().unwrap());
+/// let mut runner = Runner::new(eg);
+/// let report = runner.run(&[comm]);
+/// assert_eq!(runner.egraph.find(ab), runner.egraph.find(ba));
+/// assert!(report.applications["add-comm"] >= 1);
+/// ```
+pub struct Runner<A: Analysis> {
+    /// The e-graph being saturated; public so callers can inspect and reuse it.
+    pub egraph: EGraph<A>,
+    iter_limit: usize,
+    node_limit: usize,
+    time_limit: Duration,
+}
+
+impl<A: Analysis> Runner<A> {
+    /// Wraps an e-graph with default limits (30 iterations, 50 000 nodes,
+    /// 10 s).
+    pub fn new(egraph: EGraph<A>) -> Self {
+        Runner {
+            egraph,
+            iter_limit: 30,
+            node_limit: 50_000,
+            time_limit: Duration::from_secs(10),
+        }
+    }
+
+    /// Sets the iteration limit.
+    pub fn with_iter_limit(mut self, limit: usize) -> Self {
+        self.iter_limit = limit;
+        self
+    }
+
+    /// Sets the e-node limit.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Sets the wall-clock limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Runs the rewrites to saturation or a limit.
+    ///
+    /// Each iteration searches *all* rules against the frozen e-graph, then
+    /// applies all matches, then rebuilds — the standard egg schedule, which
+    /// keeps rule application order-independent.
+    pub fn run(&mut self, rewrites: &[Rewrite<A>]) -> RunReport {
+        let start = Instant::now();
+        let mut applications: HashMap<String, u64> = HashMap::new();
+        let mut iterations = 0;
+        let stop_reason = loop {
+            if iterations >= self.iter_limit {
+                break StopReason::IterationLimit;
+            }
+            if self.egraph.total_nodes() > self.node_limit {
+                break StopReason::NodeLimit;
+            }
+            if start.elapsed() > self.time_limit {
+                break StopReason::TimeLimit;
+            }
+            iterations += 1;
+            // Search phase against the frozen graph.
+            let matches: Vec<_> = rewrites.iter().map(|rw| rw.search(&self.egraph)).collect();
+            // Apply phase.
+            let unions_before = self.egraph.union_count();
+            for (rw, ms) in rewrites.iter().zip(&matches) {
+                let changed = rw.apply(&mut self.egraph, ms);
+                if changed > 0 {
+                    *applications.entry(rw.name().to_owned()).or_insert(0) += changed as u64;
+                }
+            }
+            self.egraph.rebuild();
+            if self.egraph.union_count() == unions_before {
+                break StopReason::Saturated;
+            }
+        };
+        RunReport {
+            stop_reason,
+            iterations,
+            egraph_nodes: self.egraph.total_nodes(),
+            egraph_classes: self.egraph.num_classes(),
+            elapsed: start.elapsed(),
+            applications,
+        }
+    }
+}

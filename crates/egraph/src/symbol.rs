@@ -1,0 +1,97 @@
+//! A global string interner for operator and tensor names.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string.
+///
+/// Symbols are cheap to copy, hash and compare; the actual string lives in a
+/// process-global interner. Two `Symbol`s are equal iff their strings are —
+/// interning guarantees one `&'static str` per distinct string, so equality
+/// and hashing are pointer operations and [`Symbol::as_str`] is free (no
+/// locking), which matters because symbol comparison is the innermost loop
+/// of e-matching.
+///
+/// # Examples
+///
+/// ```
+/// use entangle_egraph::Symbol;
+///
+/// let a = Symbol::new("matmul");
+/// let b = Symbol::new("matmul");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "matmul");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Symbol(&'static str);
+
+impl PartialEq for Symbol {
+    fn eq(&self, other: &Symbol) -> bool {
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for Symbol {}
+
+impl std::hash::Hash for Symbol {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.0.as_ptr() as usize).hash(state);
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Symbol) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Symbol) -> std::cmp::Ordering {
+        // String order (deterministic across runs); not a hot path.
+        self.0.cmp(other.0)
+    }
+}
+
+fn interner() -> &'static RwLock<HashMap<&'static str, &'static str>> {
+    static INTERNER: OnceLock<RwLock<HashMap<&'static str, &'static str>>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol.
+    pub fn new(name: &str) -> Symbol {
+        {
+            let map = interner().read().expect("symbol interner poisoned");
+            if let Some(&interned) = map.get(name) {
+                return Symbol(interned);
+            }
+        }
+        let mut map = interner().write().expect("symbol interner poisoned");
+        if let Some(&interned) = map.get(name) {
+            return Symbol(interned);
+        }
+        // Interned strings live for the process lifetime; leaking is the
+        // standard interner trade-off and keeps `as_str` allocation-free.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        map.insert(leaked, leaked);
+        Symbol(leaked)
+    }
+
+    /// The interned string (no locking).
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}

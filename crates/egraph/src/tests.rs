@@ -1,0 +1,646 @@
+use crate::*;
+
+fn expr(s: &str) -> RecExpr {
+    s.parse().expect("parse")
+}
+
+#[test]
+fn parse_roundtrip() {
+    for s in [
+        "x",
+        "42",
+        "-3",
+        "(matmul A B)",
+        "(concat (slice X 0 0 16) (slice X 0 16 32) 0)",
+        "(add (matmul A1 B1) (matmul A2 B2))",
+    ] {
+        assert_eq!(expr(s).to_string(), s);
+    }
+}
+
+#[test]
+fn parse_errors() {
+    assert!("(".parse::<RecExpr>().is_err());
+    assert!(")".parse::<RecExpr>().is_err());
+    assert!("(f a) b".parse::<RecExpr>().is_err());
+    assert!("(?x a)".parse::<RecExpr>().is_err());
+    assert!("?x".parse::<RecExpr>().is_err()); // vars not allowed in ground exprs
+    assert!("((f) a)".parse::<RecExpr>().is_err());
+}
+
+#[test]
+fn hashcons_dedup() {
+    let mut eg = EGraph::<()>::default();
+    let a1 = eg.add(ENode::leaf("a"));
+    let a2 = eg.add(ENode::leaf("a"));
+    assert_eq!(a1, a2);
+    let f1 = eg.add(ENode::op("f", vec![a1]));
+    let f2 = eg.add(ENode::op("f", vec![a2]));
+    assert_eq!(f1, f2);
+    assert_eq!(eg.total_nodes(), 2);
+}
+
+#[test]
+fn union_and_congruence() {
+    let mut eg = EGraph::<()>::default();
+    let x = eg.add(ENode::leaf("x"));
+    let y = eg.add(ENode::leaf("y"));
+    let fx = eg.add(ENode::op("f", vec![x]));
+    let fy = eg.add(ENode::op("f", vec![y]));
+    let gfx = eg.add(ENode::op("g", vec![fx]));
+    let gfy = eg.add(ENode::op("g", vec![fy]));
+    assert_ne!(eg.find(gfx), eg.find(gfy));
+    eg.union(x, y);
+    eg.rebuild();
+    assert_eq!(eg.find(fx), eg.find(fy));
+    assert_eq!(eg.find(gfx), eg.find(gfy), "congruence must propagate upward");
+}
+
+#[test]
+fn deep_congruence_chain() {
+    let mut eg = EGraph::<()>::default();
+    let mut a = eg.add(ENode::leaf("a"));
+    let mut b = eg.add(ENode::leaf("b"));
+    let (a0, b0) = (a, b);
+    for _ in 0..20 {
+        a = eg.add(ENode::op("f", vec![a]));
+        b = eg.add(ENode::op("f", vec![b]));
+    }
+    eg.union(a0, b0);
+    eg.rebuild();
+    assert_eq!(eg.find(a), eg.find(b));
+}
+
+#[test]
+fn lookup_does_not_insert() {
+    let mut eg = EGraph::<()>::default();
+    let x = eg.add(ENode::leaf("x"));
+    assert_eq!(eg.lookup(&ENode::leaf("x")), Some(x));
+    assert_eq!(eg.lookup(&ENode::op("f", vec![x])), None);
+    let n = eg.total_nodes();
+    let _ = eg.lookup(&ENode::op("g", vec![x]));
+    assert_eq!(eg.total_nodes(), n);
+}
+
+#[test]
+fn lookup_expr_constrained() {
+    let mut eg = EGraph::<()>::default();
+    eg.add_expr(&expr("(f (g a))"));
+    assert!(eg.lookup_expr(&expr("(f (g a))")).is_some());
+    assert!(eg.lookup_expr(&expr("(g a)")).is_some());
+    assert!(eg.lookup_expr(&expr("(f a)")).is_none());
+}
+
+#[test]
+fn pattern_matching_basics() {
+    let mut eg = EGraph::<()>::default();
+    eg.add_expr(&expr("(matmul A B)"));
+    eg.add_expr(&expr("(matmul C D)"));
+    let pat: Pattern = "(matmul ?x ?y)".parse().unwrap();
+    let matches = pat.search(&eg);
+    assert_eq!(matches.len(), 2);
+    // Nonlinear pattern: ?x repeated must match the same class.
+    let pat2: Pattern = "(matmul ?x ?x)".parse().unwrap();
+    assert_eq!(pat2.search(&eg).len(), 0);
+    eg.add_expr(&expr("(matmul E E)"));
+    assert_eq!(pat2.search(&eg).len(), 1);
+}
+
+#[test]
+fn pattern_with_int_literal() {
+    let mut eg = EGraph::<()>::default();
+    eg.add_expr(&expr("(concat A B 0)"));
+    eg.add_expr(&expr("(concat C D 1)"));
+    let pat: Pattern = "(concat ?a ?b 0)".parse().unwrap();
+    assert_eq!(pat.search(&eg).len(), 1);
+    let pat_any: Pattern = "(concat ?a ?b ?d)".parse().unwrap();
+    assert_eq!(pat_any.search(&eg).len(), 2);
+}
+
+#[test]
+fn rewrite_block_matmul() {
+    // The paper's Figure 2 derivation.
+    let lemma: Rewrite<()> = Rewrite::parse(
+        "matmul-block",
+        "(matmul (concat ?a0 ?a1 1) (concat ?b0 ?b1 0))",
+        "(add (matmul ?a0 ?b0) (matmul ?a1 ?b1))",
+    )
+    .unwrap();
+    let mut eg = EGraph::<()>::default();
+    let l = eg.add_expr(&expr("(matmul (concat A1 A2 1) (concat B1 B2 0))"));
+    let r = eg.add_expr(&expr("(add (matmul A1 B1) (matmul A2 B2))"));
+    let mut runner = Runner::new(eg);
+    let report = runner.run(&[lemma]);
+    assert_eq!(runner.egraph.find(l), runner.egraph.find(r));
+    assert_eq!(report.stop_reason, StopReason::Saturated);
+}
+
+#[test]
+fn conditional_rewrite_only_fires_when_condition_holds() {
+    // slice of concat commutes only when dims differ; encode dims as Int
+    // children and check them in the condition.
+    let rw: Rewrite<()> = Rewrite::parse_if(
+        "slice-dim-guard",
+        "(slice (concat ?a ?b ?d1) ?d2 ?lo ?hi)",
+        "(concat (slice ?a ?d2 ?lo ?hi) (slice ?b ?d2 ?lo ?hi) ?d1)",
+        |eg, _id, subst| {
+            let d1 = subst[Var::new("d1")];
+            let d2 = subst[Var::new("d2")];
+            let get = |id| {
+                eg[id].nodes.iter().find_map(|n| n.as_int())
+            };
+            match (get(d1), get(d2)) {
+                (Some(a), Some(b)) => a != b,
+                _ => false,
+            }
+        },
+    )
+    .unwrap();
+
+    let mut eg = EGraph::<()>::default();
+    let same = eg.add_expr(&expr("(slice (concat A B 0) 0 0 4)"));
+    let diff = eg.add_expr(&expr("(slice (concat A B 0) 1 0 4)"));
+    let mut runner = Runner::new(eg);
+    runner.run(&[rw]);
+    let eg = &runner.egraph;
+    let same_rhs = eg.lookup_expr(&expr("(concat (slice A 0 0 4) (slice B 0 0 4) 0)"));
+    assert!(same_rhs.is_none() || eg.find(same_rhs.unwrap()) != eg.find(same));
+    let diff_rhs = eg
+        .lookup_expr(&expr("(concat (slice A 1 0 4) (slice B 1 0 4) 0)"))
+        .expect("rhs must have been added");
+    assert_eq!(eg.find(diff_rhs), eg.find(diff));
+}
+
+#[test]
+fn dynamic_applier() {
+    // x * 2 → x + x, built dynamically.
+    let rw: Rewrite<()> = Rewrite::parse_dyn("mul2-to-add", "(mul ?x 2)", |eg, _id, subst| {
+        let x = subst[Var::new("x")];
+        vec![eg.add(ENode::op("add", vec![x, x]))]
+    })
+    .unwrap();
+    let mut eg = EGraph::<()>::default();
+    let l = eg.add_expr(&expr("(mul a 2)"));
+    let mut runner = Runner::new(eg);
+    runner.run(&[rw]);
+    let r = runner.egraph.lookup_expr(&expr("(add a a)")).unwrap();
+    assert_eq!(runner.egraph.find(l), runner.egraph.find(r));
+}
+
+#[test]
+fn saturation_with_commutativity_and_assoc_terminates() {
+    let rules: Vec<Rewrite<()>> = vec![
+        Rewrite::parse("comm", "(add ?a ?b)", "(add ?b ?a)").unwrap(),
+        Rewrite::parse("assoc", "(add (add ?a ?b) ?c)", "(add ?a (add ?b ?c))").unwrap(),
+    ];
+    let mut eg = EGraph::<()>::default();
+    let l = eg.add_expr(&expr("(add (add a b) (add c d))"));
+    let r = eg.add_expr(&expr("(add (add d c) (add b a))"));
+    let mut runner = Runner::new(eg).with_iter_limit(10).with_node_limit(10_000);
+    let report = runner.run(&rules);
+    assert_eq!(runner.egraph.find(l), runner.egraph.find(r));
+    assert!(report.iterations <= 10);
+}
+
+#[test]
+fn extraction_picks_smallest() {
+    let rules: Vec<Rewrite<()>> = vec![
+        Rewrite::parse("add-zero", "(add ?x 0)", "?x").unwrap(),
+        Rewrite::parse("mul-one", "(mul ?x 1)", "?x").unwrap(),
+    ];
+    let mut eg = EGraph::<()>::default();
+    let id = eg.add_expr(&expr("(mul (add y 0) 1)"));
+    let mut runner = Runner::new(eg);
+    runner.run(&rules);
+    let ex = Extractor::new(&runner.egraph, AstSize);
+    let (cost, best) = ex.find_best(id).unwrap();
+    assert_eq!(best.to_string(), "y");
+    assert_eq!(cost, 1.0);
+}
+
+#[test]
+fn extraction_with_infinite_costs() {
+    // Only `concat`, `slice` and leaves are allowed; `matmul` is forbidden.
+    let cost = |node: &ENode, children: &[f64]| -> f64 {
+        let own = match node {
+            ENode::Int(_) | ENode::Sym(_) => 0.0,
+            ENode::Op(sym, ch) => {
+                if ch.is_empty() {
+                    1.0
+                } else {
+                    match sym.as_str() {
+                        "concat" | "slice" | "add" => 1.0,
+                        _ => f64::INFINITY,
+                    }
+                }
+            }
+        };
+        own + children.iter().sum::<f64>()
+    };
+    let mut eg = EGraph::<()>::default();
+    let m = eg.add_expr(&expr("(matmul A B)"));
+    let c = eg.add_expr(&expr("(add C1 C2)"));
+    // matmul(A,B) == add(C1,C2): the clean side must be extracted.
+    eg.union(m, c);
+    eg.rebuild();
+    let ex = Extractor::new(&eg, cost);
+    let (_, best) = ex.find_best(m).unwrap();
+    assert_eq!(best.to_string(), "(add C1 C2)");
+
+    // A class with no clean representative extracts to None.
+    let lone = eg.add_expr(&expr("(matmul X Y)"));
+    let ex = Extractor::new(&eg, cost);
+    assert!(ex.find_best(lone).is_none());
+}
+
+#[test]
+fn extraction_handles_cycles() {
+    // After union(x, f(x)) the class is cyclic; extraction must still
+    // terminate and produce the leaf.
+    let mut eg = EGraph::<()>::default();
+    let x = eg.add(ENode::leaf("x"));
+    let fx = eg.add(ENode::op("f", vec![x]));
+    eg.union(x, fx);
+    eg.rebuild();
+    let ex = Extractor::new(&eg, AstSize);
+    let (cost, best) = ex.find_best(fx).unwrap();
+    assert_eq!(best.to_string(), "x");
+    assert_eq!(cost, 1.0);
+}
+
+#[test]
+fn runner_node_limit_respected() {
+    // An explosive rule: f(x) → f(g(x)) (unconstrained generative rewrite,
+    // exactly the §4.3.2 blow-up scenario — each firing mints a fresh
+    // g-chain class, so the graph grows without bound).
+    let rw: Rewrite<()> = Rewrite::parse("explode", "(f ?x)", "(f (g ?x))").unwrap();
+    let mut eg = EGraph::<()>::default();
+    eg.add_expr(&expr("(f a)"));
+    let mut runner = Runner::new(eg).with_node_limit(200).with_iter_limit(1000);
+    let report = runner.run(&[rw]);
+    assert_eq!(report.stop_reason, StopReason::NodeLimit);
+}
+
+#[test]
+fn application_counts_reported() {
+    let rules: Vec<Rewrite<()>> = vec![
+        Rewrite::parse("comm", "(add ?a ?b)", "(add ?b ?a)").unwrap(),
+        Rewrite::parse("never", "(zzz ?a)", "(zzz ?a)").unwrap(),
+    ];
+    let mut eg = EGraph::<()>::default();
+    eg.add_expr(&expr("(add p q)"));
+    let mut runner = Runner::new(eg);
+    let report = runner.run(&rules);
+    assert!(report.applications.get("comm").copied().unwrap_or(0) >= 1);
+    assert_eq!(report.applications.get("never"), None);
+}
+
+#[test]
+fn subst_binding_semantics() {
+    let mut eg = EGraph::<()>::default();
+    let a = eg.add(ENode::leaf("a"));
+    let b = eg.add(ENode::leaf("b"));
+    let mut s = Subst::new();
+    s.insert(Var::new("x"), a);
+    assert_eq!(s.get(Var::new("x")), Some(a));
+    assert_eq!(s.get(Var::new("y")), None);
+    s.insert(Var::new("x"), b);
+    assert_eq!(s.get(Var::new("x")), Some(b));
+    assert_eq!(s[Var::new("x")], b);
+}
+
+#[test]
+fn equivs_checks_without_mutation() {
+    let mut eg = EGraph::<()>::default();
+    let l = eg.add_expr(&expr("(f a)"));
+    let r = eg.add_expr(&expr("(g a)"));
+    assert!(!eg.equivs(&expr("(f a)"), &expr("(g a)")));
+    eg.union(l, r);
+    eg.rebuild();
+    assert!(eg.equivs(&expr("(f a)"), &expr("(g a)")));
+    assert!(!eg.equivs(&expr("(f a)"), &expr("(h a)")));
+}
+
+#[test]
+fn symbol_interning() {
+    let a = Symbol::new("hello");
+    let b = Symbol::new("hello");
+    let c = Symbol::new("world");
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+    assert_eq!(a.as_str(), "hello");
+    assert_eq!(format!("{c}"), "world");
+}
+
+#[test]
+fn recexpr_subtree_and_leaves() {
+    let e = expr("(concat (matmul A B) (matmul A C) 0)");
+    let leaves: Vec<_> = e.leaf_symbols().iter().map(|s| s.as_str()).collect();
+    assert_eq!(leaves, vec!["A", "B", "C"]);
+    // concat + 2 matmul + 4 leaf occurrences (RecExpr does not hash-cons,
+    // so `A` appears twice); the Int is excluded.
+    assert_eq!(e.ast_size(), 7);
+}
+
+#[test]
+fn bare_var_pattern_matches_every_class() {
+    let mut eg = EGraph::<()>::default();
+    eg.add_expr(&expr("(f a)"));
+    eg.add_expr(&expr("(g b)"));
+    let pat: Pattern = "?x".parse().unwrap();
+    // Classes: a, b, (f a), (g b).
+    assert_eq!(pat.search(&eg).len(), 4);
+}
+
+#[test]
+fn pattern_matching_through_unions() {
+    // After a union, a pattern must match via either representative.
+    let mut eg = EGraph::<()>::default();
+    let fa = eg.add_expr(&expr("(f a)"));
+    let b = eg.add_expr(&expr("b"));
+    eg.union(fa, b);
+    eg.rebuild();
+    let pat: Pattern = "(g (f ?x))".parse().unwrap();
+    let gb = eg.add_expr(&expr("(g b)"));
+    // (g b) contains (g [class of f a]) by congruence of the union.
+    let matches = pat.search(&eg);
+    assert_eq!(matches.len(), 1);
+    assert_eq!(eg.find(matches[0].eclass), eg.find(gb));
+}
+
+#[test]
+fn rewrite_rejects_unbound_rhs_vars() {
+    assert!(Rewrite::<()>::parse("bad", "(f ?x)", "(g ?y)").is_err());
+    assert!(Rewrite::<()>::parse("ok", "(f ?x)", "(g ?x)").is_ok());
+}
+
+#[test]
+fn runner_respects_time_limit() {
+    let rw: Rewrite<()> = Rewrite::parse("explode", "(f ?x)", "(f (g ?x))").unwrap();
+    let mut eg = EGraph::<()>::default();
+    eg.add_expr(&expr("(f a)"));
+    let mut runner = Runner::new(eg)
+        .with_node_limit(usize::MAX)
+        .with_iter_limit(usize::MAX)
+        .with_time_limit(std::time::Duration::from_millis(50));
+    let report = runner.run(&[rw]);
+    assert_eq!(report.stop_reason, StopReason::TimeLimit);
+}
+
+#[test]
+fn extractor_prefers_cheap_scalar_free_size() {
+    // AstSize ignores scalar attribute leaves: (slice x 0 0 4) costs 2.
+    let mut eg = EGraph::<()>::default();
+    let id = eg.add_expr(&expr("(slice x 0 0 4)"));
+    let ex = Extractor::new(&eg, AstSize);
+    assert_eq!(ex.best_cost(id), Some(2.0));
+}
+
+#[test]
+fn sym_scalar_nodes_roundtrip() {
+    use entangle_symbolic::SymExpr;
+    let mut eg = EGraph::<()>::default();
+    let mut ctx = entangle_symbolic::SymCtx::new();
+    let n = ctx.var("n");
+    let s1 = eg.add(ENode::Sym(n.clone()));
+    let s2 = eg.add(ENode::Sym(n.clone()));
+    // Structurally identical symbolic scalars hash-cons together.
+    assert_eq!(s1, s2);
+    let other = eg.add(ENode::Sym(n + SymExpr::constant(1)));
+    assert_ne!(s1, other);
+}
+
+#[test]
+fn lookup_instantiation_is_pure() {
+    let mut eg = EGraph::<()>::default();
+    let x = eg.add(ENode::leaf("x"));
+    let pat: Pattern = "(h ?a)".parse().unwrap();
+    let mut s = Subst::new();
+    s.insert(Var::new("a"), x);
+    let before = eg.total_nodes();
+    assert!(pat.ast().lookup_instantiation(&eg, &s).is_none());
+    assert_eq!(eg.total_nodes(), before, "lookup must not insert");
+    let h = pat.ast().instantiate(&mut eg, &s);
+    assert_eq!(pat.ast().lookup_instantiation(&eg, &s), Some(h));
+}
+
+mod analysis_tests {
+    use super::*;
+
+    /// A constant-folding analysis over an `add/mul/Int` toy language.
+    #[derive(Default)]
+    struct ConstFold;
+
+    impl Analysis for ConstFold {
+        type Data = Option<i64>;
+
+        fn make(egraph: &EGraph<Self>, enode: &ENode) -> Option<i64> {
+            match enode {
+                ENode::Int(i) => Some(*i),
+                ENode::Op(sym, ch) if ch.len() == 2 => {
+                    let a = (*egraph[ch[0]].data.as_ref()?) as i64;
+                    let b = (*egraph[ch[1]].data.as_ref()?) as i64;
+                    match sym.as_str() {
+                        "add" => Some(a + b),
+                        "mul" => Some(a * b),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            }
+        }
+
+        fn merge(a: &mut Option<i64>, b: Option<i64>) -> (bool, bool) {
+            match (&a, b) {
+                (None, Some(v)) => {
+                    *a = Some(v);
+                    (true, false)
+                }
+                (Some(x), Some(y)) => {
+                    assert_eq!(*x, y, "constant-folding merge conflict");
+                    (false, false)
+                }
+                (_, None) => (false, true),
+            }
+        }
+
+        fn modify(egraph: &mut EGraph<Self>, id: Id) {
+            if let Some(v) = *egraph.data_mut(id) {
+                let c = egraph.add(ENode::Int(v));
+                egraph.union(id, c);
+            }
+        }
+    }
+
+    #[test]
+    fn const_fold_analysis() {
+        let mut eg = EGraph::<ConstFold>::default();
+        let id = eg.add_expr(&"(add (mul 3 4) 5)".parse().unwrap());
+        eg.rebuild();
+        assert_eq!(eg[id].data, Some(17));
+        // The folded constant node is unioned in by `modify`.
+        let seventeen = eg.lookup(&ENode::Int(17)).unwrap();
+        assert_eq!(eg.find(seventeen), eg.find(id));
+    }
+
+    #[test]
+    fn analysis_data_propagates_through_unions() {
+        let mut eg = EGraph::<ConstFold>::default();
+        let x = eg.add(ENode::leaf("x"));
+        let expr_id = eg.add_expr(&"(add x 1)".parse().unwrap());
+        assert_eq!(eg[expr_id].data, None);
+        // Learn that x == 41.
+        let c = eg.add(ENode::Int(41));
+        eg.union(x, c);
+        eg.rebuild();
+        assert_eq!(eg[expr_id].data, Some(42));
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random sequences of adds and unions keep the e-graph congruent.
+    fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+        proptest::collection::vec((0u8..4, 0u8..8, 0u8..8), 1..40)
+    }
+
+    proptest! {
+        #[test]
+        fn random_unions_maintain_congruence(ops in arb_ops()) {
+            let mut eg = EGraph::<()>::default();
+            let mut ids: Vec<Id> = (0..4).map(|i| eg.add(ENode::leaf(&format!("l{i}")))).collect();
+            for (kind, a, b) in ops {
+                let x = ids[a as usize % ids.len()];
+                let y = ids[b as usize % ids.len()];
+                match kind {
+                    0 => ids.push(eg.add(ENode::op("f", vec![x]))),
+                    1 => ids.push(eg.add(ENode::op("g", vec![x, y]))),
+                    2 => {
+                        eg.union(x, y);
+                        eg.rebuild();
+                    }
+                    _ => ids.push(eg.add(ENode::op("h", vec![y]))),
+                }
+            }
+            eg.rebuild();
+            // Congruence invariant: identical canonical nodes are in the
+            // same class.
+            let mut seen: std::collections::HashMap<ENode, Id> = Default::default();
+            for class in eg.classes() {
+                for node in &class.nodes {
+                    let canon = node.map_children(|c| eg.find(c));
+                    if let Some(prev) = seen.insert(canon, eg.find(class.id)) {
+                        prop_assert_eq!(prev, eg.find(class.id));
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn extraction_cost_is_optimal_for_trees(depth in 1usize..5) {
+            // Build a perfect binary tree, union the root with a single leaf,
+            // and check extraction returns cost 1.
+            let mut eg = EGraph::<()>::default();
+            let mut layer: Vec<Id> = (0..(1 << depth))
+                .map(|i| eg.add(ENode::leaf(&format!("t{i}"))))
+                .collect();
+            while layer.len() > 1 {
+                layer = layer
+                    .chunks(2)
+                    .map(|p| eg.add(ENode::op("add", vec![p[0], p[1]])))
+                    .collect();
+            }
+            let root = layer[0];
+            let cheap = eg.add(ENode::leaf("cheap"));
+            eg.union(root, cheap);
+            eg.rebuild();
+            let ex = Extractor::new(&eg, AstSize);
+            let (cost, best) = ex.find_best(root).unwrap();
+            prop_assert_eq!(cost, 1.0);
+            prop_assert_eq!(best.to_string(), "cheap");
+        }
+    }
+}
+
+mod explain_tests {
+    use super::*;
+
+    #[test]
+    fn explain_returns_rule_chain() {
+        let rules: Vec<Rewrite<()>> = vec![
+            Rewrite::parse("add-zero", "(add ?x 0)", "?x").unwrap(),
+            Rewrite::parse("mul-one", "(mul ?x 1)", "?x").unwrap(),
+        ];
+        let mut eg = EGraph::<()>::default();
+        let l = eg.add_expr(&expr("(mul (add y 0) 1)"));
+        let r = eg.add_expr(&expr("y"));
+        assert_eq!(eg.explain(l, r), None, "not yet proven");
+        let mut runner = Runner::new(eg);
+        runner.run(&rules);
+        let reasons = runner.egraph.explain(l, r).expect("proven");
+        assert!(!reasons.is_empty());
+        assert!(reasons.iter().all(|r| matches!(
+            r,
+            Reason::Rule(_) | Reason::Congruence
+        )));
+        assert!(reasons.contains(&Reason::Rule("mul-one".to_owned())));
+    }
+
+    #[test]
+    fn explain_includes_congruence_steps() {
+        let mut eg = EGraph::<()>::default();
+        let x = eg.add(ENode::leaf("x"));
+        let y = eg.add(ENode::leaf("y"));
+        let fx = eg.add(ENode::op("f", vec![x]));
+        let fy = eg.add(ENode::op("f", vec![y]));
+        eg.union_with(x, y, Reason::Given("axiom x=y".to_owned()));
+        eg.rebuild();
+        let reasons = eg.explain(fx, fy).expect("congruent");
+        assert!(reasons.contains(&Reason::Congruence), "{reasons:?}");
+    }
+
+    #[test]
+    fn explain_identity_is_empty() {
+        let mut eg = EGraph::<()>::default();
+        let x = eg.add(ENode::leaf("x"));
+        assert_eq!(eg.explain(x, x), Some(vec![]));
+    }
+
+    #[test]
+    fn explain_carries_given_facts() {
+        let mut eg = EGraph::<()>::default();
+        let a = eg.add(ENode::leaf("a"));
+        let b = eg.add(ENode::leaf("b"));
+        let c = eg.add(ENode::leaf("c"));
+        eg.union_with(a, b, Reason::Given("def b".to_owned()));
+        eg.union_with(b, c, Reason::Given("def c".to_owned()));
+        eg.rebuild();
+        let reasons = eg.explain(a, c).unwrap();
+        assert_eq!(
+            reasons,
+            vec![
+                Reason::Given("def b".to_owned()),
+                Reason::Given("def c".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn explain_survives_many_unions() {
+        // Chains through re-rooted trees stay connected and acyclic.
+        let mut eg = EGraph::<()>::default();
+        let ids: Vec<Id> = (0..20).map(|i| eg.add(ENode::leaf(&format!("n{i}")))).collect();
+        // Union in a scattered order.
+        for (i, j) in [(0, 5), (7, 3), (5, 7), (10, 0), (12, 10), (19, 12), (3, 19)] {
+            eg.union_with(ids[i], ids[j], Reason::Given(format!("{i}-{j}")));
+        }
+        eg.rebuild();
+        for (i, j) in [(0usize, 19usize), (5, 12), (7, 10)] {
+            let r = eg.explain(ids[i], ids[j]).expect("same tree");
+            assert!(!r.is_empty());
+        }
+        assert_eq!(eg.explain(ids[0], ids[1]), None);
+    }
+}

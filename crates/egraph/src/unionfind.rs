@@ -1,0 +1,97 @@
+//! Union-find over e-class ids.
+
+use std::fmt;
+
+/// An e-class identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Id(pub(crate) u32);
+
+impl Id {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an id from a raw index (used by [`crate::RecExpr`], whose
+    /// node slots double as ids).
+    pub fn from_index(index: usize) -> Id {
+        Id(u32::try_from(index).expect("e-graph id overflow"))
+    }
+}
+
+impl fmt::Display for Id {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A union-find (disjoint set) structure with path compression.
+///
+/// # Examples
+///
+/// ```
+/// use entangle_egraph::UnionFind;
+///
+/// let mut uf = UnionFind::default();
+/// let a = uf.make_set();
+/// let b = uf.make_set();
+/// assert_ne!(uf.find(a), uf.find(b));
+/// uf.union(a, b);
+/// assert_eq!(uf.find(a), uf.find(b));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parents: Vec<Id>,
+}
+
+impl UnionFind {
+    /// Creates a fresh singleton set and returns its id.
+    pub fn make_set(&mut self) -> Id {
+        let id = Id(u32::try_from(self.parents.len()).expect("e-graph id overflow"));
+        self.parents.push(id);
+        id
+    }
+
+    /// Number of ids ever created.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// `true` when no set has been created.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// The canonical representative of `id`'s set (with path compression).
+    pub fn find(&mut self, mut id: Id) -> Id {
+        // Iterative two-pass path compression.
+        let mut root = id;
+        while self.parents[root.index()] != root {
+            root = self.parents[root.index()];
+        }
+        while self.parents[id.index()] != id {
+            let next = self.parents[id.index()];
+            self.parents[id.index()] = root;
+            id = next;
+        }
+        root
+    }
+
+    /// The canonical representative without path compression (no `&mut`).
+    pub fn find_immutable(&self, mut id: Id) -> Id {
+        while self.parents[id.index()] != id {
+            id = self.parents[id.index()];
+        }
+        id
+    }
+
+    /// Merges the two sets; the first argument's root becomes the root.
+    ///
+    /// Returns the new root.
+    pub fn union(&mut self, a: Id, b: Id) -> Id {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        self.parents[rb.index()] = ra;
+        ra
+    }
+}

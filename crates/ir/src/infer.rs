@@ -1,0 +1,375 @@
+//! Shape and dtype inference for each operator.
+//!
+//! Validation rules follow the input constraints of the corresponding ATen
+//! operators — the same source the paper used when writing lemmas ("the
+//! lemmas we implemented de novo were based on input constraints specified
+//! in the PyTorch documentation", §5).
+
+use entangle_symbolic::SymExpr;
+
+use crate::dtype::DType;
+use crate::graph::IrError;
+use crate::op::Op;
+use crate::shape::{Dim, Shape};
+
+/// Infers the output `(shape, dtype)` of `op` applied to `inputs`.
+///
+/// # Errors
+///
+/// Returns [`IrError::Shape`] when the inputs violate the operator's
+/// constraints (wrong arity, mismatched dims, invalid attributes).
+pub fn infer_output(op: &Op, inputs: &[(Shape, DType)]) -> Result<(Shape, DType), IrError> {
+    let err = |msg: String| Err(IrError::Shape(format!("{op}: {msg}")));
+    if let Some(arity) = op.arity() {
+        if inputs.len() != arity {
+            return err(format!("expected {arity} inputs, got {}", inputs.len()));
+        }
+    } else if inputs.is_empty() {
+        return err("variadic operator needs at least one input".into());
+    }
+
+    match op {
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Maximum => {
+            let (a, da) = &inputs[0];
+            let (b, db) = &inputs[1];
+            if da != db {
+                return err(format!("dtype mismatch {da} vs {db}"));
+            }
+            match a.broadcast(b) {
+                Some(s) => Ok((s, *da)),
+                None => err(format!("shapes {a} and {b} do not broadcast")),
+            }
+        }
+        Op::Neg
+        | Op::Exp
+        | Op::Sqrt
+        | Op::Rsqrt
+        | Op::Tanh
+        | Op::Gelu
+        | Op::Silu
+        | Op::Relu
+        | Op::Sigmoid
+        | Op::Cos
+        | Op::Sin
+        | Op::Step
+        | Op::GeluGrad
+        | Op::SiluGrad
+        | Op::OnesLike
+        | Op::Identity => Ok(inputs[0].clone()),
+        Op::ScalarMul { denom, .. } => {
+            if *denom == 0 {
+                return err("zero denominator".into());
+            }
+            Ok(inputs[0].clone())
+        }
+        Op::SumDim { dim, keepdim } | Op::MeanDim { dim, keepdim } => {
+            let (s, d) = &inputs[0];
+            if *dim >= s.rank() {
+                return err(format!("dim {dim} out of range for {s}"));
+            }
+            let mut dims = s.dims().to_vec();
+            if *keepdim {
+                dims[*dim] = Dim::from(1i64);
+            } else {
+                dims.remove(*dim);
+            }
+            Ok((Shape(dims), *d))
+        }
+        Op::SumAll | Op::MeanAll => Ok((Shape::scalar(), inputs[0].1)),
+        Op::Softmax { dim } => {
+            let (s, d) = &inputs[0];
+            if *dim >= s.rank() {
+                return err(format!("dim {dim} out of range for {s}"));
+            }
+            Ok((s.clone(), *d))
+        }
+        Op::Reshape { shape } => {
+            let (s, d) = &inputs[0];
+            let target = Shape(shape.clone());
+            match (s.numel(), target.numel()) {
+                (Some(a), Some(b)) if a != b => {
+                    return err(format!("reshape {s} -> {target} changes element count"));
+                }
+                _ => {}
+            }
+            Ok((target, *d))
+        }
+        Op::Transpose { d0, d1 } => {
+            let (s, d) = &inputs[0];
+            if *d0 >= s.rank() || *d1 >= s.rank() {
+                return err(format!("dims ({d0},{d1}) out of range for {s}"));
+            }
+            let mut dims = s.dims().to_vec();
+            dims.swap(*d0, *d1);
+            Ok((Shape(dims), *d))
+        }
+        Op::Permute { perm } => {
+            let (s, d) = &inputs[0];
+            if perm.len() != s.rank() {
+                return err(format!("perm {perm:?} has wrong length for {s}"));
+            }
+            let mut seen = vec![false; perm.len()];
+            for &p in perm {
+                if p >= perm.len() || seen[p] {
+                    return err(format!("invalid permutation {perm:?}"));
+                }
+                seen[p] = true;
+            }
+            let dims = perm.iter().map(|&p| s.dim(p).clone()).collect();
+            Ok((Shape(dims), *d))
+        }
+        Op::Slice { dim, start, end } => {
+            let (s, d) = &inputs[0];
+            if *dim >= s.rank() {
+                return err(format!("dim {dim} out of range for {s}"));
+            }
+            if let (Some(st), Some(en)) = (start.as_const(), end.as_const()) {
+                if st < 0 || en < st {
+                    return err(format!("invalid bounds [{st}, {en})"));
+                }
+                if let Some(size) = s.dim(*dim).as_const() {
+                    if en > size {
+                        return err(format!("slice end {en} exceeds dim size {size}"));
+                    }
+                }
+            }
+            let len = Dim(end.0.clone() - start.0.clone());
+            Ok((s.with_dim(*dim, len), *d))
+        }
+        Op::Concat { dim } => {
+            let (first, d) = &inputs[0];
+            if *dim >= first.rank() {
+                return err(format!("dim {dim} out of range for {first}"));
+            }
+            let mut total = SymExpr::zero();
+            for (s, dt) in inputs {
+                if dt != d {
+                    return err("dtype mismatch among concat inputs".into());
+                }
+                if s.rank() != first.rank() {
+                    return err(format!("rank mismatch {s} vs {first}"));
+                }
+                for (i, (a, b)) in s.dims().iter().zip(first.dims()).enumerate() {
+                    if i != *dim && a != b {
+                        return err(format!("non-concat dim {i} mismatch: {s} vs {first}"));
+                    }
+                }
+                total = total + s.dim(*dim).0.clone();
+            }
+            Ok((first.with_dim(*dim, Dim(total)), *d))
+        }
+        Op::Pad { dim, before, after } => {
+            let (s, d) = &inputs[0];
+            if *dim >= s.rank() {
+                return err(format!("dim {dim} out of range for {s}"));
+            }
+            if let (Some(b), Some(a)) = (before.as_const(), after.as_const()) {
+                if b < 0 || a < 0 {
+                    return err("negative padding".into());
+                }
+            }
+            let new = Dim(s.dim(*dim).0.clone() + before.0.clone() + after.0.clone());
+            Ok((s.with_dim(*dim, new), *d))
+        }
+        Op::Matmul => {
+            let (a, da) = &inputs[0];
+            let (b, db) = &inputs[1];
+            if da != db {
+                return err(format!("dtype mismatch {da} vs {db}"));
+            }
+            if a.rank() < 2 || b.rank() < 2 {
+                return err(format!("matmul needs rank >= 2, got {a} x {b}"));
+            }
+            let (am, ak) = (a.dim(a.rank() - 2), a.dim(a.rank() - 1));
+            let (bk, bn) = (b.dim(b.rank() - 2), b.dim(b.rank() - 1));
+            if ak != bk {
+                return err(format!("inner dims differ: {a} x {b}"));
+            }
+            let abatch = Shape(a.dims()[..a.rank() - 2].to_vec());
+            let bbatch = Shape(b.dims()[..b.rank() - 2].to_vec());
+            let Some(batch) = abatch.broadcast(&bbatch) else {
+                return err(format!("batch dims do not broadcast: {a} x {b}"));
+            };
+            let mut dims = batch.0;
+            dims.push(am.clone());
+            dims.push(bn.clone());
+            Ok((Shape(dims), *da))
+        }
+        Op::Embedding => {
+            let (w, dw) = &inputs[0];
+            let (ids, dids) = &inputs[1];
+            if w.rank() != 2 {
+                return err(format!("weight must be rank 2, got {w}"));
+            }
+            if *dids != DType::I64 {
+                return err(format!("indices must be i64, got {dids}"));
+            }
+            let mut dims = ids.dims().to_vec();
+            dims.push(w.dim(1).clone());
+            Ok((Shape(dims), *dw))
+        }
+        Op::EmbeddingGrad { vocab } => {
+            let (ids, dids) = &inputs[0];
+            let (grad, dg) = &inputs[1];
+            if *dids != DType::I64 {
+                return err(format!("indices must be i64, got {dids}"));
+            }
+            if grad.rank() != ids.rank() + 1 {
+                return err(format!(
+                    "grad rank must be ids rank + 1: {grad} vs {ids}"
+                ));
+            }
+            if grad.dims()[..grad.rank() - 1] != ids.dims()[..] {
+                return err(format!("grad batch dims mismatch: {grad} vs {ids}"));
+            }
+            let h = grad.dim(grad.rank() - 1).clone();
+            Ok((Shape(vec![Dim::from(*vocab as i64), h]), *dg))
+        }
+        Op::LayerNorm => {
+            let (x, d) = &inputs[0];
+            let (w, _) = &inputs[1];
+            let (b, _) = &inputs[2];
+            if x.rank() == 0 {
+                return err("layer_norm input must have rank >= 1".into());
+            }
+            let last = x.dim(x.rank() - 1);
+            if w.rank() != 1 || w.dim(0) != last || b.rank() != 1 || b.dim(0) != last {
+                return err(format!(
+                    "weight/bias must be rank-1 of size {last}, got {w} and {b}"
+                ));
+            }
+            Ok((x.clone(), *d))
+        }
+        Op::RmsNorm => {
+            let (x, d) = &inputs[0];
+            let (w, _) = &inputs[1];
+            if x.rank() == 0 {
+                return err("rms_norm input must have rank >= 1".into());
+            }
+            let last = x.dim(x.rank() - 1);
+            if w.rank() != 1 || w.dim(0) != last {
+                return err(format!("weight must be rank-1 of size {last}, got {w}"));
+            }
+            Ok((x.clone(), *d))
+        }
+        Op::Rope => {
+            let (x, d) = &inputs[0];
+            let (cos, _) = &inputs[1];
+            let (sin, _) = &inputs[2];
+            if x.rank() < 2 {
+                return err("rope input must have rank >= 2".into());
+            }
+            if cos != sin {
+                return err(format!("cos/sin shape mismatch: {cos} vs {sin}"));
+            }
+            // cos/sin must be [seq, head] matching x's trailing dims.
+            if cos.rank() != 2 {
+                return err(format!("cos/sin must be rank 2, got {cos}"));
+            }
+            let (xs, xh) = (x.dim(x.rank() - 2), x.dim(x.rank() - 1));
+            if cos.dim(0) != xs || cos.dim(1) != xh {
+                return err(format!("cos table {cos} does not match input {x}"));
+            }
+            Ok((x.clone(), *d))
+        }
+        Op::Attention { heads, .. } => {
+            let (q, d) = &inputs[0];
+            let (k, _) = &inputs[1];
+            let (v, _) = &inputs[2];
+            if q.rank() < 2 {
+                return err("attention inputs must have rank >= 2".into());
+            }
+            if k != q || v != q {
+                return err(format!("q/k/v shapes must match: {q} vs {k} vs {v}"));
+            }
+            if *heads == 0 {
+                return err("heads must be positive".into());
+            }
+            if let Some(h) = q.dim(q.rank() - 1).as_const() {
+                if h % (*heads as i64) != 0 {
+                    return err(format!("hidden {h} not divisible by {heads} heads"));
+                }
+            }
+            Ok((q.clone(), *d))
+        }
+        Op::MseLoss => {
+            let (a, d) = &inputs[0];
+            let (b, _) = &inputs[1];
+            if a != b {
+                return err(format!("pred/target shape mismatch: {a} vs {b}"));
+            }
+            Ok((Shape::scalar(), *d))
+        }
+        Op::CrossEntropy => {
+            let (logits, d) = &inputs[0];
+            let (targets, dt) = &inputs[1];
+            if logits.rank() != targets.rank() + 1 {
+                return err(format!(
+                    "logits rank must be targets rank + 1: {logits} vs {targets}"
+                ));
+            }
+            if *dt != DType::I64 {
+                return err(format!("targets must be i64, got {dt}"));
+            }
+            if logits.dims()[..logits.rank() - 1] != targets.dims()[..] {
+                return err(format!("batch dims mismatch: {logits} vs {targets}"));
+            }
+            Ok((Shape::scalar(), *d))
+        }
+        Op::AllReduce => {
+            let (first, d) = &inputs[0];
+            for (s, _) in inputs {
+                if s != first {
+                    return err(format!("all_reduce inputs differ: {s} vs {first}"));
+                }
+            }
+            Ok((first.clone(), *d))
+        }
+        Op::AllGather { dim } => {
+            // Same combination rule as concat, but inputs must in addition
+            // share the gathered dimension size (the constraint bug 3's
+            // padding was trying to satisfy).
+            let (first, _) = &inputs[0];
+            if *dim >= first.rank() {
+                return err(format!("dim {dim} out of range for {first}"));
+            }
+            for (s, _) in inputs {
+                if s != first {
+                    return err(format!("all_gather inputs differ: {s} vs {first}"));
+                }
+            }
+            infer_output(&Op::Concat { dim: *dim }, inputs)
+        }
+        Op::ReduceScatter { dim, rank, world } => {
+            let (first, d) = &inputs[0];
+            if inputs.len() != *world {
+                return err(format!(
+                    "reduce_scatter expects {world} inputs, got {}",
+                    inputs.len()
+                ));
+            }
+            if *rank >= *world {
+                return err(format!("rank {rank} out of range for world {world}"));
+            }
+            if *dim >= first.rank() {
+                return err(format!("dim {dim} out of range for {first}"));
+            }
+            for (s, _) in inputs {
+                if s != first {
+                    return err(format!("reduce_scatter inputs differ: {s} vs {first}"));
+                }
+            }
+            if let Some(size) = first.dim(*dim).as_const() {
+                if size % (*world as i64) != 0 {
+                    return err(format!(
+                        "dim {dim} of size {size} not divisible by world {world}"
+                    ));
+                }
+                let chunk = size / (*world as i64);
+                Ok((first.with_dim(*dim, Dim::from(chunk)), *d))
+            } else {
+                err("reduce_scatter over symbolic dim not supported".into())
+            }
+        }
+    }
+}

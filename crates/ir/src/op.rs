@@ -1,0 +1,357 @@
+//! The operator vocabulary.
+//!
+//! Modeled on PyTorch's ATen IR (the operator set TorchDynamo emits), plus
+//! explicit collective-communication operators, plus a few fused kernels
+//! (RoPE, RMSNorm) of the kind the paper's users add lemmas for (§6.5).
+
+use entangle_symbolic::SymExpr;
+use serde::{Deserialize, Serialize};
+
+use crate::shape::Dim;
+
+/// An operator: the label of a computation-graph vertex.
+///
+/// Every operator produces exactly one output tensor (multi-output kernels
+/// are decomposed, as TorchDynamo does). Attributes (dims, bounds, scale
+/// factors) are carried inline and surface as scalar children in the
+/// e-graph encoding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    // ----- element-wise binary (broadcasting) -----
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise multiplication.
+    Mul,
+    /// Element-wise division.
+    Div,
+    /// Element-wise maximum.
+    Maximum,
+
+    // ----- element-wise unary -----
+    /// Negation.
+    Neg,
+    /// Exponential.
+    Exp,
+    /// Square root.
+    Sqrt,
+    /// Reciprocal square root.
+    Rsqrt,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Sigmoid linear unit (`x * sigmoid(x)`).
+    Silu,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Heaviside step (`1` where `x > 0`, else `0`) — the ReLU derivative.
+    Step,
+    /// The pointwise derivative of [`Op::Gelu`] (ATen's `gelu_backward`
+    /// without the upstream factor).
+    GeluGrad,
+    /// The pointwise derivative of [`Op::Silu`].
+    SiluGrad,
+    /// A tensor of ones with the input's shape — the broadcast seed used by
+    /// reverse-mode differentiation.
+    OnesLike,
+    /// Cosine (RoPE tables).
+    Cos,
+    /// Sine (RoPE tables).
+    Sin,
+
+    /// Multiplication by a compile-time rational constant `numer/denom`.
+    ///
+    /// Loss scaling (auxiliary-loss ÷ TP-size, gradient-accumulation ÷
+    /// #microbatches) is exactly this operator; bugs 2 and 6 are a missing
+    /// `ScalarMul`.
+    ScalarMul {
+        /// Numerator of the scale factor.
+        numer: i64,
+        /// Denominator of the scale factor (non-zero).
+        denom: i64,
+    },
+
+    // ----- reductions -----
+    /// Sum over one dimension.
+    SumDim {
+        /// The reduced dimension.
+        dim: usize,
+        /// Keep the reduced dimension as size 1.
+        keepdim: bool,
+    },
+    /// Mean over one dimension.
+    MeanDim {
+        /// The reduced dimension.
+        dim: usize,
+        /// Keep the reduced dimension as size 1.
+        keepdim: bool,
+    },
+    /// Sum of all elements, producing a rank-0 tensor.
+    SumAll,
+    /// Mean of all elements, producing a rank-0 tensor.
+    MeanAll,
+    /// Softmax along a dimension.
+    Softmax {
+        /// The normalized dimension.
+        dim: usize,
+    },
+
+    // ----- shape / data movement -----
+    /// Identity (view).
+    Identity,
+    /// Reshape to an explicit target shape.
+    Reshape {
+        /// The target shape; must preserve element count.
+        shape: Vec<Dim>,
+    },
+    /// Swap two dimensions.
+    Transpose {
+        /// First dimension.
+        d0: usize,
+        /// Second dimension.
+        d1: usize,
+    },
+    /// Arbitrary dimension permutation.
+    Permute {
+        /// `perm[i]` is the source dimension of output dimension `i`.
+        perm: Vec<usize>,
+    },
+    /// Contiguous slice `[start, end)` along one dimension.
+    Slice {
+        /// The sliced dimension.
+        dim: usize,
+        /// Inclusive start (symbolic allowed).
+        start: Dim,
+        /// Exclusive end (symbolic allowed).
+        end: Dim,
+    },
+    /// Concatenation of all inputs along one dimension.
+    Concat {
+        /// The concatenated dimension.
+        dim: usize,
+    },
+    /// Zero-padding along one dimension.
+    Pad {
+        /// The padded dimension.
+        dim: usize,
+        /// Elements added before.
+        before: Dim,
+        /// Elements added after.
+        after: Dim,
+    },
+
+    // ----- linear algebra -----
+    /// Batched matrix multiplication (`[..., m, k] × [..., k, n]`).
+    Matmul,
+
+    // ----- lookups -----
+    /// Row gather: `(weight [V, H], ids [..]) → [.., H]`.
+    Embedding,
+    /// Scatter-add: the gradient of [`Op::Embedding`] with respect to its
+    /// weight. `(ids [..], grad [.., H]) → [vocab, H]`.
+    EmbeddingGrad {
+        /// The vocabulary size (rows of the produced gradient).
+        vocab: usize,
+    },
+
+    // ----- normalization (fused kernels) -----
+    /// Layer normalization over the last dimension: `(x, weight, bias)`.
+    LayerNorm,
+    /// RMS normalization over the last dimension: `(x, weight)`.
+    RmsNorm,
+
+    // ----- attention helpers (fused kernels) -----
+    /// Rotary position embedding: `(x, cos, sin) → x'` (same shape as `x`).
+    Rope,
+    /// Fused multi-head attention: `(q, k, v) → out`, all `[..., S, H]`.
+    ///
+    /// This models optimized kernels like FlashAttention; the paper assumes
+    /// the same fused kernels appear in `G_s` and `G_d` (§3.3) and has users
+    /// supply lemmas for them (§6.5).
+    Attention {
+        /// Number of attention heads (`H % heads == 0`).
+        heads: usize,
+        /// Apply a causal mask.
+        causal: bool,
+    },
+
+    // ----- losses -----
+    /// Mean squared error: `(pred, target) → scalar`.
+    MseLoss,
+    /// Cross entropy: `(logits [.., V], targets [..] i64) → scalar`.
+    CrossEntropy,
+
+    // ----- collectives (communication kernels) -----
+    /// All-reduce (sum): `k` rank-local inputs → the reduced tensor.
+    ///
+    /// Each rank's copy is a distinct graph node over the same inputs; the
+    /// e-graph hash-conses them together.
+    AllReduce,
+    /// All-gather: `k` rank-local inputs → their concatenation along `dim`.
+    AllGather {
+        /// Gather dimension.
+        dim: usize,
+    },
+    /// Reduce-scatter (sum): `k` inputs → this rank's shard of the sum.
+    ReduceScatter {
+        /// Scatter dimension.
+        dim: usize,
+        /// This rank's index.
+        rank: usize,
+        /// World size (must equal the input count).
+        world: usize,
+    },
+}
+
+impl Op {
+    /// The operator's s-expression head symbol, used in lemmas and in the
+    /// e-graph encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Maximum => "maximum",
+            Op::Neg => "neg",
+            Op::Exp => "exp",
+            Op::Sqrt => "sqrt",
+            Op::Rsqrt => "rsqrt",
+            Op::Tanh => "tanh",
+            Op::Gelu => "gelu",
+            Op::Silu => "silu",
+            Op::Relu => "relu",
+            Op::Sigmoid => "sigmoid",
+            Op::Step => "step",
+            Op::GeluGrad => "gelu_grad",
+            Op::SiluGrad => "silu_grad",
+            Op::OnesLike => "ones_like",
+            Op::Cos => "cos",
+            Op::Sin => "sin",
+            Op::ScalarMul { .. } => "scalar_mul",
+            Op::SumDim { .. } => "sum_dim",
+            Op::MeanDim { .. } => "mean_dim",
+            Op::SumAll => "sum_all",
+            Op::MeanAll => "mean_all",
+            Op::Softmax { .. } => "softmax",
+            Op::Identity => "identity",
+            Op::Reshape { .. } => "reshape",
+            Op::Transpose { .. } => "transpose",
+            Op::Permute { .. } => "permute",
+            Op::Slice { .. } => "slice",
+            Op::Concat { .. } => "concat",
+            Op::Pad { .. } => "pad",
+            Op::Matmul => "matmul",
+            Op::Embedding => "embedding",
+            Op::EmbeddingGrad { .. } => "embedding_grad",
+            Op::LayerNorm => "layer_norm",
+            Op::RmsNorm => "rms_norm",
+            Op::Rope => "rope",
+            Op::Attention { .. } => "attention",
+            Op::MseLoss => "mse_loss",
+            Op::CrossEntropy => "cross_entropy",
+            Op::AllReduce => "all_reduce",
+            Op::AllGather { .. } => "all_gather",
+            Op::ReduceScatter { .. } => "reduce_scatter",
+        }
+    }
+
+    /// The attribute scalars appended after tensor children in the
+    /// e-graph encoding (dims, bounds, scale factors).
+    pub fn attr_scalars(&self) -> Vec<SymExpr> {
+        fn c(v: i64) -> SymExpr {
+            SymExpr::constant(v)
+        }
+        match self {
+            Op::ScalarMul { numer, denom } => vec![c(*numer), c(*denom)],
+            Op::SumDim { dim, keepdim } | Op::MeanDim { dim, keepdim } => {
+                vec![c(*dim as i64), c(*keepdim as i64)]
+            }
+            Op::Softmax { dim } | Op::Concat { dim } | Op::AllGather { dim } => {
+                vec![c(*dim as i64)]
+            }
+            Op::Reshape { shape } => shape.iter().map(|d| d.0.clone()).collect(),
+            Op::Transpose { d0, d1 } => vec![c(*d0 as i64), c(*d1 as i64)],
+            Op::Permute { perm } => perm.iter().map(|&p| c(p as i64)).collect(),
+            Op::Slice { dim, start, end } => {
+                vec![c(*dim as i64), start.0.clone(), end.0.clone()]
+            }
+            Op::Pad { dim, before, after } => {
+                vec![c(*dim as i64), before.0.clone(), after.0.clone()]
+            }
+            Op::ReduceScatter { dim, rank, world } => {
+                vec![c(*dim as i64), c(*rank as i64), c(*world as i64)]
+            }
+            Op::Attention { heads, causal } => vec![c(*heads as i64), c(*causal as i64)],
+            Op::EmbeddingGrad { vocab } => vec![c(*vocab as i64)],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The number of tensor inputs this operator accepts; `None` means
+    /// variadic (at least one).
+    pub fn arity(&self) -> Option<usize> {
+        match self {
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Maximum
+            | Op::Matmul
+            | Op::Embedding
+            | Op::EmbeddingGrad { .. }
+            | Op::RmsNorm
+            | Op::MseLoss
+            | Op::CrossEntropy => Some(2),
+            Op::LayerNorm | Op::Rope | Op::Attention { .. } => Some(3),
+            Op::Neg
+            | Op::Exp
+            | Op::Sqrt
+            | Op::Rsqrt
+            | Op::Tanh
+            | Op::Gelu
+            | Op::Silu
+            | Op::Relu
+            | Op::Sigmoid
+            | Op::Step
+            | Op::GeluGrad
+            | Op::SiluGrad
+            | Op::OnesLike
+            | Op::Cos
+            | Op::Sin
+            | Op::ScalarMul { .. }
+            | Op::SumDim { .. }
+            | Op::MeanDim { .. }
+            | Op::SumAll
+            | Op::MeanAll
+            | Op::Softmax { .. }
+            | Op::Identity
+            | Op::Reshape { .. }
+            | Op::Transpose { .. }
+            | Op::Permute { .. }
+            | Op::Slice { .. }
+            | Op::Pad { .. } => Some(1),
+            Op::Concat { .. } | Op::AllReduce | Op::AllGather { .. } | Op::ReduceScatter { .. } => {
+                None
+            }
+        }
+    }
+
+    /// `true` for communication kernels (collectives).
+    pub fn is_collective(&self) -> bool {
+        matches!(
+            self,
+            Op::AllReduce | Op::AllGather { .. } | Op::ReduceScatter { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,423 @@
+use entangle_symbolic::SymExpr;
+
+use crate::*;
+
+fn f32s(dims: &[i64]) -> (Shape, DType) {
+    (Shape::of(dims), DType::F32)
+}
+
+#[test]
+fn broadcast_rules() {
+    let cases = [
+        (&[2, 3][..], &[2, 3][..], Some(vec![2, 3])),
+        (&[2, 3], &[3], Some(vec![2, 3])),
+        (&[2, 1], &[1, 3], Some(vec![2, 3])),
+        (&[4, 1, 3], &[2, 3], Some(vec![4, 2, 3])),
+        (&[2, 3], &[2, 4], None),
+        (&[], &[5], Some(vec![5])),
+    ];
+    for (a, b, want) in cases {
+        let got = Shape::of(a).broadcast(&Shape::of(b));
+        assert_eq!(
+            got.map(|s| s.as_concrete().unwrap()),
+            want,
+            "broadcast {a:?} x {b:?}"
+        );
+    }
+}
+
+#[test]
+fn symbolic_dims_broadcast_structurally() {
+    let mut ctx = entangle_symbolic::SymCtx::new();
+    let n = ctx.var("n");
+    let sym = Shape(vec![Dim(n.clone()), Dim::from(4)]);
+    let same = Shape(vec![Dim(n), Dim::from(4)]);
+    assert!(sym.broadcast(&same).is_some());
+    let other = Shape(vec![Dim(ctx.var("m")), Dim::from(4)]);
+    assert!(sym.broadcast(&other).is_none());
+    assert_eq!(sym.numel(), None);
+}
+
+#[test]
+fn infer_elementwise() {
+    let (s, d) = infer_output(&Op::Add, &[f32s(&[2, 3]), f32s(&[3])]).unwrap();
+    assert_eq!(s, Shape::of(&[2, 3]));
+    assert_eq!(d, DType::F32);
+    assert!(infer_output(&Op::Add, &[f32s(&[2, 3]), f32s(&[4])]).is_err());
+    assert!(infer_output(
+        &Op::Add,
+        &[f32s(&[2]), (Shape::of(&[2]), DType::I64)]
+    )
+    .is_err());
+}
+
+#[test]
+fn infer_matmul() {
+    let (s, _) = infer_output(&Op::Matmul, &[f32s(&[4, 8]), f32s(&[8, 2])]).unwrap();
+    assert_eq!(s, Shape::of(&[4, 2]));
+    // Batched with broadcast.
+    let (s, _) = infer_output(&Op::Matmul, &[f32s(&[6, 4, 8]), f32s(&[8, 2])]).unwrap();
+    assert_eq!(s, Shape::of(&[6, 4, 2]));
+    assert!(infer_output(&Op::Matmul, &[f32s(&[4, 8]), f32s(&[7, 2])]).is_err());
+    assert!(infer_output(&Op::Matmul, &[f32s(&[4]), f32s(&[4, 2])]).is_err());
+}
+
+#[test]
+fn infer_shape_ops() {
+    let (s, _) = infer_output(
+        &Op::Slice {
+            dim: 1,
+            start: Dim::from(2),
+            end: Dim::from(6),
+        },
+        &[f32s(&[3, 8])],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[3, 4]));
+    assert!(infer_output(
+        &Op::Slice {
+            dim: 1,
+            start: Dim::from(4),
+            end: Dim::from(12)
+        },
+        &[f32s(&[3, 8])]
+    )
+    .is_err());
+
+    let (s, _) = infer_output(&Op::Concat { dim: 0 }, &[f32s(&[2, 4]), f32s(&[3, 4])]).unwrap();
+    assert_eq!(s, Shape::of(&[5, 4]));
+    assert!(infer_output(&Op::Concat { dim: 0 }, &[f32s(&[2, 4]), f32s(&[3, 5])]).is_err());
+
+    let (s, _) = infer_output(&Op::Transpose { d0: 0, d1: 2 }, &[f32s(&[2, 3, 4])]).unwrap();
+    assert_eq!(s, Shape::of(&[4, 3, 2]));
+
+    let (s, _) = infer_output(
+        &Op::Permute {
+            perm: vec![2, 0, 1],
+        },
+        &[f32s(&[2, 3, 4])],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[4, 2, 3]));
+    assert!(infer_output(
+        &Op::Permute {
+            perm: vec![0, 0, 1]
+        },
+        &[f32s(&[2, 3, 4])]
+    )
+    .is_err());
+
+    let (s, _) = infer_output(
+        &Op::Reshape {
+            shape: vec![Dim::from(6), Dim::from(4)],
+        },
+        &[f32s(&[2, 3, 4])],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[6, 4]));
+    assert!(infer_output(
+        &Op::Reshape {
+            shape: vec![Dim::from(5), Dim::from(4)]
+        },
+        &[f32s(&[2, 3, 4])]
+    )
+    .is_err());
+
+    let (s, _) = infer_output(
+        &Op::Pad {
+            dim: 0,
+            before: Dim::from(1),
+            after: Dim::from(2),
+        },
+        &[f32s(&[4, 3])],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[7, 3]));
+}
+
+#[test]
+fn infer_reductions() {
+    let (s, _) = infer_output(
+        &Op::SumDim {
+            dim: 1,
+            keepdim: false,
+        },
+        &[f32s(&[2, 3, 4])],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[2, 4]));
+    let (s, _) = infer_output(
+        &Op::MeanDim {
+            dim: 1,
+            keepdim: true,
+        },
+        &[f32s(&[2, 3, 4])],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[2, 1, 4]));
+    let (s, _) = infer_output(&Op::SumAll, &[f32s(&[2, 3])]).unwrap();
+    assert_eq!(s, Shape::scalar());
+    let (s, _) = infer_output(&Op::Softmax { dim: 2 }, &[f32s(&[2, 3, 4])]).unwrap();
+    assert_eq!(s, Shape::of(&[2, 3, 4]));
+    assert!(infer_output(&Op::Softmax { dim: 3 }, &[f32s(&[2, 3, 4])]).is_err());
+}
+
+#[test]
+fn infer_norms_and_fused() {
+    let (s, _) = infer_output(
+        &Op::LayerNorm,
+        &[f32s(&[2, 3, 8]), f32s(&[8]), f32s(&[8])],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[2, 3, 8]));
+    assert!(infer_output(&Op::LayerNorm, &[f32s(&[2, 8]), f32s(&[4]), f32s(&[8])]).is_err());
+
+    let (s, _) = infer_output(&Op::RmsNorm, &[f32s(&[2, 8]), f32s(&[8])]).unwrap();
+    assert_eq!(s, Shape::of(&[2, 8]));
+
+    let (s, _) = infer_output(
+        &Op::Rope,
+        &[f32s(&[2, 4, 16, 8]), f32s(&[16, 8]), f32s(&[16, 8])],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[2, 4, 16, 8]));
+    assert!(infer_output(
+        &Op::Rope,
+        &[f32s(&[2, 4, 16, 8]), f32s(&[8, 8]), f32s(&[8, 8])]
+    )
+    .is_err());
+}
+
+#[test]
+fn infer_lookups_and_losses() {
+    let (s, d) = infer_output(
+        &Op::Embedding,
+        &[f32s(&[100, 16]), (Shape::of(&[2, 5]), DType::I64)],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[2, 5, 16]));
+    assert_eq!(d, DType::F32);
+    assert!(infer_output(&Op::Embedding, &[f32s(&[100, 16]), f32s(&[2, 5])]).is_err());
+
+    let (s, _) = infer_output(&Op::MseLoss, &[f32s(&[4, 2]), f32s(&[4, 2])]).unwrap();
+    assert_eq!(s, Shape::scalar());
+    assert!(infer_output(&Op::MseLoss, &[f32s(&[4, 2]), f32s(&[4, 3])]).is_err());
+
+    let (s, _) = infer_output(
+        &Op::CrossEntropy,
+        &[f32s(&[2, 5, 100]), (Shape::of(&[2, 5]), DType::I64)],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::scalar());
+}
+
+#[test]
+fn infer_collectives() {
+    let (s, _) = infer_output(&Op::AllReduce, &[f32s(&[4, 8]), f32s(&[4, 8])]).unwrap();
+    assert_eq!(s, Shape::of(&[4, 8]));
+    assert!(infer_output(&Op::AllReduce, &[f32s(&[4, 8]), f32s(&[4, 7])]).is_err());
+
+    let (s, _) = infer_output(&Op::AllGather { dim: 1 }, &[f32s(&[4, 8]), f32s(&[4, 8])]).unwrap();
+    assert_eq!(s, Shape::of(&[4, 16]));
+
+    let (s, _) = infer_output(
+        &Op::ReduceScatter {
+            dim: 0,
+            rank: 1,
+            world: 2,
+        },
+        &[f32s(&[4, 8]), f32s(&[4, 8])],
+    )
+    .unwrap();
+    assert_eq!(s, Shape::of(&[2, 8]));
+    assert!(infer_output(
+        &Op::ReduceScatter {
+            dim: 0,
+            rank: 2,
+            world: 2
+        },
+        &[f32s(&[4, 8]), f32s(&[4, 8])]
+    )
+    .is_err());
+}
+
+#[test]
+fn scalar_mul_validation() {
+    assert!(infer_output(&Op::ScalarMul { numer: 1, denom: 2 }, &[f32s(&[4])]).is_ok());
+    assert!(infer_output(&Op::ScalarMul { numer: 1, denom: 0 }, &[f32s(&[4])]).is_err());
+}
+
+#[test]
+fn builder_figure1() {
+    let mut g = GraphBuilder::new("fig1");
+    let a = g.input("A", &[4, 8], DType::F32);
+    let b = g.input("B", &[8, 4], DType::F32);
+    let e = g.input("E", &[4, 4], DType::F32);
+    let c = g.apply("C", Op::Matmul, &[a, b]).unwrap();
+    let f = g.apply("F", Op::Sub, &[c, e]).unwrap();
+    g.mark_output(f);
+    let graph = g.finish().unwrap();
+    assert_eq!(graph.num_nodes(), 2);
+    assert_eq!(graph.inputs().len(), 3);
+    assert_eq!(graph.outputs(), &[f]);
+    assert_eq!(graph.producer(f).unwrap().name, "F");
+    assert_eq!(graph.consumers(c).len(), 1);
+    assert!(graph.producer(a).is_none());
+    graph.validate().unwrap();
+}
+
+#[test]
+fn builder_rejects_bad_shapes() {
+    let mut g = GraphBuilder::new("bad");
+    let a = g.input("A", &[4, 8], DType::F32);
+    let b = g.input("B", &[7, 4], DType::F32);
+    assert!(g.apply("C", Op::Matmul, &[a, b]).is_err());
+}
+
+#[test]
+fn builder_dedupes_names() {
+    let mut g = GraphBuilder::new("dup");
+    let a = g.input("x", &[2], DType::F32);
+    let b = g.apply("x", Op::Relu, &[a]).unwrap();
+    g.mark_output(b);
+    let graph = g.finish().unwrap();
+    assert_ne!(graph.tensor(a).name, graph.tensor(b).name);
+}
+
+#[test]
+fn json_roundtrip() {
+    let mut g = GraphBuilder::new("roundtrip");
+    let x = g.input("x", &[2, 6], DType::F32);
+    let w = g.input("w", &[6, 3], DType::F32);
+    let h = g.apply("h", Op::Matmul, &[x, w]).unwrap();
+    let y = g.apply("y", Op::Gelu, &[h]).unwrap();
+    g.mark_output(y);
+    let graph = g.finish().unwrap();
+    let json = graph.to_json().unwrap();
+    let back = Graph::from_json(&json).unwrap();
+    assert_eq!(back.num_nodes(), graph.num_nodes());
+    assert_eq!(back.tensor(y).shape, graph.tensor(y).shape);
+    assert_eq!(back.name(), "roundtrip");
+}
+
+#[test]
+fn from_json_rejects_corrupt_graphs() {
+    let mut g = GraphBuilder::new("ok");
+    let x = g.input("x", &[2], DType::F32);
+    let y = g.apply("y", Op::Relu, &[x]).unwrap();
+    g.mark_output(y);
+    let graph = g.finish().unwrap();
+    let json = graph.to_json().unwrap();
+    // Corrupt the recorded output shape: validation must catch it.
+    let bad = json.replacen("2", "3", 1);
+    assert!(Graph::from_json(&bad).is_err());
+    assert!(Graph::from_json("{not json").is_err());
+}
+
+#[test]
+fn symbolic_slice_bounds() {
+    let mut ctx = entangle_symbolic::SymCtx::new();
+    let n = ctx.var("n");
+    let mut g = GraphBuilder::new("sym");
+    let x = g.input_shaped(
+        "x",
+        Shape(vec![Dim(n.clone() * 2), Dim::from(4)]),
+        DType::F32,
+    );
+    let y = g
+        .apply(
+            "y",
+            Op::Slice {
+                dim: 0,
+                start: Dim(SymExpr::zero()),
+                end: Dim(n.clone()),
+            },
+            &[x],
+        )
+        .unwrap();
+    g.mark_output(y);
+    let graph = g.finish().unwrap();
+    assert_eq!(graph.tensor(y).shape.dim(0).expr(), &n);
+}
+
+#[test]
+fn dot_export_covers_graph() {
+    let mut g = GraphBuilder::new("dot");
+    let x = g.input("x", &[2, 3], DType::F32);
+    let y = g.apply("y", Op::Relu, &[x]).unwrap();
+    g.mark_output(y);
+    let graph = g.finish().unwrap();
+    let dot = graph.to_dot();
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("relu"));
+    assert!(dot.contains("[2, 3]"));
+    assert!(dot.contains("doublecircle"));
+    assert!(dot.trim_end().ends_with('}'));
+}
+
+#[test]
+fn op_metadata() {
+    assert_eq!(Op::Matmul.name(), "matmul");
+    assert_eq!(Op::Matmul.arity(), Some(2));
+    assert_eq!(Op::Concat { dim: 0 }.arity(), None);
+    assert!(Op::AllReduce.is_collective());
+    assert!(!Op::Add.is_collective());
+    assert_eq!(
+        Op::Slice {
+            dim: 1,
+            start: Dim::from(0),
+            end: Dim::from(8)
+        }
+        .attr_scalars()
+        .len(),
+        3
+    );
+    assert_eq!(Op::ScalarMul { numer: 1, denom: 4 }.attr_scalars().len(), 2);
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Concat shape inference agrees with summing dim sizes.
+        #[test]
+        fn concat_sums_dims(sizes in proptest::collection::vec(1i64..10, 1..5), other in 1i64..6) {
+            let inputs: Vec<_> = sizes.iter().map(|&s| f32s(&[s, other])).collect();
+            let (shape, _) = infer_output(&Op::Concat { dim: 0 }, &inputs).unwrap();
+            prop_assert_eq!(shape.dim(0).as_const().unwrap(), sizes.iter().sum::<i64>());
+            prop_assert_eq!(shape.dim(1).as_const().unwrap(), other);
+        }
+
+        /// Transpose is an involution at the shape level.
+        #[test]
+        fn transpose_involution(a in 1i64..6, b in 1i64..6, c in 1i64..6) {
+            let t = Op::Transpose { d0: 0, d1: 2 };
+            let (once, _) = infer_output(&t, &[f32s(&[a, b, c])]).unwrap();
+            let (twice, _) = infer_output(&t, &[(once, DType::F32)]).unwrap();
+            prop_assert_eq!(twice, Shape::of(&[a, b, c]));
+        }
+
+        /// Slicing [0, n) is the identity on shapes.
+        #[test]
+        fn full_slice_identity(n in 1i64..20, m in 1i64..10) {
+            let op = Op::Slice { dim: 0, start: Dim::from(0), end: Dim::from(n) };
+            let (s, _) = infer_output(&op, &[f32s(&[n, m])]).unwrap();
+            prop_assert_eq!(s, Shape::of(&[n, m]));
+        }
+
+        /// Pad then slice the padding back off is shape-identity.
+        #[test]
+        fn pad_slice_shape_inverse(n in 1i64..20, pad in 0i64..5) {
+            let padded = infer_output(
+                &Op::Pad { dim: 0, before: Dim::from(0), after: Dim::from(pad) },
+                &[f32s(&[n, 3])],
+            ).unwrap();
+            let (s, _) = infer_output(
+                &Op::Slice { dim: 0, start: Dim::from(0), end: Dim::from(n) },
+                &[padded],
+            ).unwrap();
+            prop_assert_eq!(s, Shape::of(&[n, 3]));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Lemmas for fused kernels: multi-head attention (vLLM/FlashAttention
+//! style, category `v`) and rotary position embedding (HLO style, category
+//! `h`). `rope-seq-concat` and `rope-of-seq-slices` are the lemmas whose
+//! *failure to fire* localizes Bug 1 (wrong RoPE offsets under SP).
+
+use entangle_egraph::{ENode, Rewrite, Var};
+use entangle_symbolic::SymExpr;
+
+use crate::analysis::cond::{add_op, add_scalar, dim_size, int, rank, sym_eq};
+use crate::corpus::{Builder, Category};
+
+fn v(name: &str) -> Var {
+    Var::new(name)
+}
+
+pub(crate) fn install(b: &mut Builder) {
+    // Head-parallel attention: splitting q/k/v on the hidden dim splits the
+    // heads proportionally. The backbone of tensor-parallel attention.
+    let rw = Rewrite::parse_dyn(
+        "attention-head-split",
+        "(attention (concat ?q0 ?q1 ?d) (concat ?k0 ?k1 ?d) (concat ?v0 ?v1 ?d) ?h ?c)",
+        |eg, _id, subst| {
+            let (q0, q1) = (subst[v("q0")], subst[v("q1")]);
+            let (k0, v0) = (subst[v("k0")], subst[v("v0")]);
+            let (k1, v1) = (subst[v("k1")], subst[v("v1")]);
+            let (Some(d), Some(h), Some(r)) = (
+                int(eg, subst[v("d")]),
+                int(eg, subst[v("h")]),
+                rank(eg, q0),
+            ) else {
+                return vec![];
+            };
+            if d != r as i64 - 1 || h <= 0 {
+                return vec![];
+            }
+            let (Some(s0), Some(s1)) = (
+                dim_size(eg, q0, d as usize).and_then(|e| e.as_const()),
+                dim_size(eg, q1, d as usize).and_then(|e| e.as_const()),
+            ) else {
+                return vec![];
+            };
+            // k/v splits must match the q split.
+            for (a, bq) in [(k0, q0), (v0, q0), (k1, q1), (v1, q1)] {
+                let (Some(sa), Some(sq)) = (
+                    dim_size(eg, a, d as usize),
+                    dim_size(eg, bq, d as usize),
+                ) else {
+                    return vec![];
+                };
+                if !sym_eq(eg, &sa, &sq) {
+                    return vec![];
+                }
+            }
+            let hidden = s0 + s1;
+            if hidden % h != 0 {
+                return vec![];
+            }
+            let hd = hidden / h; // head dim
+            if s0 % hd != 0 || s1 % hd != 0 {
+                return vec![]; // split must land on a head boundary
+            }
+            let (h0, h1) = (s0 / hd, s1 / hd);
+            let cc = subst[v("c")];
+            let (h0c, h1c) = (
+                add_scalar(eg, SymExpr::constant(h0)),
+                add_scalar(eg, SymExpr::constant(h1)),
+            );
+            let a0 = add_op(eg, "attention", vec![q0, k0, v0, h0c, cc]);
+            let a1 = add_op(eg, "attention", vec![q1, k1, v1, h1c, cc]);
+            vec![add_op(eg, "concat", vec![a0, a1, subst[v("d")]])]
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Vllm, 36, 9, &["gpt", "qwen2", "llama3"]);
+
+    // Batch-parallel attention: splitting all of q/k/v on a batch dim
+    // (anything left of the sequence dim) splits the outputs.
+    let rw = Rewrite::parse_dyn(
+        "attention-batch-split",
+        "(attention (concat ?q0 ?q1 ?d) (concat ?k0 ?k1 ?d) (concat ?v0 ?v1 ?d) ?h ?c)",
+        |eg, _id, subst| {
+            let (q0, q1) = (subst[v("q0")], subst[v("q1")]);
+            let (Some(d), Some(r)) = (int(eg, subst[v("d")]), rank(eg, q0)) else {
+                return vec![];
+            };
+            if d >= r as i64 - 2 {
+                return vec![]; // sequence/hidden splits are not batch splits
+            }
+            for other in [subst[v("k0")], subst[v("v0")]] {
+                let (Some(sa), Some(sq)) = (
+                    dim_size(eg, other, d as usize),
+                    dim_size(eg, q0, d as usize),
+                ) else {
+                    return vec![];
+                };
+                if !sym_eq(eg, &sa, &sq) {
+                    return vec![];
+                }
+            }
+            let (hc, cc) = (subst[v("h")], subst[v("c")]);
+            let a0 = add_op(
+                eg,
+                "attention",
+                vec![q0, subst[v("k0")], subst[v("v0")], hc, cc],
+            );
+            let a1 = add_op(
+                eg,
+                "attention",
+                vec![q1, subst[v("k1")], subst[v("v1")], hc, cc],
+            );
+            vec![add_op(eg, "concat", vec![a0, a1, subst[v("d")]])]
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Vllm, 28, 9, &["gpt", "qwen2"]);
+
+    // Attention over identically batch-sliced q/k/v is a slice of the full
+    // attention (constrained on the full application existing).
+    let rw = Rewrite::parse_if(
+        "attention-of-batch-slices",
+        "(attention (slice ?q ?d ?lo ?hi) (slice ?k ?d ?lo ?hi) (slice ?vv ?d ?lo ?hi) ?h ?c)",
+        "(slice (attention ?q ?k ?vv ?h ?c) ?d ?lo ?hi)",
+        |eg, _id, subst| {
+            let dim_ok = matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("q")])),
+                (Some(d), Some(r)) if d < r as i64 - 2
+            );
+            dim_ok
+                && eg
+                    .lookup(&ENode::op(
+                        "attention",
+                        vec![
+                            subst[v("q")],
+                            subst[v("k")],
+                            subst[v("vv")],
+                            subst[v("h")],
+                            subst[v("c")],
+                        ],
+                    ))
+                    .is_some()
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Vllm, 16, 5, &["gpt", "qwen2"]);
+
+    // ----- RoPE (HLO category; Llama-3 / ByteDance model path) -----
+
+    // A batch split leaves the cos/sin tables alone.
+    let rw = Rewrite::parse_if(
+        "rope-batch-concat",
+        "(rope (concat ?x0 ?x1 ?d) ?cos ?sin)",
+        "(concat (rope ?x0 ?cos ?sin) (rope ?x1 ?cos ?sin) ?d)",
+        |eg, _id, subst| {
+            matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x0")])),
+                (Some(d), Some(r)) if d < r as i64 - 2
+            )
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Hlo, 12, 5, &["llama3", "bytedance-moe"]);
+
+    // A *sequence* split must slice the tables at the same seam — each SP
+    // rank takes a different part of the pre-computed cos and sin tensors.
+    let rw = Rewrite::parse_dyn(
+        "rope-seq-concat",
+        "(rope (concat ?x0 ?x1 ?d) ?cos ?sin)",
+        |eg, _id, subst| {
+            let (x0, x1) = (subst[v("x0")], subst[v("x1")]);
+            let (cos, sin) = (subst[v("cos")], subst[v("sin")]);
+            let (Some(d), Some(r)) = (int(eg, subst[v("d")]), rank(eg, x0)) else {
+                return vec![];
+            };
+            if d != r as i64 - 2 {
+                return vec![];
+            }
+            let (Some(s0), Some(s1)) = (
+                dim_size(eg, x0, d as usize),
+                dim_size(eg, x1, d as usize),
+            ) else {
+                return vec![];
+            };
+            let zero = add_scalar(eg, SymExpr::zero());
+            let seam = add_scalar(eg, s0.clone());
+            let total = add_scalar(eg, s0 + s1);
+            let d0 = add_scalar(eg, SymExpr::zero()); // tables are [S, H]
+            let cos0 = add_op(eg, "slice", vec![cos, d0, zero, seam]);
+            let sin0 = add_op(eg, "slice", vec![sin, d0, zero, seam]);
+            let cos1 = add_op(eg, "slice", vec![cos, d0, seam, total]);
+            let sin1 = add_op(eg, "slice", vec![sin, d0, seam, total]);
+            let r0 = add_op(eg, "rope", vec![x0, cos0, sin0]);
+            let r1 = add_op(eg, "rope", vec![x1, cos1, sin1]);
+            vec![add_op(eg, "concat", vec![r0, r1, subst[v("d")]])]
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Hlo, 32, 9, &["llama3", "bytedance-moe"]);
+
+    // RoPE on a sequence-sliced input with *matching* table slices is a
+    // slice of the full RoPE. The buggy SP implementation (Bug 1) slices
+    // the tables at the wrong offset, so this pattern — which requires the
+    // same ?lo/?hi on the input and both tables — never fires, and the RoPE
+    // operator is reported unmappable.
+    let rw = Rewrite::parse_if(
+        "rope-of-seq-slices",
+        "(rope (slice ?x ?d ?lo ?hi) (slice ?cos 0 ?lo ?hi) (slice ?sin 0 ?lo ?hi))",
+        "(slice (rope ?x ?cos ?sin) ?d ?lo ?hi)",
+        |eg, _id, subst| {
+            let dim_ok = matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x")])),
+                (Some(d), Some(r)) if d == r as i64 - 2
+            );
+            dim_ok
+                && eg
+                    .lookup(&ENode::op(
+                        "rope",
+                        vec![subst[v("x")], subst[v("cos")], subst[v("sin")]],
+                    ))
+                    .is_some()
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Hlo, 18, 5, &["llama3", "bytedance-moe"]);
+
+    // A *hidden*-dim split (tensor-parallel head sharding) splits the
+    // tables at the same (even) boundary — valid under the interleaved-pair
+    // rope convention.
+    let rw = Rewrite::parse_if(
+        "rope-hidden-concat",
+        "(rope (concat ?x0 ?x1 ?d) (concat ?c0 ?c1 1) (concat ?s0 ?s1 1))",
+        "(concat (rope ?x0 ?c0 ?s0) (rope ?x1 ?c1 ?s1) ?d)",
+        |eg, _id, subst| {
+            let (Some(d), Some(r)) = (int(eg, subst[v("d")]), rank(eg, subst[v("x0")]))
+            else {
+                return false;
+            };
+            if d != r as i64 - 1 {
+                return false;
+            }
+            // Seams must align between x and both tables, and land on an
+            // even (pair) boundary.
+            let (Some(sx), Some(sc), Some(ss)) = (
+                dim_size(eg, subst[v("x0")], d as usize),
+                dim_size(eg, subst[v("c0")], 1),
+                dim_size(eg, subst[v("s0")], 1),
+            ) else {
+                return false;
+            };
+            let even = sx.as_const().is_some_and(|s| s % 2 == 0);
+            even && sym_eq(eg, &sx, &sc) && sym_eq(eg, &sx, &ss)
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Hlo, 24, 9, &["llama3", "qwen2", "gpt"]);
+
+    // RoPE over hidden-sliced input with matching table slices is a slice
+    // of the full rope (constrained; even boundaries).
+    let rw = Rewrite::parse_if(
+        "rope-of-hidden-slices",
+        "(rope (slice ?x ?d ?a ?b) (slice ?cos 1 ?a ?b) (slice ?sin 1 ?a ?b))",
+        "(slice (rope ?x ?cos ?sin) ?d ?a ?b)",
+        |eg, _id, subst| {
+            let dim_ok = matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x")])),
+                (Some(d), Some(r)) if d == r as i64 - 1
+            );
+            let even = matches!(
+                (int(eg, subst[v("a")]), int(eg, subst[v("b")])),
+                (Some(a), Some(bb)) if a % 2 == 0 && bb % 2 == 0
+            );
+            dim_ok
+                && even
+                && eg
+                    .lookup(&ENode::op(
+                        "rope",
+                        vec![subst[v("x")], subst[v("cos")], subst[v("sin")]],
+                    ))
+                    .is_some()
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Hlo, 20, 5, &["llama3", "qwen2", "gpt"]);
+
+    // RoPE on a batch-sliced input keeps the tables whole.
+    let rw = Rewrite::parse_if(
+        "rope-of-batch-slice",
+        "(rope (slice ?x ?d ?lo ?hi) ?cos ?sin)",
+        "(slice (rope ?x ?cos ?sin) ?d ?lo ?hi)",
+        |eg, _id, subst| {
+            let dim_ok = matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x")])),
+                (Some(d), Some(r)) if d < r as i64 - 2
+            );
+            dim_ok
+                && eg
+                    .lookup(&ENode::op(
+                        "rope",
+                        vec![subst[v("x")], subst[v("cos")], subst[v("sin")]],
+                    ))
+                    .is_some()
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Hlo, 14, 3, &["llama3", "bytedance-moe"]);
+}

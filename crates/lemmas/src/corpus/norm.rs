@@ -1,0 +1,113 @@
+//! Normalization lemmas. `layer_norm` is part of the base ATen corpus;
+//! `rms_norm` lemmas are in the HLO category (`h`) — they were added for the
+//! Transformers-NeuronX Llama-3 path, mirroring the paper's §6.5 example
+//! lemma `RMSNorm(concat(X₁, X₂, 0), W) = concat(RMSNorm(X₁, W),
+//! RMSNorm(X₂, W), 0)`.
+
+use entangle_egraph::{ENode, Rewrite, Var};
+
+use crate::analysis::cond::{int, rank};
+use crate::corpus::{Builder, Category};
+
+fn v(name: &str) -> Var {
+    Var::new(name)
+}
+
+pub(crate) fn install(b: &mut Builder) {
+    // layer_norm normalizes the last dim: it distributes over any other dim.
+    let rw = Rewrite::parse_if(
+        "layer_norm-of-concat",
+        "(layer_norm (concat ?x0 ?x1 ?d) ?w ?b)",
+        "(concat (layer_norm ?x0 ?w ?b) (layer_norm ?x1 ?w ?b) ?d)",
+        |eg, _id, subst| {
+            matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x0")])),
+                (Some(d), Some(r)) if d != r as i64 - 1
+            )
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::General, 12, 5, &[]);
+
+    let rw = Rewrite::parse_if(
+        "layer_norm-of-slice",
+        "(layer_norm (slice ?x ?d ?lo ?hi) ?w ?b)",
+        "(slice (layer_norm ?x ?w ?b) ?d ?lo ?hi)",
+        |eg, _id, subst| {
+            let dim_ok = matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x")])),
+                (Some(d), Some(r)) if d != r as i64 - 1
+            );
+            dim_ok
+                && eg
+                    .lookup(&ENode::op(
+                        "layer_norm",
+                        vec![subst[v("x")], subst[v("w")], subst[v("b")]],
+                    ))
+                    .is_some()
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::General, 14, 3, &[]);
+
+    let rw = Rewrite::parse_if(
+        "slice-of-layer_norm",
+        "(slice (layer_norm ?x ?w ?b) ?d ?lo ?hi)",
+        "(layer_norm (slice ?x ?d ?lo ?hi) ?w ?b)",
+        |eg, _id, subst| {
+            matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x")])),
+                (Some(d), Some(r)) if d != r as i64 - 1
+            )
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::General, 12, 3, &[]);
+
+    // The paper's §6.5 example, verbatim (HLO category, added for Llama-3).
+    let rw = Rewrite::parse_if(
+        "rms_norm-of-concat",
+        "(rms_norm (concat ?x0 ?x1 ?d) ?w)",
+        "(concat (rms_norm ?x0 ?w) (rms_norm ?x1 ?w) ?d)",
+        |eg, _id, subst| {
+            matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x0")])),
+                (Some(d), Some(r)) if d != r as i64 - 1
+            )
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Hlo, 12, 5, &["llama3", "qwen2"]);
+
+    let rw = Rewrite::parse_if(
+        "rms_norm-of-slice",
+        "(rms_norm (slice ?x ?d ?lo ?hi) ?w)",
+        "(slice (rms_norm ?x ?w) ?d ?lo ?hi)",
+        |eg, _id, subst| {
+            let dim_ok = matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x")])),
+                (Some(d), Some(r)) if d != r as i64 - 1
+            );
+            dim_ok
+                && eg
+                    .lookup(&ENode::op("rms_norm", vec![subst[v("x")], subst[v("w")]]))
+                    .is_some()
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Hlo, 14, 3, &["llama3", "qwen2"]);
+
+    let rw = Rewrite::parse_if(
+        "slice-of-rms_norm",
+        "(slice (rms_norm ?x ?w) ?d ?lo ?hi)",
+        "(rms_norm (slice ?x ?d ?lo ?hi) ?w)",
+        |eg, _id, subst| {
+            matches!(
+                (int(eg, subst[v("d")]), rank(eg, subst[v("x")])),
+                (Some(d), Some(r)) if d != r as i64 - 1
+            )
+        },
+    )
+    .expect("parses");
+    b.push(rw, Category::Hlo, 12, 3, &["llama3", "qwen2"]);
+}

@@ -1,0 +1,46 @@
+//! Sequential model zoo: the `G_s` side of the paper's evaluation (Table 2).
+//!
+//! These builders play the role of TorchDynamo capture: they emit the
+//! computation graph a framework's sequential (single-GPU) model would trace
+//! to — the same operator mix, the same fused kernels (attention, RoPE,
+//! RMSNorm), the same weight layout — parameterized by [`ModelConfig`] so
+//! the scalability experiments (Figure 4) can sweep layer counts.
+//!
+//! The zoo covers the paper's workloads:
+//!
+//! - [`gpt`] — the Megatron-LM GPT example: LayerNorm, learned positional
+//!   embeddings, GELU MLP, causal fused attention, vocabulary projection.
+//! - [`llama3`] — the Transformers-NeuronX Llama-3 path: RMSNorm, RoPE,
+//!   SwiGLU MLP.
+//! - [`qwen2`] — the vLLM Qwen2 path: Llama-family blocks plus QKV biases.
+//! - [`moe`] — the ByteDance-proprietary-model stand-in: an MoE transformer
+//!   with a softmax router, per-expert SwiGLU FFNs and an auxiliary
+//!   load-balancing loss output.
+//! - [`regression`] — HuggingFace's MSE-regression trainer test, the
+//!   gradient-accumulation workload.
+//!
+//! Weight tensors follow a systematic naming scheme (`L{i}.wq`, `L{i}.ln1_w`,
+//! …) that the distribution strategies in `entangle-parallel` reference when
+//! emitting input relations.
+//!
+//! # Examples
+//!
+//! ```
+//! use entangle_models::{gpt, ModelConfig};
+//!
+//! let cfg = ModelConfig::tiny();
+//! let g = gpt(&cfg);
+//! assert!(g.num_nodes() > 10);
+//! assert_eq!(g.outputs().len(), 1); // the logits
+//! ```
+
+mod config;
+mod regression;
+mod transformer;
+
+pub use config::{ModelConfig, MoeConfig};
+pub use regression::{regression, regression_sum_loss, regression_training, RegressionConfig};
+pub use transformer::{gpt, llama3, moe, qwen2, rope_tables, Arch};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,114 @@
+//! The HuggingFace-trainer-style MSE regression model (Table 2's
+//! gradient-accumulation workload).
+
+use entangle_ir::{DType, Graph, GraphBuilder, Op};
+
+/// Hyperparameters of the regression workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegressionConfig {
+    /// Number of samples in the (full) batch.
+    pub batch: usize,
+    /// Input feature dimension.
+    pub features: usize,
+}
+
+impl RegressionConfig {
+    /// The test-sized configuration.
+    pub fn tiny() -> RegressionConfig {
+        RegressionConfig {
+            batch: 8,
+            features: 4,
+        }
+    }
+}
+
+/// Builds the sequential regression model: `loss = MSE(x·w + b, y)`.
+///
+/// # Examples
+///
+/// ```
+/// use entangle_models::{regression, RegressionConfig};
+///
+/// let g = regression(&RegressionConfig::tiny());
+/// assert_eq!(g.outputs().len(), 1);
+/// assert_eq!(g.tensor(g.outputs()[0]).shape.rank(), 0); // scalar loss
+/// ```
+pub fn regression(cfg: &RegressionConfig) -> Graph {
+    let (n, f) = (cfg.batch as i64, cfg.features as i64);
+    let mut g = GraphBuilder::new("regression");
+    let x = g.input("x", &[n, f], DType::F32);
+    let w = g.input("w", &[f, 1], DType::F32);
+    let b = g.input("b", &[1], DType::F32);
+    let y = g.input("y", &[n, 1], DType::F32);
+    let xw = g.apply("xw", Op::Matmul, &[x, w]).expect("valid matmul");
+    let pred = g.apply("pred", Op::Add, &[xw, b]).expect("valid add");
+    let loss = g.apply("loss", Op::MseLoss, &[pred, y]).expect("valid mse");
+    g.mark_output(loss);
+    g.finish().expect("regression model is valid by construction")
+}
+
+/// Builds the regression model with a *sum*-semantics loss:
+/// `loss = Σ (pred − y)²`.
+///
+/// Sum losses are what make data-parallel gradient *summation* exact: shard
+/// losses and shard gradients add up to the sequential ones with no
+/// leftover `1/N` factors, so every backward intermediate maps cleanly
+/// (see `entangle_parallel::data_parallel_training`). Mean losses put a
+/// batch-size scale inside every per-replica gradient — a structural
+/// mismatch the checker (by the paper's §3.3 assumptions) rejects.
+pub fn regression_sum_loss(cfg: &RegressionConfig) -> Graph {
+    let (n, f) = (cfg.batch as i64, cfg.features as i64);
+    let mut g = GraphBuilder::new("regression-sum");
+    let x = g.input("x", &[n, f], DType::F32);
+    let w = g.input("w", &[f, 1], DType::F32);
+    let b = g.input("b", &[1], DType::F32);
+    let y = g.input("y", &[n, 1], DType::F32);
+    let xw = g.apply("xw", Op::Matmul, &[x, w]).expect("valid matmul");
+    let pred = g.apply("pred", Op::Add, &[xw, b]).expect("valid add");
+    let diff = g.apply("diff", Op::Sub, &[pred, y]).expect("valid sub");
+    let sq = g.apply("sq", Op::Mul, &[diff, diff]).expect("valid mul");
+    let loss = g.apply("loss", Op::SumAll, &[sq]).expect("valid sum");
+    g.mark_output(loss);
+    g.finish().expect("regression model is valid by construction")
+}
+
+/// Builds a full sequential *training step* for the regression model, with
+/// explicit gradient computation: outputs the loss and the weight gradient
+/// `∂loss/∂w = (2/N) · xᵀ(pred − y)`.
+///
+/// This is the `G_s` for the data-parallel strategy — a workload the paper
+/// could not evaluate ("DP is optimized with contiguous buffers … not
+/// exposed to TorchDynamo", §6.1) but whose graphs this reproduction can
+/// build directly.
+///
+/// # Examples
+///
+/// ```
+/// use entangle_models::{regression_training, RegressionConfig};
+///
+/// let g = regression_training(&RegressionConfig::tiny());
+/// assert_eq!(g.outputs().len(), 2); // loss + weight gradient
+/// ```
+pub fn regression_training(cfg: &RegressionConfig) -> Graph {
+    let (n, f) = (cfg.batch as i64, cfg.features as i64);
+    let mut g = GraphBuilder::new("regression-train");
+    let x = g.input("x", &[n, f], DType::F32);
+    let w = g.input("w", &[f, 1], DType::F32);
+    let b = g.input("b", &[1], DType::F32);
+    let y = g.input("y", &[n, 1], DType::F32);
+    let xw = g.apply("xw", Op::Matmul, &[x, w]).expect("valid matmul");
+    let pred = g.apply("pred", Op::Add, &[xw, b]).expect("valid add");
+    let loss = g.apply("loss", Op::MseLoss, &[pred, y]).expect("valid mse");
+    // Backward: d loss / d w = (2/N) xᵀ (pred - y).
+    let err = g.apply("err", Op::Sub, &[pred, y]).expect("valid sub");
+    let xt = g
+        .apply("xT", Op::Transpose { d0: 0, d1: 1 }, &[x])
+        .expect("valid transpose");
+    let xte = g.apply("xTe", Op::Matmul, &[xt, err]).expect("valid matmul");
+    let grad_w = g
+        .apply("grad_w", Op::ScalarMul { numer: 2, denom: n }, &[xte])
+        .expect("valid scale");
+    g.mark_output(loss);
+    g.mark_output(grad_w);
+    g.finish().expect("training graph is valid by construction")
+}

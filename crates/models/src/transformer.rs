@@ -1,0 +1,324 @@
+//! Sequential transformer builders (GPT, Llama-3, Qwen2, MoE).
+
+use entangle_ir::{DType, Graph, GraphBuilder, Op, TensorId};
+
+use crate::config::{ModelConfig, MoeConfig};
+
+/// Architecture family, selecting norm/activation/positional conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// LayerNorm + learned positional embeddings + GELU MLP.
+    Gpt,
+    /// RMSNorm + RoPE + SwiGLU MLP.
+    Llama,
+    /// Llama-family blocks plus QKV biases (the Qwen2 signature).
+    Qwen2,
+}
+
+impl Arch {
+    fn uses_rope(self) -> bool {
+        !matches!(self, Arch::Gpt)
+    }
+
+    fn qkv_bias(self) -> bool {
+        matches!(self, Arch::Qwen2)
+    }
+}
+
+/// Builds the Megatron-LM example GPT model (forward pass, logits output).
+pub fn gpt(cfg: &ModelConfig) -> Graph {
+    build_transformer(cfg, Arch::Gpt, None)
+}
+
+/// Builds a Llama-3-style model (forward pass, logits output).
+pub fn llama3(cfg: &ModelConfig) -> Graph {
+    build_transformer(cfg, Arch::Llama, None)
+}
+
+/// Builds a Qwen2-style model (forward pass, logits output).
+pub fn qwen2(cfg: &ModelConfig) -> Graph {
+    build_transformer(cfg, Arch::Qwen2, None)
+}
+
+/// Builds the ByteDance-proprietary-model stand-in: a RoPE/RMSNorm
+/// transformer whose FFN is a mixture of experts with a softmax router.
+/// Outputs the logits *and* the accumulated auxiliary load-balancing loss.
+pub fn moe(cfg: &MoeConfig) -> Graph {
+    build_transformer(&cfg.base, Arch::Llama, Some(cfg.experts))
+}
+
+/// The concrete interleaved-pair rope tables used by the runtime and the
+/// differential tests: pair `(2i, 2i+1)` shares the angle
+/// `t / 10000^(2i/h)`.
+pub fn rope_tables(seq: usize, hidden: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut cos = vec![0.0; seq * hidden];
+    let mut sin = vec![0.0; seq * hidden];
+    for t in 0..seq {
+        for i in 0..hidden / 2 {
+            let angle = (t as f64) / 10_000f64.powf(2.0 * i as f64 / hidden as f64);
+            for j in [2 * i, 2 * i + 1] {
+                cos[t * hidden + j] = angle.cos();
+                sin[t * hidden + j] = angle.sin();
+            }
+        }
+    }
+    (cos, sin)
+}
+
+struct Ctx<'a> {
+    g: &'a mut GraphBuilder,
+    cfg: &'a ModelConfig,
+    arch: Arch,
+    rope: Option<(TensorId, TensorId)>,
+}
+
+impl Ctx<'_> {
+    fn weight(&mut self, name: &str, dims: &[i64]) -> TensorId {
+        self.g.input(name, dims, DType::F32)
+    }
+
+    fn norm(&mut self, name: &str, prefix: &str, x: TensorId) -> TensorId {
+        let h = self.cfg.hidden as i64;
+        match self.arch {
+            Arch::Gpt => {
+                let w = self.weight(&format!("{prefix}_w"), &[h]);
+                let b = self.weight(&format!("{prefix}_b"), &[h]);
+                self.g.apply(name, Op::LayerNorm, &[x, w, b]).expect("valid norm")
+            }
+            Arch::Llama | Arch::Qwen2 => {
+                let w = self.weight(&format!("{prefix}_w"), &[h]);
+                self.g.apply(name, Op::RmsNorm, &[x, w]).expect("valid norm")
+            }
+        }
+    }
+
+    fn linear(&mut self, name: &str, wname: &str, x: TensorId, d_in: i64, d_out: i64) -> TensorId {
+        let w = self.weight(wname, &[d_in, d_out]);
+        self.g.apply(name, Op::Matmul, &[x, w]).expect("valid matmul")
+    }
+
+    fn attention_block(&mut self, l: usize, x: TensorId) -> TensorId {
+        let cfg = self.cfg;
+        let h = cfg.hidden as i64;
+        let p = format!("L{l}");
+        let n1 = self.norm(&format!("{p}.ln1"), &format!("{p}.ln1"), x);
+
+        let mut q = self.linear(&format!("{p}.q"), &format!("{p}.wq"), n1, h, h);
+        let mut k = self.linear(&format!("{p}.k"), &format!("{p}.wk"), n1, h, h);
+        let v = self.linear(&format!("{p}.v"), &format!("{p}.wv"), n1, h, h);
+        if self.arch.qkv_bias() {
+            let bq = self.weight(&format!("{p}.bq"), &[h]);
+            let bk = self.weight(&format!("{p}.bk"), &[h]);
+            q = self.g.apply(&format!("{p}.qb"), Op::Add, &[q, bq]).expect("valid add");
+            k = self.g.apply(&format!("{p}.kb"), Op::Add, &[k, bk]).expect("valid add");
+        }
+        if let Some((cos, sin)) = self.rope {
+            q = self
+                .g
+                .apply(&format!("{p}.q_rope"), Op::Rope, &[q, cos, sin])
+                .expect("valid rope");
+            k = self
+                .g
+                .apply(&format!("{p}.k_rope"), Op::Rope, &[k, cos, sin])
+                .expect("valid rope");
+        }
+        let attn = self
+            .g
+            .apply(
+                &format!("{p}.attn"),
+                Op::Attention {
+                    heads: cfg.heads,
+                    causal: cfg.causal,
+                },
+                &[q, k, v],
+            )
+            .expect("valid attention");
+        let o = self.linear(&format!("{p}.attn_out"), &format!("{p}.wo"), attn, h, h);
+        self.g
+            .apply(&format!("{p}.res1"), Op::Add, &[x, o])
+            .expect("valid residual")
+    }
+
+    fn mlp_block(&mut self, l: usize, x: TensorId) -> TensorId {
+        let cfg = self.cfg;
+        let (h, f) = (cfg.hidden as i64, cfg.ffn as i64);
+        let p = format!("L{l}");
+        let n2 = self.norm(&format!("{p}.ln2"), &format!("{p}.ln2"), x);
+        let m = match self.arch {
+            Arch::Gpt => {
+                let up = self.linear(&format!("{p}.mlp_up"), &format!("{p}.w1"), n2, h, f);
+                let act = self
+                    .g
+                    .apply(&format!("{p}.mlp_act"), Op::Gelu, &[up])
+                    .expect("valid gelu");
+                self.linear(&format!("{p}.mlp_down"), &format!("{p}.w2"), act, f, h)
+            }
+            Arch::Llama | Arch::Qwen2 => {
+                let gate = self.linear(&format!("{p}.mlp_gate"), &format!("{p}.w1"), n2, h, f);
+                let up = self.linear(&format!("{p}.mlp_upproj"), &format!("{p}.w3"), n2, h, f);
+                let act = self
+                    .g
+                    .apply(&format!("{p}.mlp_silu"), Op::Silu, &[gate])
+                    .expect("valid silu");
+                let prod = self
+                    .g
+                    .apply(&format!("{p}.mlp_mul"), Op::Mul, &[act, up])
+                    .expect("valid mul");
+                self.linear(&format!("{p}.mlp_down"), &format!("{p}.w2"), prod, f, h)
+            }
+        };
+        self.g
+            .apply(&format!("{p}.res2"), Op::Add, &[x, m])
+            .expect("valid residual")
+    }
+
+    /// An MoE FFN block: softmax router over experts, per-expert SwiGLU,
+    /// gate-weighted combination, plus this layer's auxiliary loss (the
+    /// mean squared gate load — a load-balancing penalty).
+    fn moe_block(&mut self, l: usize, x: TensorId, experts: usize) -> (TensorId, TensorId) {
+        let cfg = self.cfg;
+        let (h, f, e) = (cfg.hidden as i64, cfg.ffn as i64, experts as i64);
+        let p = format!("L{l}");
+        let n2 = self.norm(&format!("{p}.ln2"), &format!("{p}.ln2"), x);
+        let router = self.linear(&format!("{p}.router"), &format!("{p}.wr"), n2, h, e);
+        let gates = self
+            .g
+            .apply(&format!("{p}.gates"), Op::Softmax { dim: 2 }, &[router])
+            .expect("valid softmax");
+        let mut combined: Option<TensorId> = None;
+        for ex in 0..experts {
+            let gate = self
+                .g
+                .apply(
+                    &format!("{p}.gate{ex}"),
+                    Op::Slice {
+                        dim: 2,
+                        start: (ex as i64).into(),
+                        end: (ex as i64 + 1).into(),
+                    },
+                    &[gates],
+                )
+                .expect("valid gate slice");
+            let up = self.linear(
+                &format!("{p}.e{ex}_gateproj"),
+                &format!("{p}.e{ex}_w1"),
+                n2,
+                h,
+                f,
+            );
+            let act = self
+                .g
+                .apply(&format!("{p}.e{ex}_silu"), Op::Silu, &[up])
+                .expect("valid silu");
+            let down = self.linear(
+                &format!("{p}.e{ex}_down"),
+                &format!("{p}.e{ex}_w2"),
+                act,
+                f,
+                h,
+            );
+            let weighted = self
+                .g
+                .apply(&format!("{p}.e{ex}_weighted"), Op::Mul, &[down, gate])
+                .expect("valid gated mul");
+            combined = Some(match combined {
+                None => weighted,
+                Some(acc) => self
+                    .g
+                    .apply(&format!("{p}.moe_sum{ex}"), Op::Add, &[acc, weighted])
+                    .expect("valid expert sum"),
+            });
+        }
+        let m = combined.expect("at least one expert");
+        let out = self
+            .g
+            .apply(&format!("{p}.res2"), Op::Add, &[x, m])
+            .expect("valid residual");
+        // Auxiliary loss: sum over experts of the squared mean gate value.
+        let load_b = self
+            .g
+            .apply(
+                &format!("{p}.load_b"),
+                Op::MeanDim { dim: 0, keepdim: false },
+                &[gates],
+            )
+            .expect("valid mean");
+        let load = self
+            .g
+            .apply(
+                &format!("{p}.load"),
+                Op::MeanDim { dim: 0, keepdim: false },
+                &[load_b],
+            )
+            .expect("valid mean");
+        let sq = self
+            .g
+            .apply(&format!("{p}.load_sq"), Op::Mul, &[load, load])
+            .expect("valid mul");
+        let aux = self
+            .g
+            .apply(&format!("{p}.aux"), Op::SumAll, &[sq])
+            .expect("valid sum");
+        (out, aux)
+    }
+}
+
+fn build_transformer(cfg: &ModelConfig, arch: Arch, experts: Option<usize>) -> Graph {
+    let mut g = GraphBuilder::new(match (arch, experts) {
+        (Arch::Gpt, _) => "gpt",
+        (Arch::Llama, None) => "llama3",
+        (Arch::Llama, Some(_)) => "moe",
+        (Arch::Qwen2, _) => "qwen2",
+    });
+    let (b, s, h, v) = (
+        cfg.batch as i64,
+        cfg.seq as i64,
+        cfg.hidden as i64,
+        cfg.vocab as i64,
+    );
+    let ids = g.input("ids", &[b, s], DType::I64);
+    let wtok = g.input("wtok", &[v, h], DType::F32);
+    let mut x = g.apply("embed", Op::Embedding, &[wtok, ids]).expect("valid embedding");
+    let rope = if arch.uses_rope() {
+        let cos = g.input("rope_cos", &[s, h], DType::F32);
+        let sin = g.input("rope_sin", &[s, h], DType::F32);
+        Some((cos, sin))
+    } else {
+        let wpos = g.input("wpos", &[s, h], DType::F32);
+        x = g.apply("pos_embed", Op::Add, &[x, wpos]).expect("valid add");
+        None
+    };
+
+    let mut aux_total: Option<TensorId> = None;
+    let mut ctx = Ctx {
+        g: &mut g,
+        cfg,
+        arch,
+        rope,
+    };
+    for l in 0..cfg.layers {
+        x = ctx.attention_block(l, x);
+        match experts {
+            None => x = ctx.mlp_block(l, x),
+            Some(e) => {
+                let (out, aux) = ctx.moe_block(l, x, e);
+                x = out;
+                aux_total = Some(match aux_total {
+                    None => aux,
+                    Some(acc) => ctx
+                        .g
+                        .apply(&format!("aux_acc{l}"), Op::Add, &[acc, aux])
+                        .expect("valid aux accumulation"),
+                });
+            }
+        }
+    }
+    let nf = ctx.norm("ln_f", "ln_f", x);
+    let wlm = g.input("wlm", &[h, v], DType::F32);
+    let logits = g.apply("logits", Op::Matmul, &[nf, wlm]).expect("valid matmul");
+    g.mark_output(logits);
+    if let Some(aux) = aux_total {
+        g.mark_output(aux);
+    }
+    g.finish().expect("zoo models are valid by construction")
+}

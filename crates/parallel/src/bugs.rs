@@ -1,0 +1,599 @@
+//! The nine real-world bugs of the paper's Table 3 / Appendix A, each
+//! reproduced as a graph-level fault with a correct twin.
+//!
+//! | # | Source | Bug | Detection |
+//! |---|--------|-----|-----------|
+//! | 1 | ByteDance | incorrect offset in RoPE with SP | refinement fails at the rope operator |
+//! | 2 | ByteDance | missing `1/T` scaling of the auxiliary loss with TP | output reconstructible only via a (non-clean) scale |
+//! | 3 | ByteDance | mismatched padding/slicing around all-gather | refinement fails at the consumer matmul |
+//! | 4 | ByteDance | expert weights sharded instead of replicated under SP | refinement fails at the first matmul |
+//! | 5 | ByteDance | layernorm weight gradient not registered with the SP optimizer | user expectation violated |
+//! | 6 | HF transformers | unscaled gradient accumulation | output reconstructible only via a scale |
+//! | 7 | Megatron-LM | missing all-reduce after a row-parallel linear | refinement fails at the next parallel matmul |
+//! | 8 | Megatron-LM | missing all-reduce for the MoE router's gradients under TP+SP | user expectation violated |
+//! | 9 | TransformerEngine | missing all-reduce for SP layernorm weight gradients | user expectation violated |
+
+use entangle::{
+    check_expectation, check_refinement, CheckOptions, ExpectationError, RefinementError,
+    Relation,
+};
+use entangle_ir::{DType, Graph, GraphBuilder, IrError, Op};
+use entangle_models::RegressionConfig;
+
+use crate::accum::grad_accumulation;
+use crate::dist::Distributed;
+
+/// A reproduced bug: sequential model, distributed implementation (buggy or
+/// fixed), input relation, and the optional §4.4 expectation.
+pub struct BugCase {
+    /// Table 3 bug number (1–9).
+    pub id: usize,
+    /// Short name.
+    pub name: &'static str,
+    /// What went wrong, per Appendix A.
+    pub description: &'static str,
+    /// The sequential model `G_s`.
+    pub gs: Graph,
+    /// The distributed implementation `G_d` and its input maps.
+    pub dist: Distributed,
+    /// User expectation `(f_s, f_d)` as s-expressions, when the bug is only
+    /// visible through §4.4 expectation checking.
+    pub expectation: Option<(String, String)>,
+    /// Whether this instance carries the fault.
+    pub buggy: bool,
+}
+
+/// What running the checker on a [`BugCase`] produced.
+#[derive(Debug)]
+pub enum BugVerdict {
+    /// Refinement (and the expectation, if any) verified.
+    Clean,
+    /// Refinement failed — a bug, with the localization report.
+    RefinementBug(RefinementError),
+    /// The user expectation was violated.
+    ExpectationBug(ExpectationError),
+}
+
+impl BugVerdict {
+    /// `true` when the checker flagged a bug.
+    pub fn detected(&self) -> bool {
+        !matches!(self, BugVerdict::Clean)
+    }
+}
+
+impl BugCase {
+    /// The validated input relation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relation-construction failures (a case-construction bug).
+    pub fn relation(&self) -> Result<Relation, IrError> {
+        self.dist.relation(&self.gs)
+    }
+
+    /// Runs the appropriate check (refinement or expectation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the case's relation or expectation expressions are
+    /// malformed (construction bugs, not model bugs).
+    pub fn run(&self, opts: &CheckOptions) -> BugVerdict {
+        let ri = self.relation().expect("bug-case relation is valid");
+        match &self.expectation {
+            None => match check_refinement(&self.gs, &self.dist.graph, &ri, opts) {
+                Ok(_) => BugVerdict::Clean,
+                Err(e) => BugVerdict::RefinementBug(e),
+            },
+            Some((fs, fd)) => {
+                let fs = fs.parse().expect("f_s parses");
+                let fd = fd.parse().expect("f_d parses");
+                match check_expectation(&self.gs, &self.dist.graph, &ri, &fs, &fd, opts) {
+                    Ok(_) => BugVerdict::Clean,
+                    Err(ExpectationError::Refinement(e)) => BugVerdict::RefinementBug(e),
+                    Err(e) => BugVerdict::ExpectationBug(e),
+                }
+            }
+        }
+    }
+}
+
+/// Builds bug `id` (1–9), buggy or fixed.
+///
+/// # Panics
+///
+/// Panics for ids outside 1–9.
+pub fn bug(id: usize, buggy: bool) -> BugCase {
+    match id {
+        1 => bug1_rope_offset(buggy),
+        2 => bug2_aux_loss_scale(buggy),
+        3 => bug3_pad_slice_mismatch(buggy),
+        4 => bug4_sharded_expert_weights(buggy),
+        5 => bug5_layernorm_weight_aggregation(buggy),
+        6 => bug6_grad_accumulation_scale(buggy),
+        7 => bug7_missing_all_reduce_linear(buggy),
+        8 => bug8_moe_router_all_reduce(buggy),
+        9 => bug9_sp_layernorm_all_reduce(buggy),
+        other => panic!("no bug #{other}; Table 3 has bugs 1-9"),
+    }
+}
+
+/// All nine bugs, buggy or fixed.
+pub fn all_bugs(buggy: bool) -> Vec<BugCase> {
+    (1..=9).map(|id| bug(id, buggy)).collect()
+}
+
+const B: i64 = 2;
+const S: i64 = 8;
+const H: i64 = 8;
+
+/// Bug 1 (Figure 7): under SP, each rank must take *its* slice of the
+/// pre-computed cos/sin tables; the backward implementation forgot the
+/// offset and rank 1 reused rank 0's slice.
+fn bug1_rope_offset(buggy: bool) -> BugCase {
+    let mut gs = GraphBuilder::new("rope-seq");
+    let q = gs.input("q", &[B, S, H], DType::F32);
+    let cos = gs.input("full_cos", &[S, H], DType::F32);
+    let sin = gs.input("full_sin", &[S, H], DType::F32);
+    let out = gs.apply("apply_rotary", Op::Rope, &[q, cos, sin]).unwrap();
+    gs.mark_output(out);
+    let gs = gs.finish().unwrap();
+
+    let mut gd = GraphBuilder::new("rope-seq-sp2");
+    let half = S / 2;
+    let cos_d = gd.input("full_cos", &[S, H], DType::F32);
+    let sin_d = gd.input("full_sin", &[S, H], DType::F32);
+    let maps = vec![
+        ("q".to_owned(), "(concat q.0 q.1 1)".to_owned()),
+        ("full_cos".to_owned(), "full_cos".to_owned()),
+        ("full_sin".to_owned(), "full_sin".to_owned()),
+    ];
+    for r in 0..2i64 {
+        let qr = gd.input(&format!("q.{r}"), &[B, half, H], DType::F32);
+        // Correct: rank r slices [r·S/2, (r+1)·S/2). Buggy: both ranks
+        // slice [0, S/2) — the forgotten offset in the backward method.
+        let off = if buggy { 0 } else { r * half };
+        let cos_r = gd
+            .apply(
+                &format!("cos.{r}"),
+                Op::Slice {
+                    dim: 0,
+                    start: off.into(),
+                    end: (off + half).into(),
+                },
+                &[cos_d],
+            )
+            .unwrap();
+        let sin_r = gd
+            .apply(
+                &format!("sin.{r}"),
+                Op::Slice {
+                    dim: 0,
+                    start: off.into(),
+                    end: (off + half).into(),
+                },
+                &[sin_d],
+            )
+            .unwrap();
+        let out_r = gd
+            .apply(&format!("apply_rotary.{r}"), Op::Rope, &[qr, cos_r, sin_r])
+            .unwrap();
+        gd.mark_output(out_r);
+    }
+    let gd = gd.finish().unwrap();
+    BugCase {
+        id: 1,
+        name: "rope-offset-sp",
+        description: "incorrect offset in RoPE cos/sin slices with sequence parallelism",
+        gs,
+        dist: Distributed {
+            graph: gd,
+            input_maps: maps,
+        },
+        expectation: None,
+        buggy,
+    }
+}
+
+/// Bug 2: the MoE auxiliary loss must be scaled by `1/T` under TP so the
+/// subsequent reduction recovers the sequential loss; unscaled, the result
+/// is `T×` too large — and `scalar_mul` is not clean, so refinement fails.
+fn bug2_aux_loss_scale(buggy: bool) -> BugCase {
+    let e = 4i64;
+    let mut gs = GraphBuilder::new("aux-loss");
+    let load = gs.input("load", &[e], DType::F32);
+    let sq = gs.apply("load_sq", Op::Mul, &[load, load]).unwrap();
+    let aux = gs.apply("aux", Op::SumAll, &[sq]).unwrap();
+    gs.mark_output(aux);
+    let gs = gs.finish().unwrap();
+
+    let mut gd = GraphBuilder::new("aux-loss-tp2");
+    let load_d = gd.input("load", &[e], DType::F32);
+    let mut contributions = Vec::new();
+    for r in 0..2 {
+        let sq = gd.apply(&format!("load_sq.{r}"), Op::Mul, &[load_d, load_d]).unwrap();
+        let aux = gd.apply(&format!("aux.{r}"), Op::SumAll, &[sq]).unwrap();
+        let c = if buggy {
+            aux // BUG: forgot the 1/T scale
+        } else {
+            gd.apply(
+                &format!("aux_scaled.{r}"),
+                Op::ScalarMul { numer: 1, denom: 2 },
+                &[aux],
+            )
+            .unwrap()
+        };
+        contributions.push(c);
+    }
+    let total = gd.apply("aux_total", Op::AllReduce, &contributions).unwrap();
+    gd.mark_output(total);
+    let gd = gd.finish().unwrap();
+
+    BugCase {
+        id: 2,
+        name: "aux-loss-scale-tp",
+        description: "auxiliary loss not scaled down by the TP world size",
+        gs,
+        dist: Distributed {
+            graph: gd,
+            input_maps: vec![("load".to_owned(), "load".to_owned())],
+        },
+        expectation: None,
+        buggy,
+    }
+}
+
+/// Bug 3: the all-gather requires equal shard shapes, so shards are padded —
+/// but the slice removing the padding used inconsistent offsets, dropping a
+/// real element and keeping a padded zero.
+fn bug3_pad_slice_mismatch(buggy: bool) -> BugCase {
+    let (seq, h) = (6i64, 4i64);
+    let mut gs = GraphBuilder::new("pad-slice");
+    let x = gs.input("x", &[seq, h], DType::F32);
+    let w = gs.input("w", &[h, h], DType::F32);
+    let y = gs.apply("proj", Op::Matmul, &[x, w]).unwrap();
+    gs.mark_output(y);
+    let gs = gs.finish().unwrap();
+
+    let mut gd = GraphBuilder::new("pad-slice-sp2");
+    let half = seq / 2; // 3, padded to 4 for the all-gather
+    let x0 = gd.input("x.0", &[half, h], DType::F32);
+    let x1 = gd.input("x.1", &[half, h], DType::F32);
+    let w_d = gd.input("w", &[h, h], DType::F32);
+    let p0 = gd
+        .apply("pad.0", Op::Pad { dim: 0, before: 0.into(), after: 1.into() }, &[x0])
+        .unwrap();
+    let p1 = gd
+        .apply("pad.1", Op::Pad { dim: 0, before: 0.into(), after: 1.into() }, &[x1])
+        .unwrap();
+    let gathered = gd.apply("gather", Op::AllGather { dim: 0 }, &[p0, p1]).unwrap();
+    // Correct: drop the padding at positions 3 and 7. Buggy: slice [0,3)
+    // and [3,6) — keeps the padded zero at 3, drops the element at 4.
+    let (b0, b1) = if buggy { (3, 6) } else { (4, 7) };
+    let s0 = gd
+        .apply("unpad.0", Op::Slice { dim: 0, start: 0.into(), end: 3.into() }, &[gathered])
+        .unwrap();
+    let s1 = gd
+        .apply(
+            "unpad.1",
+            Op::Slice { dim: 0, start: b0.into(), end: b1.into() },
+            &[gathered],
+        )
+        .unwrap();
+    let full = gd.apply("unpadded", Op::Concat { dim: 0 }, &[s0, s1]).unwrap();
+    let y = gd.apply("proj", Op::Matmul, &[full, w_d]).unwrap();
+    gd.mark_output(y);
+    let gd = gd.finish().unwrap();
+
+    BugCase {
+        id: 3,
+        name: "pad-slice-mismatch",
+        description: "mismatched padding and slicing parameters in data processing",
+        gs,
+        dist: Distributed {
+            graph: gd,
+            input_maps: vec![
+                ("x".to_owned(), "(concat x.0 x.1 0)".to_owned()),
+                ("w".to_owned(), "w".to_owned()),
+            ],
+        },
+        expectation: None,
+        buggy,
+    }
+}
+
+/// Bug 4 (§2.2): switching the MoE sharding from TP to SP requires expert
+/// weights to be *replicated*, but a stale configuration left them sharded:
+/// each rank applies only its own expert slice to its sequence shard, and
+/// the off-diagonal blocks are never computed. The intermediate keeps its
+/// shape, so shape checking cannot catch this.
+fn bug4_sharded_expert_weights(buggy: bool) -> BugCase {
+    let mut gs = GraphBuilder::new("expert");
+    let x = gs.input("x", &[S, H], DType::F32);
+    let a = gs.input("a", &[H, H], DType::F32);
+    let c = gs.apply("xa", Op::Matmul, &[x, a]).unwrap();
+    gs.mark_output(c);
+    let gs = gs.finish().unwrap();
+
+    let half = S / 2;
+    let mut gd = GraphBuilder::new("expert-sp2");
+    let x0 = gd.input("x.0", &[half, H], DType::F32);
+    let x1 = gd.input("x.1", &[half, H], DType::F32);
+    let mut maps = vec![("x".to_owned(), "(concat x.0 x.1 0)".to_owned())];
+    let (y0, y1) = if buggy {
+        // BUG: the ranks hold *different* weights (the old TP sharding);
+        // rank r computes X_r × A_r and X_1 × A_0 etc. never exist.
+        let a0 = gd.input("a.0", &[H, H], DType::F32);
+        let a1 = gd.input("a.1", &[H, H], DType::F32);
+        // The honest input relation: rank 0 holds the configured weight
+        // (what SP semantics *should* replicate).
+        maps.push(("a".to_owned(), "a.0".to_owned()));
+        (
+            gd.apply("xa.0", Op::Matmul, &[x0, a0]).unwrap(),
+            gd.apply("xa.1", Op::Matmul, &[x1, a1]).unwrap(),
+        )
+    } else {
+        let a_d = gd.input("a", &[H, H], DType::F32);
+        maps.push(("a".to_owned(), "a".to_owned()));
+        (
+            gd.apply("xa.0", Op::Matmul, &[x0, a_d]).unwrap(),
+            gd.apply("xa.1", Op::Matmul, &[x1, a_d]).unwrap(),
+        )
+    };
+    let full = gd.apply("xa", Op::AllGather { dim: 0 }, &[y0, y1]).unwrap();
+    gd.mark_output(full);
+    let gd = gd.finish().unwrap();
+
+    BugCase {
+        id: 4,
+        name: "sharded-expert-weights-sp",
+        description: "incompatible configuration: expert weights sharded instead of replicated under SP",
+        gs,
+        dist: Distributed {
+            graph: gd,
+            input_maps: maps,
+        },
+        expectation: None,
+        buggy,
+    }
+}
+
+/// Bug 5: a layernorm's weight was never registered with the SP-group
+/// optimizer, so its gradient is missing the all-reduce. Refinement *can*
+/// relate the per-rank partials, but the user's expectation — the optimizer
+/// reads an already-aggregated gradient — is violated.
+fn bug5_layernorm_weight_aggregation(buggy: bool) -> BugCase {
+    let mut gs = GraphBuilder::new("ln-weight-grad");
+    // Gradient of a layernorm weight: sum over all positions of
+    // (normalized activation × upstream gradient); positions are
+    // sequence-sharded under SP.
+    let contrib = gs.input("contrib", &[S, H], DType::F32);
+    let grad = gs
+        .apply("ln_w_grad", Op::SumDim { dim: 0, keepdim: false }, &[contrib])
+        .unwrap();
+    gs.mark_output(grad);
+    let gs = gs.finish().unwrap();
+
+    let half = S / 2;
+    let mut gd = GraphBuilder::new("ln-weight-grad-sp2");
+    let c0 = gd.input("contrib.0", &[half, H], DType::F32);
+    let c1 = gd.input("contrib.1", &[half, H], DType::F32);
+    let g0 = gd
+        .apply("grad.0", Op::SumDim { dim: 0, keepdim: false }, &[c0])
+        .unwrap();
+    let g1 = gd
+        .apply("grad.1", Op::SumDim { dim: 0, keepdim: false }, &[c1])
+        .unwrap();
+    gd.mark_output(g0);
+    gd.mark_output(g1);
+    let expected = if buggy {
+        // BUG: the weight was never registered, so the optimizer consumes
+        // the rank-local partial as if it were the full gradient.
+        "grad.0".to_owned()
+    } else {
+        let agg = gd.apply("grad_agg", Op::AllReduce, &[g0, g1]).unwrap();
+        gd.mark_output(agg);
+        "grad_agg".to_owned()
+    };
+    let gd = gd.finish().unwrap();
+
+    BugCase {
+        id: 5,
+        name: "ln-weight-missing-aggregation",
+        description: "layernorm weight not registered with the SP optimizer group",
+        gs,
+        dist: Distributed {
+            graph: gd,
+            input_maps: vec![(
+                "contrib".to_owned(),
+                "(concat contrib.0 contrib.1 0)".to_owned(),
+            )],
+        },
+        expectation: Some(("ln_w_grad".to_owned(), expected)),
+        buggy,
+    }
+}
+
+/// Bug 6: gradient accumulation without the `1/M` loss scaling.
+fn bug6_grad_accumulation_scale(buggy: bool) -> BugCase {
+    let cfg = RegressionConfig::tiny();
+    let gs = entangle_models::regression(&cfg);
+    let dist = grad_accumulation(&cfg, 2, !buggy);
+    BugCase {
+        id: 6,
+        name: "grad-accumulation-scale",
+        description: "wrong (missing) scaling in gradient accumulation",
+        gs,
+        dist,
+        expectation: None,
+        buggy,
+    }
+}
+
+/// Bug 7: a mis-configuration dropped the all-reduce after a row-parallel
+/// linear layer; the partial sums flow into the next column-parallel matmul
+/// and the off-diagonal products are never computed.
+fn bug7_missing_all_reduce_linear(buggy: bool) -> BugCase {
+    let mut gs = GraphBuilder::new("two-linears");
+    let x = gs.input("x", &[S, H], DType::F32);
+    let a = gs.input("a", &[H, H], DType::F32);
+    let bw = gs.input("bmat", &[H, H], DType::F32);
+    let h = gs.apply("h", Op::Matmul, &[x, a]).unwrap();
+    let y = gs.apply("y", Op::Matmul, &[h, bw]).unwrap();
+    gs.mark_output(y);
+    let gs = gs.finish().unwrap();
+
+    let hh = H / 2;
+    let mut gd = GraphBuilder::new("two-linears-tp2");
+    let x0 = gd.input("x.0", &[S, hh], DType::F32);
+    let x1 = gd.input("x.1", &[S, hh], DType::F32);
+    let a0 = gd.input("a.0", &[hh, H], DType::F32);
+    let a1 = gd.input("a.1", &[hh, H], DType::F32);
+    let b0 = gd.input("bmat.0", &[H, hh], DType::F32);
+    let b1 = gd.input("bmat.1", &[H, hh], DType::F32);
+    let h0 = gd.apply("h.0", Op::Matmul, &[x0, a0]).unwrap();
+    let h1 = gd.apply("h.1", Op::Matmul, &[x1, a1]).unwrap();
+    let (in0, in1) = if buggy {
+        (h0, h1) // BUG: partial sums flow on, unreduced
+    } else {
+        let hf0 = gd.apply("h_full.0", Op::AllReduce, &[h0, h1]).unwrap();
+        let hf1 = gd.apply("h_full.1", Op::AllReduce, &[h0, h1]).unwrap();
+        (hf0, hf1)
+    };
+    let y0 = gd.apply("y.0", Op::Matmul, &[in0, b0]).unwrap();
+    let y1 = gd.apply("y.1", Op::Matmul, &[in1, b1]).unwrap();
+    let y = gd.apply("y", Op::AllGather { dim: 1 }, &[y0, y1]).unwrap();
+    gd.mark_output(y);
+    let gd = gd.finish().unwrap();
+
+    BugCase {
+        id: 7,
+        name: "missing-all-reduce-linear",
+        description: "missing all-reduce in a parallel linear layer due to mis-configuration",
+        gs,
+        dist: Distributed {
+            graph: gd,
+            input_maps: vec![
+                ("x".to_owned(), "(concat x.0 x.1 1)".to_owned()),
+                ("a".to_owned(), "(concat a.0 a.1 0)".to_owned()),
+                ("bmat".to_owned(), "(concat bmat.0 bmat.1 1)".to_owned()),
+            ],
+        },
+        expectation: None,
+        buggy,
+    }
+}
+
+/// Bug 8: the MoE router's weight gradients were not all-reduced when both
+/// TP and SP were enabled — another expectation-style bug: refinement can
+/// still relate the partials, but Megatron's optimizer expected the reduced
+/// value.
+fn bug8_moe_router_all_reduce(buggy: bool) -> BugCase {
+    let e = 4i64;
+    let mut gs = GraphBuilder::new("router-grad");
+    let x = gs.input("x", &[S, H], DType::F32);
+    let d = gs.input("delta", &[S, e], DType::F32);
+    let xt = gs.apply("xT", Op::Transpose { d0: 0, d1: 1 }, &[x]).unwrap();
+    let grad = gs.apply("wr_grad", Op::Matmul, &[xt, d]).unwrap();
+    gs.mark_output(grad);
+    let gs = gs.finish().unwrap();
+
+    let half = S / 2;
+    let mut gd = GraphBuilder::new("router-grad-sp2");
+    let mut partials = Vec::new();
+    for r in 0..2 {
+        let xr = gd.input(&format!("x.{r}"), &[half, H], DType::F32);
+        let dr = gd.input(&format!("delta.{r}"), &[half, e], DType::F32);
+        let xt = gd
+            .apply(&format!("xT.{r}"), Op::Transpose { d0: 0, d1: 1 }, &[xr])
+            .unwrap();
+        let p = gd.apply(&format!("wr_grad.{r}"), Op::Matmul, &[xt, dr]).unwrap();
+        gd.mark_output(p);
+        partials.push(p);
+    }
+    let expected = if buggy {
+        "wr_grad.0".to_owned() // BUG: rank-local partial used directly
+    } else {
+        let agg = gd.apply("wr_grad_agg", Op::AllReduce, &partials).unwrap();
+        gd.mark_output(agg);
+        "wr_grad_agg".to_owned()
+    };
+    let gd = gd.finish().unwrap();
+
+    BugCase {
+        id: 8,
+        name: "moe-router-missing-all-reduce",
+        description: "missing all-reduce in the optimizer for the TP+SP MoE router",
+        gs,
+        dist: Distributed {
+            graph: gd,
+            input_maps: vec![
+                ("x".to_owned(), "(concat x.0 x.1 0)".to_owned()),
+                ("delta".to_owned(), "(concat delta.0 delta.1 0)".to_owned()),
+            ],
+        },
+        expectation: Some(("wr_grad".to_owned(), expected)),
+        buggy,
+    }
+}
+
+/// Bug 9: TransformerEngine's new LayerNorm/RMSNorm API forgot to all-reduce
+/// the weight gradients under SP. ENTANGLE finds a refinement (through an
+/// all-reduce), but the user expected none to be necessary.
+fn bug9_sp_layernorm_all_reduce(buggy: bool) -> BugCase {
+    let mut gs = GraphBuilder::new("rms-weight-grad");
+    // RMSNorm weight gradient: elementwise product of normalized input and
+    // upstream gradient, summed over positions.
+    let normed = gs.input("normed", &[S, H], DType::F32);
+    let up = gs.input("upstream", &[S, H], DType::F32);
+    let prod = gs.apply("prod", Op::Mul, &[normed, up]).unwrap();
+    let grad = gs
+        .apply("rms_w_grad", Op::SumDim { dim: 0, keepdim: false }, &[prod])
+        .unwrap();
+    gs.mark_output(grad);
+    let gs = gs.finish().unwrap();
+
+    let half = S / 2;
+    let mut gd = GraphBuilder::new("rms-weight-grad-sp2");
+    let mut partials = Vec::new();
+    for r in 0..2 {
+        let n = gd.input(&format!("normed.{r}"), &[half, H], DType::F32);
+        let u = gd.input(&format!("upstream.{r}"), &[half, H], DType::F32);
+        let prod = gd.apply(&format!("prod.{r}"), Op::Mul, &[n, u]).unwrap();
+        let p = gd
+            .apply(
+                &format!("rms_w_grad.{r}"),
+                Op::SumDim { dim: 0, keepdim: false },
+                &[prod],
+            )
+            .unwrap();
+        gd.mark_output(p);
+        partials.push(p);
+    }
+    let expected = if buggy {
+        "rms_w_grad.0".to_owned()
+    } else {
+        let agg = gd.apply("rms_w_grad_agg", Op::AllReduce, &partials).unwrap();
+        gd.mark_output(agg);
+        "rms_w_grad_agg".to_owned()
+    };
+    let gd = gd.finish().unwrap();
+
+    BugCase {
+        id: 9,
+        name: "sp-layernorm-missing-all-reduce",
+        description: "missing all-reduce in the optimizer for SP layernorm/RMSNorm weights",
+        gs,
+        dist: Distributed {
+            graph: gd,
+            input_maps: vec![
+                ("normed".to_owned(), "(concat normed.0 normed.1 0)".to_owned()),
+                (
+                    "upstream".to_owned(),
+                    "(concat upstream.0 upstream.1 0)".to_owned(),
+                ),
+            ],
+        },
+        expectation: Some(("rms_w_grad".to_owned(), expected)),
+        buggy,
+    }
+}

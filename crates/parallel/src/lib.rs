@@ -1,0 +1,48 @@
+//! Distribution strategies and the Table 3 bug injectors.
+//!
+//! The paper's workflow (§1): "an implementer converts the specification into
+//! a distributed version by deciding how to partition model state and
+//! computation", adding communication and transformation operators along the
+//! way. This crate is that implementer, mechanized: given a sequential model
+//! from `entangle-models` and a [`Strategy`], it emits the distributed graph
+//! `G_d` a framework like Megatron-LM would produce — column/row-parallel
+//! linear layers with all-reduces (TP), sequence sharding with
+//! all-gather/reduce-scatter around the norm regions (SP), vocab-parallel
+//! output heads (VP), expert sharding (EP), and microbatched gradient
+//! accumulation — **together with the input relation `R_i`** mapping the
+//! sequential inputs onto the distributed ones.
+//!
+//! The [`bugs`] module re-introduces the nine real-world bugs of the paper's
+//! Table 3 / Appendix A as graph-level faults, each with a correct twin so
+//! the no-false-alarm claim can be tested too.
+//!
+//! # Examples
+//!
+//! ```
+//! use entangle::{check_refinement, CheckOptions};
+//! use entangle_models::{gpt, ModelConfig};
+//! use entangle_parallel::{parallelize, Strategy};
+//!
+//! let cfg = ModelConfig::tiny();
+//! let gs = gpt(&cfg);
+//! let dist = parallelize(&cfg, entangle_models::Arch::Gpt, &Strategy::tp(2));
+//! let ri = dist.relation(&gs).unwrap();
+//! let outcome = check_refinement(&gs, &dist.graph, &ri, &CheckOptions::default()).unwrap();
+//! assert!(outcome.output_relation.is_complete_for(gs.outputs()));
+//! ```
+
+mod accum;
+pub mod bugs;
+mod dist;
+mod dp_pp;
+mod dp_training;
+mod transformer;
+
+pub use accum::grad_accumulation;
+pub use dist::Distributed;
+pub use dp_pp::{data_parallel, pipeline};
+pub use dp_training::{data_parallel_training, DpError, DpTraining};
+pub use transformer::{parallelize, parallelize_moe, Strategy};
+
+#[cfg(test)]
+mod tests;

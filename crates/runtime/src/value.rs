@@ -1,0 +1,200 @@
+//! Dense row-major tensors.
+
+use std::fmt;
+
+/// A dense, row-major, `f64` tensor value.
+///
+/// Integer tensors (token ids) are stored as floats holding exact small
+/// integers — the interpreter rounds where an integer is semantically
+/// required (embedding/cross-entropy indices).
+///
+/// # Examples
+///
+/// ```
+/// use entangle_runtime::Value;
+///
+/// let v = Value::new(vec![2, 3], (0..6).map(|i| i as f64).collect()).unwrap();
+/// assert_eq!(v.shape(), &[2, 3]);
+/// assert_eq!(v.get(&[1, 2]), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Value {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Value {
+    /// Creates a value; `data.len()` must equal the shape's element count.
+    pub fn new(shape: Vec<usize>, data: Vec<f64>) -> Option<Value> {
+        if shape.iter().product::<usize>() == data.len() {
+            Some(Value { shape, data })
+        } else {
+            None
+        }
+    }
+
+    /// A scalar (rank-0) value.
+    pub fn scalar(v: f64) -> Value {
+        Value {
+            shape: vec![],
+            data: vec![v],
+        }
+    }
+
+    /// A zero-filled value.
+    pub fn zeros(shape: Vec<usize>) -> Value {
+        let n = shape.iter().product();
+        Value {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The flat data, row-major.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The scalar value of a rank-0 (or single-element) tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn as_scalar(&self) -> f64 {
+        assert_eq!(self.data.len(), 1, "as_scalar on non-scalar value");
+        self.data[0]
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1; self.shape.len()];
+        for i in (0..self.shape.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.shape[i + 1];
+        }
+        s
+    }
+
+    /// Flat offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or bounds mismatch.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let strides = self.strides();
+        let mut off = 0;
+        for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(ix < dim, "index {ix} out of bounds for dim {i} ({dim})");
+            off += ix * strides[i];
+        }
+        off
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, index: &[usize]) -> f64 {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    pub fn set(&mut self, index: &[usize], v: f64) {
+        let off = self.offset(index);
+        self.data[off] = v;
+    }
+
+    /// Iterates all multi-indices of this shape in row-major order.
+    pub fn indices(&self) -> IndexIter {
+        IndexIter::new(self.shape.clone())
+    }
+
+    /// Max absolute difference to another value; `None` on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Value) -> Option<f64> {
+        if self.shape != other.shape {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// `true` when every element differs by at most `tol`.
+    pub fn allclose(&self, other: &Value, tol: f64) -> bool {
+        self.max_abs_diff(other).is_some_and(|d| d <= tol)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+/// Row-major multi-index iterator over a shape.
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl IndexIter {
+    fn new(shape: Vec<usize>) -> IndexIter {
+        let next = if shape.iter().any(|&d| d == 0) {
+            None
+        } else {
+            Some(vec![0; shape.len()])
+        };
+        IndexIter { shape, next }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance.
+        let mut idx = current.clone();
+        let mut carried = true;
+        for i in (0..self.shape.len()).rev() {
+            idx[i] += 1;
+            if idx[i] < self.shape[i] {
+                carried = false;
+                break;
+            }
+            idx[i] = 0;
+        }
+        self.next = if carried || self.shape.is_empty() {
+            None
+        } else {
+            Some(idx)
+        };
+        Some(current)
+    }
+}

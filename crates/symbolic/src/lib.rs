@@ -1,0 +1,50 @@
+//! Symbolic scalar encoding and a linear integer arithmetic decision procedure.
+//!
+//! ENTANGLE's captured computation graphs carry no tensor data, only metadata,
+//! and some of that metadata (shapes, slice bounds) is *symbolic*: a scalar
+//! extracted from a tensor whose concrete value is unknown at check time. The
+//! paper encodes such scalars in SMT-LIB and asks an SMT solver whether, under
+//! user-provided constraints, two scalars are equal (or ordered). It also notes
+//! that "only simple operations (e.g., addition) are used on symbolic scalars",
+//! so the full power of SMT is never needed.
+//!
+//! This crate is the stand-in for that SMT-LIB dependency: it implements the
+//! fragment that is actually exercised — affine expressions over symbolic
+//! integer variables, with linear equality/inequality constraints — and
+//! decides queries by [Fourier–Motzkin elimination] over the rationals.
+//! Rational infeasibility implies integer infeasibility, so every `Proved`
+//! answer is sound; when the relaxation is satisfiable the answer is
+//! [`Truth::Unknown`], which callers treat conservatively (a lemma condition
+//! that cannot be proved simply does not fire, costing completeness but never
+//! soundness — mirroring §3.3 of the paper).
+//!
+//! [Fourier–Motzkin elimination]:
+//!     https://en.wikipedia.org/wiki/Fourier%E2%80%93Motzkin_elimination
+//!
+//! # Examples
+//!
+//! ```
+//! use entangle_symbolic::{SymCtx, SymExpr, Rel, Truth};
+//!
+//! let mut ctx = SymCtx::new();
+//! let n = ctx.var("n");
+//! // The user tells us the sequence length is positive and even.
+//! ctx.assume(n.clone(), Rel::Ge, SymExpr::constant(2));
+//!
+//! // Is  n/2 + n/2 == n ?  (we phrase halves as a fresh var h with 2h = n)
+//! let h = ctx.var("h");
+//! ctx.assume(h.clone() * 2, Rel::Eq, n.clone());
+//! assert_eq!(ctx.check(&(h.clone() + h.clone()), Rel::Eq, &n), Truth::Proved);
+//! // Is  h >= n ?  Not provable (h = n/2 < n whenever n > 0), and in fact
+//! // refutable:
+//! assert_eq!(ctx.check(&h, Rel::Ge, &n), Truth::Refuted);
+//! ```
+
+mod expr;
+mod solver;
+
+pub use expr::{SymExpr, SymVar};
+pub use solver::{Rel, SymCtx, Truth};
+
+#[cfg(test)]
+mod tests;

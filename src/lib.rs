@@ -1,0 +1,26 @@
+//! Umbrella crate for the ENTANGLE reproduction workspace.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories. It re-exports the member crates so examples and integration
+//! tests can refer to everything through one import root.
+//!
+//! The actual library surface lives in the member crates:
+//!
+//! - [`entangle`] — the refinement checker (the paper's contribution)
+//! - [`entangle_ir`] — tensor computation-graph IR
+//! - [`entangle_egraph`] — equality-saturation engine
+//! - [`entangle_symbolic`] — symbolic scalar decision procedure
+//! - [`entangle_runtime`] — concrete dense-tensor interpreter
+//! - [`entangle_lemmas`] — rewrite-lemma corpus
+//! - [`entangle_models`] — sequential model zoo
+//! - [`entangle_parallel`] — distribution strategies and bug injectors
+
+pub use entangle;
+pub use entangle_autodiff;
+pub use entangle_egraph;
+pub use entangle_ir;
+pub use entangle_lemmas;
+pub use entangle_models;
+pub use entangle_parallel;
+pub use entangle_runtime;
+pub use entangle_symbolic;

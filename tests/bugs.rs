@@ -1,0 +1,43 @@
+//! Workspace-level Table 3 check: all nine bugs detected, no false alarms —
+//! the §6.2 claim, via the public API.
+
+use entangle::CheckOptions;
+use entangle_parallel::bugs::{all_bugs, BugVerdict};
+
+#[test]
+fn table3_all_bugs_detected_and_no_false_alarms() {
+    let opts = CheckOptions::default();
+    for case in all_bugs(true) {
+        assert!(
+            case.run(&opts).detected(),
+            "bug {} ({}) escaped detection",
+            case.id,
+            case.name
+        );
+    }
+    for case in all_bugs(false) {
+        let verdict = case.run(&opts);
+        assert!(
+            !verdict.detected(),
+            "fixed twin of bug {} raised a false alarm: {verdict:?}",
+            case.id
+        );
+    }
+}
+
+#[test]
+fn refinement_errors_render_actionable_reports() {
+    let opts = CheckOptions::default();
+    for case in all_bugs(true) {
+        let text = match case.run(&opts) {
+            BugVerdict::Clean => unreachable!("bug {} must be detected", case.id),
+            BugVerdict::RefinementBug(e) => e.to_string(),
+            BugVerdict::ExpectationBug(e) => e.to_string(),
+        };
+        assert!(
+            text.len() > 40,
+            "bug {} report is too terse: {text}",
+            case.id
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Property-based "strategy fuzzing": random sequential operator chains are
+//! distributed by a random (valid) sharding and must verify; the same chains
+//! with an injected fault must not. This generalizes the fixed Table 3
+//! cases into a generative test of the checker's soundness/usefulness
+//! trade-off.
+
+use entangle::{check_refinement, CheckOptions, Relation};
+use entangle_ir::{DType, Dim, Graph, GraphBuilder, Op, TensorId};
+use proptest::prelude::*;
+
+/// One random elementwise/matmul chain step.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Gelu,
+    Relu,
+    Tanh,
+    Sigmoid,
+    AddBias,
+    MatmulSquare,
+    ScaleHalfTwice, // scalar_mul 1/2 then 2/1: clean-neutral computation
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::Gelu),
+        Just(Step::Relu),
+        Just(Step::Tanh),
+        Just(Step::Sigmoid),
+        Just(Step::AddBias),
+        Just(Step::MatmulSquare),
+        Just(Step::ScaleHalfTwice),
+    ]
+}
+
+const ROWS: i64 = 8;
+const COLS: i64 = 4;
+
+/// Builds the sequential chain over an `[ROWS, COLS]` input.
+fn build_sequential(steps: &[Step]) -> Graph {
+    let mut g = GraphBuilder::new("fuzz-seq");
+    let mut x = g.input("x", &[ROWS, COLS], DType::F32);
+    for (i, step) in steps.iter().enumerate() {
+        x = apply_step(&mut g, &format!("s{i}"), *step, x, |g, name, dims| {
+            g.input(name, dims, DType::F32)
+        });
+    }
+    g.mark_output(x);
+    g.finish().expect("sequential fuzz graph validates")
+}
+
+fn apply_step(
+    g: &mut GraphBuilder,
+    prefix: &str,
+    step: Step,
+    x: TensorId,
+    mut weight: impl FnMut(&mut GraphBuilder, &str, &[i64]) -> TensorId,
+) -> TensorId {
+    match step {
+        Step::Gelu => g.apply(&format!("{prefix}.gelu"), Op::Gelu, &[x]).unwrap(),
+        Step::Relu => g.apply(&format!("{prefix}.relu"), Op::Relu, &[x]).unwrap(),
+        Step::Tanh => g.apply(&format!("{prefix}.tanh"), Op::Tanh, &[x]).unwrap(),
+        Step::Sigmoid => g
+            .apply(&format!("{prefix}.sigmoid"), Op::Sigmoid, &[x])
+            .unwrap(),
+        Step::AddBias => {
+            let b = weight(g, &format!("{prefix}.bias"), &[COLS]);
+            g.apply(&format!("{prefix}.addb"), Op::Add, &[x, b]).unwrap()
+        }
+        Step::MatmulSquare => {
+            let w = weight(g, &format!("{prefix}.w"), &[COLS, COLS]);
+            g.apply(&format!("{prefix}.mm"), Op::Matmul, &[x, w]).unwrap()
+        }
+        Step::ScaleHalfTwice => {
+            let half = g
+                .apply(
+                    &format!("{prefix}.half"),
+                    Op::ScalarMul { numer: 1, denom: 2 },
+                    &[x],
+                )
+                .unwrap();
+            g.apply(
+                &format!("{prefix}.double"),
+                Op::ScalarMul { numer: 2, denom: 1 },
+                &[half],
+            )
+            .unwrap()
+        }
+    }
+}
+
+/// Distributes the chain by row-sharding the input across two ranks
+/// (sequence-parallel style), replicating the weights, and all-gathering
+/// the final output. When `fault` is set, rank 1 silently drops one step —
+/// the kind of divergence a misconfiguration produces.
+fn build_distributed(steps: &[Step], fault: Option<usize>) -> (Graph, Vec<(String, String)>) {
+    let mut g = GraphBuilder::new("fuzz-dist");
+    let mut maps = vec![("x".to_owned(), "(concat x.0 x.1 0)".to_owned())];
+    let half = ROWS / 2;
+    let mut shards: Vec<TensorId> = (0..2)
+        .map(|r| g.input(&format!("x.{r}"), &[half, COLS], DType::F32))
+        .collect();
+    for (i, step) in steps.iter().enumerate() {
+        // Weights are shared across ranks (replicated).
+        let mut weights: Vec<TensorId> = Vec::new();
+        {
+            let g = &mut g;
+            match step {
+                Step::AddBias => {
+                    let name = format!("s{i}.bias");
+                    let id = g.input(&name, &[COLS], DType::F32);
+                    maps.push((name.clone(), name));
+                    weights.push(id);
+                }
+                Step::MatmulSquare => {
+                    let name = format!("s{i}.w");
+                    let id = g.input(&name, &[COLS, COLS], DType::F32);
+                    maps.push((name.clone(), name));
+                    weights.push(id);
+                }
+                _ => {}
+            }
+        }
+        for r in 0..2 {
+            if fault == Some(i) && r == 1 {
+                continue; // rank 1 forgets this step entirely
+            }
+            let mut widx = 0;
+            shards[r] = apply_step(&mut g, &format!("r{r}.s{i}"), *step, shards[r], |_, _, _| {
+                let w = weights[widx];
+                widx += 1;
+                w
+            });
+        }
+    }
+    let out = g
+        .apply("gathered", Op::AllGather { dim: 0 }, &shards)
+        .unwrap();
+    g.mark_output(out);
+    (g.finish().expect("distributed fuzz graph validates"), maps)
+}
+
+fn relation(gs: &Graph, gd: &Graph, maps: &[(String, String)]) -> Relation {
+    let mut b = Relation::builder(gs, gd);
+    for (name, expr) in maps {
+        b.map(name, expr).expect("fuzz maps validate");
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any random chain, correctly sharded, verifies.
+    #[test]
+    fn correct_shardings_always_verify(steps in proptest::collection::vec(arb_step(), 1..6)) {
+        let gs = build_sequential(&steps);
+        let (gd, maps) = build_distributed(&steps, None);
+        let ri = relation(&gs, &gd, &maps);
+        let outcome = check_refinement(&gs, &gd, &ri, &CheckOptions::default())
+            .expect("correct sharding must verify");
+        prop_assert!(outcome.output_relation.is_complete_for(gs.outputs()));
+    }
+
+    /// Dropping a value-changing step on one rank is always detected.
+    #[test]
+    fn dropped_steps_are_always_detected(
+        steps in proptest::collection::vec(arb_step(), 1..6),
+        fault_idx in 0usize..6,
+    ) {
+        // `ScaleHalfTwice` composes to the identity (x·½·2 = x), so dropping
+        // it is semantically harmless and the checker *correctly* verifies —
+        // fault only value-changing steps.
+        let changing: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, Step::ScaleHalfTwice))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!changing.is_empty());
+        let fault = changing[fault_idx % changing.len()];
+        let gs = build_sequential(&steps);
+        let (gd, maps) = build_distributed(&steps, Some(fault));
+        let ri = relation(&gs, &gd, &maps);
+        let result = check_refinement(&gs, &gd, &ri, &CheckOptions::default());
+        prop_assert!(
+            result.is_err(),
+            "fault at step {fault} ({:?}) escaped detection",
+            steps[fault]
+        );
+    }
+}
+
+#[test]
+fn symbolic_dim_rows_also_fuzz() {
+    // The same chain shape with a symbolic row count: sharding verifies
+    // through the Fourier–Motzkin seam arithmetic.
+    let mut ctx = entangle_symbolic::SymCtx::new();
+    let n = ctx.var("n");
+    ctx.assume(
+        n.clone(),
+        entangle_symbolic::Rel::Ge,
+        entangle_symbolic::SymExpr::constant(1),
+    );
+
+    let mut gs = GraphBuilder::new("sym-seq");
+    let x = gs.input_shaped(
+        "x",
+        entangle_ir::Shape(vec![Dim(n.clone() * 2), Dim::from(COLS)]),
+        DType::F32,
+    );
+    let y = gs.apply("gelu", Op::Gelu, &[x]).unwrap();
+    let z = gs.apply("tanh", Op::Tanh, &[y]).unwrap();
+    gs.mark_output(z);
+    let gs = gs.finish().unwrap();
+
+    let mut gd = GraphBuilder::new("sym-dist");
+    let shard_shape = entangle_ir::Shape(vec![Dim(n.clone()), Dim::from(COLS)]);
+    let x0 = gd.input_shaped("x.0", shard_shape.clone(), DType::F32);
+    let x1 = gd.input_shaped("x.1", shard_shape, DType::F32);
+    let y0 = gd.apply("gelu.0", Op::Gelu, &[x0]).unwrap();
+    let y1 = gd.apply("gelu.1", Op::Gelu, &[x1]).unwrap();
+    let z0 = gd.apply("tanh.0", Op::Tanh, &[y0]).unwrap();
+    let z1 = gd.apply("tanh.1", Op::Tanh, &[y1]).unwrap();
+    gd.mark_output(z0);
+    gd.mark_output(z1);
+    let gd = gd.finish().unwrap();
+
+    let mut ri = Relation::builder(&gs, &gd);
+    ri.map("x", "(concat x.0 x.1 0)").unwrap();
+    let opts = CheckOptions {
+        sym_ctx: ctx,
+        ..CheckOptions::default()
+    };
+    let outcome = check_refinement(&gs, &gd, &ri.build(), &opts).unwrap();
+    assert!(outcome.output_relation.is_complete_for(gs.outputs()));
+}

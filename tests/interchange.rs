@@ -1,0 +1,50 @@
+//! Integration of the JSON interchange format (the §5 foreign-IR bridge)
+//! with the checker.
+
+use entangle::{check_refinement, CheckOptions, Relation};
+use entangle_ir::Graph;
+use entangle_models::{qwen2, Arch, ModelConfig};
+use entangle_parallel::{parallelize, Strategy};
+
+#[test]
+fn verification_works_on_deserialized_graphs() {
+    let cfg = ModelConfig::tiny();
+    let gs = qwen2(&cfg);
+    let dist = parallelize(&cfg, Arch::Qwen2, &Strategy::tp(2));
+
+    let gs2 = Graph::from_json(&gs.to_json().unwrap()).unwrap();
+    let gd2 = Graph::from_json(&dist.graph.to_json().unwrap()).unwrap();
+
+    let mut ri = Relation::builder(&gs2, &gd2);
+    for (name, expr) in &dist.input_maps {
+        ri.map(name, expr).unwrap();
+    }
+    let outcome =
+        check_refinement(&gs2, &gd2, &ri.build(), &CheckOptions::default()).unwrap();
+    assert!(outcome.output_relation.is_complete_for(gs2.outputs()));
+}
+
+#[test]
+fn symbolic_shapes_survive_interchange() {
+    use entangle_ir::{DType, Dim, GraphBuilder, Op, Shape};
+    let mut ctx = entangle_symbolic::SymCtx::new();
+    let n = ctx.var("n");
+    let mut g = GraphBuilder::new("symbolic");
+    let x = g.input_shaped("x", Shape(vec![Dim(n.clone()), Dim::from(4)]), DType::F32);
+    let y = g.apply("y", Op::Gelu, &[x]).unwrap();
+    g.mark_output(y);
+    let graph = g.finish().unwrap();
+    let back = Graph::from_json(&graph.to_json().unwrap()).unwrap();
+    assert_eq!(back.tensor(y).shape, graph.tensor(y).shape);
+}
+
+#[test]
+fn malformed_interchange_is_rejected() {
+    let cfg = ModelConfig::tiny();
+    let gs = qwen2(&cfg);
+    let json = gs.to_json().unwrap();
+    // Truncation and field corruption both fail closed.
+    assert!(Graph::from_json(&json[..json.len() / 2]).is_err());
+    let corrupt = json.replacen("\"Matmul\"", "\"Softmax\"", 1);
+    assert!(Graph::from_json(&corrupt).is_err());
+}
