@@ -143,21 +143,31 @@ fn accumulate(
 
 /// Reduces `grad` back to `target`'s shape after broadcasting: sums the
 /// extra leading dims, then sums (keepdim) over axes broadcast from size 1.
-fn unbroadcast(
-    b: &mut Builder,
-    grad: TensorId,
-    target: &Shape,
-) -> Result<TensorId, AutodiffError> {
+fn unbroadcast(b: &mut Builder, grad: TensorId, target: &Shape) -> Result<TensorId, AutodiffError> {
     let mut g = grad;
     while b.shape(g).rank() > target.rank() {
-        g = b.ap("unb_lead", Op::SumDim { dim: 0, keepdim: false }, &[g])?;
+        g = b.ap(
+            "unb_lead",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[g],
+        )?;
     }
     let gshape = b.shape(g);
     for d in 0..target.rank() {
         let t1 = target.dim(d).as_const() == Some(1);
         let g1 = gshape.dim(d).as_const() == Some(1);
         if t1 && !g1 {
-            g = b.ap("unb_axis", Op::SumDim { dim: d, keepdim: true }, &[g])?;
+            g = b.ap(
+                "unb_axis",
+                Op::SumDim {
+                    dim: d,
+                    keepdim: true,
+                },
+                &[g],
+            )?;
         }
     }
     Ok(g)
@@ -212,7 +222,14 @@ fn vjp(
         Op::Rsqrt => {
             // d/dx x^(-1/2) = -1/2 · y / x
             let frac = b.ap("rs_frac", Op::Div, &[y, ins[0]])?;
-            let scaled = b.ap("rs_scale", Op::ScalarMul { numer: -1, denom: 2 }, &[frac])?;
+            let scaled = b.ap(
+                "rs_scale",
+                Op::ScalarMul {
+                    numer: -1,
+                    denom: 2,
+                },
+                &[frac],
+            )?;
             vec![(ins[0], b.ap("rsqrt", Op::Mul, &[u, scaled])?)]
         }
         Op::Tanh => {
@@ -377,7 +394,11 @@ fn vjp(
             )?;
             vec![(ins[0], g)]
         }
-        Op::Pad { dim, before, after: _ } => {
+        Op::Pad {
+            dim,
+            before,
+            after: _,
+        } => {
             let size = b.shape(ins[0]).dim(*dim).0.clone();
             let lo = before.clone();
             let hi = Dim(before.0.clone() + size);
@@ -414,7 +435,10 @@ fn vjp(
             out
         }
         Op::Transpose { d0, d1 } => {
-            vec![(ins[0], b.ap("transp", Op::Transpose { d0: *d0, d1: *d1 }, &[u])?)]
+            vec![(
+                ins[0],
+                b.ap("transp", Op::Transpose { d0: *d0, d1: *d1 }, &[u])?,
+            )]
         }
         Op::Permute { perm } => {
             let mut inverse = vec![0usize; perm.len()];
@@ -460,11 +484,21 @@ fn vjp(
             let rank = b.shape(x).rank();
             let last = rank - 1;
             let xx = b.ap("rms_xx", Op::Mul, &[x, x])?;
-            let ms = b.ap("rms_ms", Op::MeanDim { dim: last, keepdim: true }, &[xx])?;
+            let ms = b.ap(
+                "rms_ms",
+                Op::MeanDim {
+                    dim: last,
+                    keepdim: true,
+                },
+                &[xx],
+            )?;
             let ones = b.ap("rms_ones", Op::OnesLike, &[ms])?;
             let eps = b.ap(
                 "rms_eps",
-                Op::ScalarMul { numer: 1, denom: 100_000 },
+                Op::ScalarMul {
+                    numer: 1,
+                    denom: 100_000,
+                },
                 &[ones],
             )?;
             let ms_eps = b.ap("rms_mse", Op::Add, &[ms, eps])?;
@@ -474,13 +508,27 @@ fn vjp(
             let uxr = b.ap("rms_uxr", Op::Mul, &[ux, r])?;
             let mut dw = uxr;
             for _ in 0..rank - 1 {
-                dw = b.ap("rms_dw_sum", Op::SumDim { dim: 0, keepdim: false }, &[dw])?;
+                dw = b.ap(
+                    "rms_dw_sum",
+                    Op::SumDim {
+                        dim: 0,
+                        keepdim: false,
+                    },
+                    &[dw],
+                )?;
             }
             // dx.
             let wu = b.ap("rms_wu", Op::Mul, &[u, w])?;
             let term1 = b.ap("rms_t1", Op::Mul, &[wu, r])?;
             let wux = b.ap("rms_wux", Op::Mul, &[wu, x])?;
-            let m = b.ap("rms_m", Op::MeanDim { dim: last, keepdim: true }, &[wux])?;
+            let m = b.ap(
+                "rms_m",
+                Op::MeanDim {
+                    dim: last,
+                    keepdim: true,
+                },
+                &[wux],
+            )?;
             let r2 = b.ap("rms_r2", Op::Mul, &[r, r])?;
             let r3 = b.ap("rms_r3", Op::Mul, &[r2, r])?;
             let mr3 = b.ap("rms_mr3", Op::Mul, &[m, r3])?;
@@ -495,14 +543,31 @@ fn vjp(
             let (x, w, bias) = (ins[0], ins[1], ins[2]);
             let rank = b.shape(x).rank();
             let last = rank - 1;
-            let mu = b.ap("ln_mu", Op::MeanDim { dim: last, keepdim: true }, &[x])?;
+            let mu = b.ap(
+                "ln_mu",
+                Op::MeanDim {
+                    dim: last,
+                    keepdim: true,
+                },
+                &[x],
+            )?;
             let centered = b.ap("ln_center", Op::Sub, &[x, mu])?;
             let sq = b.ap("ln_sq", Op::Mul, &[centered, centered])?;
-            let var = b.ap("ln_var", Op::MeanDim { dim: last, keepdim: true }, &[sq])?;
+            let var = b.ap(
+                "ln_var",
+                Op::MeanDim {
+                    dim: last,
+                    keepdim: true,
+                },
+                &[sq],
+            )?;
             let ones = b.ap("ln_ones", Op::OnesLike, &[var])?;
             let eps = b.ap(
                 "ln_eps",
-                Op::ScalarMul { numer: 1, denom: 100_000 },
+                Op::ScalarMul {
+                    numer: 1,
+                    denom: 100_000,
+                },
                 &[ones],
             )?;
             let var_eps = b.ap("ln_vareps", Op::Add, &[var, eps])?;
@@ -513,14 +578,42 @@ fn vjp(
             let mut dw = un;
             let mut db = u;
             for _ in 0..rank - 1 {
-                dw = b.ap("ln_dw_sum", Op::SumDim { dim: 0, keepdim: false }, &[dw])?;
-                db = b.ap("ln_db_sum", Op::SumDim { dim: 0, keepdim: false }, &[db])?;
+                dw = b.ap(
+                    "ln_dw_sum",
+                    Op::SumDim {
+                        dim: 0,
+                        keepdim: false,
+                    },
+                    &[dw],
+                )?;
+                db = b.ap(
+                    "ln_db_sum",
+                    Op::SumDim {
+                        dim: 0,
+                        keepdim: false,
+                    },
+                    &[db],
+                )?;
             }
             // dx.
             let g = b.ap("ln_g", Op::Mul, &[u, w])?;
-            let mg = b.ap("ln_mg", Op::MeanDim { dim: last, keepdim: true }, &[g])?;
+            let mg = b.ap(
+                "ln_mg",
+                Op::MeanDim {
+                    dim: last,
+                    keepdim: true,
+                },
+                &[g],
+            )?;
             let gn = b.ap("ln_gn", Op::Mul, &[g, n])?;
-            let mgn = b.ap("ln_mgn", Op::MeanDim { dim: last, keepdim: true }, &[gn])?;
+            let mgn = b.ap(
+                "ln_mgn",
+                Op::MeanDim {
+                    dim: last,
+                    keepdim: true,
+                },
+                &[gn],
+            )?;
             let nm = b.ap("ln_nm", Op::Mul, &[n, mgn])?;
             let inner = b.ap("ln_inner", Op::Sub, &[g, mg])?;
             let inner2 = b.ap("ln_inner2", Op::Sub, &[inner, nm])?;

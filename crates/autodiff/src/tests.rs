@@ -164,10 +164,24 @@ fn reduction_and_softmax_gradients() {
     let x = g.input("x", &[2, 4], DType::F32);
     let sm = g.apply("sm", Op::Softmax { dim: 1 }, &[x]).unwrap();
     let sd = g
-        .apply("sd", Op::SumDim { dim: 0, keepdim: false }, &[sm])
+        .apply(
+            "sd",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[sm],
+        )
         .unwrap();
     let md = g
-        .apply("md", Op::MeanDim { dim: 0, keepdim: true }, &[sd])
+        .apply(
+            "md",
+            Op::MeanDim {
+                dim: 0,
+                keepdim: true,
+            },
+            &[sd],
+        )
         .unwrap();
     let sq = g.apply("sq", Op::Mul, &[md, md]).unwrap();
     let loss = g.apply("loss", Op::SumAll, &[sq]).unwrap();
@@ -181,18 +195,52 @@ fn slice_concat_pad_transpose_gradients() {
     let mut g = GraphBuilder::new("movement");
     let x = g.input("x", &[4, 3], DType::F32);
     let top = g
-        .apply("top", Op::Slice { dim: 0, start: Dim::from(0), end: Dim::from(2) }, &[x])
+        .apply(
+            "top",
+            Op::Slice {
+                dim: 0,
+                start: Dim::from(0),
+                end: Dim::from(2),
+            },
+            &[x],
+        )
         .unwrap();
     let bottom = g
-        .apply("bottom", Op::Slice { dim: 0, start: Dim::from(2), end: Dim::from(4) }, &[x])
+        .apply(
+            "bottom",
+            Op::Slice {
+                dim: 0,
+                start: Dim::from(2),
+                end: Dim::from(4),
+            },
+            &[x],
+        )
         .unwrap();
-    let swapped = g.apply("swapped", Op::Concat { dim: 0 }, &[bottom, top]).unwrap();
+    let swapped = g
+        .apply("swapped", Op::Concat { dim: 0 }, &[bottom, top])
+        .unwrap();
     let padded = g
-        .apply("padded", Op::Pad { dim: 1, before: Dim::from(1), after: Dim::from(0) }, &[swapped])
+        .apply(
+            "padded",
+            Op::Pad {
+                dim: 1,
+                before: Dim::from(1),
+                after: Dim::from(0),
+            },
+            &[swapped],
+        )
         .unwrap();
-    let t = g.apply("t", Op::Transpose { d0: 0, d1: 1 }, &[padded]).unwrap();
+    let t = g
+        .apply("t", Op::Transpose { d0: 0, d1: 1 }, &[padded])
+        .unwrap();
     let r = g
-        .apply("r", Op::Reshape { shape: vec![Dim::from(2), Dim::from(8)] }, &[t])
+        .apply(
+            "r",
+            Op::Reshape {
+                shape: vec![Dim::from(2), Dim::from(8)],
+            },
+            &[t],
+        )
         .unwrap();
     let sq = g.apply("sq", Op::Mul, &[r, r]).unwrap();
     let loss = g.apply("loss", Op::MeanAll, &[sq]).unwrap();
@@ -365,7 +413,14 @@ fn unsupported_ops_reported_by_name() {
     let mut g = GraphBuilder::new("attn");
     let q = g.input("q", &[2, 4, 8], DType::F32);
     let y = g
-        .apply("y", Op::Attention { heads: 2, causal: false }, &[q, q, q])
+        .apply(
+            "y",
+            Op::Attention {
+                heads: 2,
+                causal: false,
+            },
+            &[q, q, q],
+        )
         .unwrap();
     let loss = g.apply("loss", Op::SumAll, &[y]).unwrap();
     g.mark_output(loss);

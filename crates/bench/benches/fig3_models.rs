@@ -21,13 +21,8 @@ fn bench_models(c: &mut Criterion) {
         let ri = w.dist.relation(&w.gs).expect("relation builds");
         group.bench_function(&w.name, |b| {
             b.iter(|| {
-                entangle::check_refinement(
-                    &w.gs,
-                    &w.dist.graph,
-                    &ri,
-                    &CheckOptions::default(),
-                )
-                .expect("verifies")
+                entangle::check_refinement(&w.gs, &w.dist.graph, &ri, &CheckOptions::default())
+                    .expect("verifies")
             })
         });
     }

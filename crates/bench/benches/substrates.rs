@@ -19,7 +19,9 @@ fn bench_egraph(c: &mut Criterion) {
             }
             let mut eg = entangle_egraph::EGraph::with_analysis(analysis);
             let l = eg.add_expr(
-                &"(matmul (concat A1 A2 1) (concat B1 B2 0))".parse().unwrap(),
+                &"(matmul (concat A1 A2 1) (concat B1 B2 0))"
+                    .parse()
+                    .unwrap(),
             );
             let r = eg.add_expr(&"(add (matmul A1 B1) (matmul A2 B2))".parse().unwrap());
             let mut runner = entangle_egraph::Runner::new(eg).with_iter_limit(8);

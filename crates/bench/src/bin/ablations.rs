@@ -38,7 +38,11 @@ fn main() {
     println!("Ablations on GPT (TP+SP+VP, parallelism 2, 2 layers)\n");
     let mut rows = Vec::new();
 
-    run("iterative + frontier (paper)", &CheckOptions::default(), &mut rows);
+    run(
+        "iterative + frontier (paper)",
+        &CheckOptions::default(),
+        &mut rows,
+    );
     run(
         "iterative, no frontier",
         &CheckOptions {
@@ -113,11 +117,21 @@ fn main() {
             // which is precisely why the corpus constrains associativity.
             Err(_) => "FAILS (saturation budget exhausted)".to_owned(),
         };
-        rows.push(vec![name.to_owned(), secs(start.elapsed()), "-".into(), verdict]);
+        rows.push(vec![
+            name.to_owned(),
+            secs(start.elapsed()),
+            "-".into(),
+            verdict,
+        ]);
     }
 
     print_table(
-        &["configuration", "time(s)", "mean e-nodes/op", "max e-nodes/op / verdict"],
+        &[
+            "configuration",
+            "time(s)",
+            "mean e-nodes/op",
+            "max e-nodes/op / verdict",
+        ],
         &rows,
     );
     println!("\nExpected shape: frontier < no-frontier < monolithic in e-graph size;");

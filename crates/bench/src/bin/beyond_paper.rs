@@ -16,7 +16,10 @@ fn main() {
     let mut rows = Vec::new();
 
     // Generated DP training (autodiff both sides).
-    let cfg = RegressionConfig { batch: 8, features: 4 };
+    let cfg = RegressionConfig {
+        batch: 8,
+        features: 4,
+    };
     let fwd = regression_sum_loss(&cfg);
     let loss = fwd.outputs()[0];
     for replicas in [2usize, 4] {
@@ -43,7 +46,10 @@ fn main() {
         let result = check_refinement(&gs, &dist.graph, &ri, &opts);
         assert_eq!(result.is_ok(), avg, "sum-instead-of-average must fail");
         rows.push(vec![
-            format!("DP explicit ({})", if avg { "averaged" } else { "unscaled sum" }),
+            format!(
+                "DP explicit ({})",
+                if avg { "averaged" } else { "unscaled sum" }
+            ),
             format!("{}", gs.num_nodes() + dist.graph.num_nodes()),
             secs(start.elapsed()),
             label.into(),

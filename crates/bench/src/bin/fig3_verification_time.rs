@@ -25,7 +25,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["model", "strategies", "#ops(Gs+Gd)", "time(s)", "lemma apps"],
+        &[
+            "model",
+            "strategies",
+            "#ops(Gs+Gd)",
+            "time(s)",
+            "lemma apps",
+        ],
         &rows,
     );
     println!("\n'Bwd*' substitutes the backward capture with a 2-layer forward graph.");

@@ -6,8 +6,7 @@
 //! nearly all lemmas under 40 LOC).
 
 use entangle_bench::{
-    gpt_workload, llama_workload, moe_workload, print_table, qwen2_workload,
-    regression_workload,
+    gpt_workload, llama_workload, moe_workload, print_table, qwen2_workload, regression_workload,
 };
 use entangle_lemmas::registry;
 
@@ -37,10 +36,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (display, tag, ops) in models {
-        let added: Vec<_> = lemmas
-            .iter()
-            .filter(|l| l.models.contains(tag))
-            .collect();
+        let added: Vec<_> = lemmas.iter().filter(|l| l.models.contains(tag)).collect();
         let avg_complexity = if added.is_empty() {
             0.0
         } else {
@@ -53,7 +49,10 @@ fn main() {
             format!("{avg_complexity:.1}"),
         ]);
     }
-    print_table(&["model", "#operators", "#lemmas added", "avg ops/lemma"], &rows);
+    print_table(
+        &["model", "#operators", "#lemmas added", "avg ops/lemma"],
+        &rows,
+    );
 
     // 5b: CDF of LOC per lemma.
     println!("\n(b) CDF of lines of code per lemma");
@@ -63,7 +62,10 @@ fn main() {
     let mut rows = Vec::new();
     for threshold in [2usize, 5, 10, 15, 20, 25, 30, 40] {
         let frac = locs.iter().filter(|&&l| l <= threshold).count() as f64 / n;
-        rows.push(vec![format!("<= {threshold} LOC"), format!("{:.0}%", frac * 100.0)]);
+        rows.push(vec![
+            format!("<= {threshold} LOC"),
+            format!("{:.0}%", frac * 100.0),
+        ]);
     }
     print_table(&["LOC", "fraction of lemmas"], &rows);
     println!(

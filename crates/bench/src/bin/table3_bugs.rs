@@ -53,7 +53,11 @@ fn main() {
     println!(
         "\nsummary: {} / 9 bugs detected, false alarms on fixed twins: {}",
         if all_detected { 9 } else { 0 },
-        if any_false_alarm { "YES (unexpected!)" } else { "none" }
+        if any_false_alarm {
+            "YES (unexpected!)"
+        } else {
+            "none"
+        }
     );
     assert!(all_detected, "every Table 3 bug must be detected");
     assert!(!any_false_alarm, "fixed twins must verify");

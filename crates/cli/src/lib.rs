@@ -8,19 +8,18 @@
 //! entangle check  <gs.json> <gd.json> --map 'A=(concat A1 A2 1)' [--map ...]
 //! entangle check  <gs.json> <gd.json> --maps relations.txt
 //! entangle expect <gs.json> <gd.json> --maps relations.txt --fs F --fd '(concat F1 F2 0)'
+//! entangle lint   <graph.json>
 //! entangle info   <graph.json>
 //! ```
 //!
 //! A maps file holds one `gs_tensor = s-expression` mapping per line
 //! (`#`-prefixed lines are comments). Exit code 0 = verified, 1 = bug
-//! found, 2 = usage/input error.
+//! found, 2 = usage/input error, 3 = static lint errors.
 
 use std::fmt;
 use std::fs;
 
-use entangle::{
-    check_expectation, check_refinement, CheckOptions, ExpectationError, Relation,
-};
+use entangle::{check_expectation, check_refinement, CheckOptions, ExpectationError, Relation};
 use entangle_ir::Graph;
 
 /// A parsed CLI invocation.
@@ -47,6 +46,11 @@ pub enum Command {
         fs: String,
         /// `f_d` combiner expression over `G_d` tensor names.
         fd: String,
+    },
+    /// Run the static lint passes over one graph file.
+    Lint {
+        /// Path to the graph JSON.
+        graph: String,
     },
     /// Print a summary of one graph file.
     Info {
@@ -78,6 +82,7 @@ entangle — static refinement checking for distributed ML models
 USAGE:
   entangle check  <gs.json> <gd.json> (--map 'name=(expr)')* [--maps FILE]
   entangle expect <gs.json> <gd.json> [--map ...|--maps FILE] --fs EXPR --fd EXPR
+  entangle lint   <graph.json>
   entangle info   <graph.json> [--dot]
   entangle help
 
@@ -85,7 +90,12 @@ Mappings relate each G_s input tensor to an s-expression over G_d tensor
 names, e.g.  --map 'A=(concat A1 A2 1)'. A --maps file holds one mapping
 per line; '#' starts a comment.
 
-EXIT CODES:  0 verified   1 refinement/expectation failed   2 usage error";
+lint runs the static diagnostics passes (well-formedness, distribution
+consistency) over one graph and prints every finding; check runs them on
+both graphs before any saturation (see E###/W### codes in the docs).
+
+EXIT CODES:  0 verified   1 refinement/expectation failed   2 usage error
+             3 static lint errors";
 
 /// Parses argv (without the program name).
 ///
@@ -98,6 +108,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let sub = it.next().map(String::as_str).unwrap_or("help");
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "lint" => {
+            let graph = it
+                .next()
+                .ok_or_else(|| CliError("lint: missing <graph.json>".into()))?
+                .clone();
+            if let Some(other) = it.next() {
+                return Err(CliError(format!("lint: unknown flag {other}")));
+            }
+            Ok(Command::Lint { graph })
+        }
         "info" => {
             let graph = it
                 .next()
@@ -206,11 +226,16 @@ fn load_graph(path: &str) -> Result<Graph, CliError> {
     Graph::from_json(&text).map_err(|e| CliError(format!("{path}: {e}")))
 }
 
-fn build_relation(
-    gs: &Graph,
-    gd: &Graph,
-    maps: &[(String, String)],
-) -> Result<Relation, CliError> {
+/// Loads a graph for linting: decode-level checks only, so graphs the full
+/// validator would reject (stale shapes, non-topological order) still load
+/// and get proper diagnostics instead of a parse error.
+fn load_graph_unvalidated(path: &str) -> Result<Graph, CliError> {
+    let text =
+        fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+    Graph::from_json_unvalidated(&text).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+fn build_relation(gs: &Graph, gd: &Graph, maps: &[(String, String)]) -> Result<Relation, CliError> {
     let mut b = Relation::builder(gs, gd);
     for (name, expr) in maps {
         b.map(name, expr)
@@ -237,6 +262,21 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
             println!("{USAGE}");
             Ok(0)
         }
+        Command::Lint { graph } => {
+            let g = load_graph_unvalidated(graph)?;
+            let report = entangle_lint::lint_graph(&g);
+            if !report.diagnostics.is_empty() {
+                println!("{}", report.render(Some(&g)));
+            }
+            println!(
+                "{}: {} ({} operators, {} tensors)",
+                g.name(),
+                report.summary(),
+                g.num_nodes(),
+                g.num_tensors(),
+            );
+            Ok(if report.is_clean() { 0 } else { 3 })
+        }
         Command::Info { graph, dot } => {
             let g = load_graph(graph)?;
             if *dot {
@@ -262,6 +302,7 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
                     .collect::<Vec<_>>()
                     .join(", ")
             );
+            println!("lint     : {}", entangle_lint::lint_graph(&g).summary());
             Ok(0)
         }
         Command::Check { gs, gd, maps } => {
@@ -274,6 +315,10 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
                     println!("\nOutput relation:");
                     print!("{}", outcome.output_relation.display(&gs));
                     Ok(0)
+                }
+                Err(e @ entangle::RefinementError::Lint { .. }) => {
+                    println!("{e}");
+                    Ok(3)
                 }
                 Err(e) => {
                     println!("Refinement FAILED:\n{e}");
@@ -291,12 +336,8 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
             let gs = load_graph(gs)?;
             let gd = load_graph(gd)?;
             let ri = build_relation(&gs, &gd, maps)?;
-            let fs = fs
-                .parse()
-                .map_err(|e| CliError(format!("--fs: {e}")))?;
-            let fd = fd
-                .parse()
-                .map_err(|e| CliError(format!("--fd: {e}")))?;
+            let fs = fs.parse().map_err(|e| CliError(format!("--fs: {e}")))?;
+            let fd = fd.parse().map_err(|e| CliError(format!("--fd: {e}")))?;
             match check_expectation(&gs, &gd, &ri, &fs, &fd, &CheckOptions::default()) {
                 Ok(_) => {
                     println!("User expectation holds.");

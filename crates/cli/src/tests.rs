@@ -133,7 +133,14 @@ fn expect_subcommand_end_to_end() {
     let mut gs = GraphBuilder::new("seq");
     let x = gs.input("x", &[4, 2], DType::F32);
     let g = gs
-        .apply("grad", Op::SumDim { dim: 0, keepdim: false }, &[x])
+        .apply(
+            "grad",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[x],
+        )
         .unwrap();
     gs.mark_output(g);
     let gs = gs.finish().unwrap();
@@ -142,10 +149,24 @@ fn expect_subcommand_end_to_end() {
     let x0 = gd.input("x.0", &[2, 2], DType::F32);
     let x1 = gd.input("x.1", &[2, 2], DType::F32);
     let g0 = gd
-        .apply("grad.0", Op::SumDim { dim: 0, keepdim: false }, &[x0])
+        .apply(
+            "grad.0",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[x0],
+        )
         .unwrap();
     let g1 = gd
-        .apply("grad.1", Op::SumDim { dim: 0, keepdim: false }, &[x1])
+        .apply(
+            "grad.1",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[x1],
+        )
         .unwrap();
     let agg = gd.apply("grad_agg", Op::AllReduce, &[g0, g1]).unwrap();
     gd.mark_output(g0);
@@ -171,6 +192,75 @@ fn expect_subcommand_end_to_end() {
     assert_eq!(run(&base("grad.0")), 1);
     // Malformed expectation — usage error, exit code 2.
     assert_eq!(run(&base("(concat nonexistent grad.0 0)")), 2);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_subcommand_parsing() {
+    let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    assert!(matches!(
+        parse_args(&to_args(&["lint", "g.json"])),
+        Ok(Command::Lint { .. })
+    ));
+    assert!(parse_args(&to_args(&["lint"])).is_err());
+    assert!(parse_args(&to_args(&["lint", "g.json", "--bogus"])).is_err());
+}
+
+#[test]
+fn lint_subcommand_end_to_end() {
+    use entangle_ir::{DType, Dim, GraphBuilder, Op};
+    let dir = tmpdir();
+
+    // A well-formed graph lints clean: exit code 0.
+    let cfg = ModelConfig::tiny();
+    let clean_path = dir.join("lint_clean.json");
+    fs::write(&clean_path, gpt(&cfg).to_json().unwrap()).unwrap();
+    let cmd = Command::Lint {
+        graph: clean_path.to_str().unwrap().to_owned(),
+    };
+    assert_eq!(run(&cmd), 0, "well-formed graph lints clean");
+
+    // A gap-sharded graph (rows [4, 5) in no shard) exits 3.
+    let mut gd = GraphBuilder::new("missharded");
+    let x = gd.input("X", &[8, 4], DType::F32);
+    let s1 = gd
+        .apply(
+            "S1",
+            Op::Slice {
+                dim: 0,
+                start: Dim::from(0),
+                end: Dim::from(4),
+            },
+            &[x],
+        )
+        .unwrap();
+    let s2 = gd
+        .apply(
+            "S2",
+            Op::Slice {
+                dim: 0,
+                start: Dim::from(5),
+                end: Dim::from(8),
+            },
+            &[x],
+        )
+        .unwrap();
+    gd.mark_output(s1);
+    gd.mark_output(s2);
+    let gd = gd.finish().unwrap();
+    let bad_path = dir.join("lint_bad.json");
+    fs::write(&bad_path, gd.to_json().unwrap()).unwrap();
+    let cmd = Command::Lint {
+        graph: bad_path.to_str().unwrap().to_owned(),
+    };
+    assert_eq!(run(&cmd), 3, "sharding gap is a lint error");
+
+    // Missing file stays a usage error.
+    let cmd = Command::Lint {
+        graph: "/nonexistent.json".to_owned(),
+    };
+    assert_eq!(run(&cmd), 2);
 
     fs::remove_dir_all(&dir).ok();
 }

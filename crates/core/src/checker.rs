@@ -36,6 +36,12 @@ pub struct CheckOptions {
     pub sym_ctx: SymCtx,
     /// The rewrites to saturate with; `None` uses the full lemma registry.
     pub rewrites: Option<Vec<Rewrite<TensorAnalysis>>>,
+    /// Run the `entangle-lint` static pre-pass over both graphs before any
+    /// saturation (on by default). Lint errors fail fast with
+    /// [`RefinementError::Lint`]; a malformed or mis-sharded `G_d` is
+    /// rejected for pennies instead of surfacing as an opaque unmapped
+    /// operator after seconds of e-graph work.
+    pub lint: bool,
 }
 
 impl Default for CheckOptions {
@@ -50,6 +56,7 @@ impl Default for CheckOptions {
             clean: CleanOps::default(),
             sym_ctx: SymCtx::new(),
             rewrites: None,
+            lint: true,
         }
     }
 }
@@ -118,6 +125,18 @@ pub struct CheckOutcome {
 /// its inputs — the paper's actionable bug-localization output (§6.2).
 #[derive(Debug, Clone)]
 pub enum RefinementError {
+    /// The static lint pre-pass found error-severity diagnostics in one of
+    /// the graphs; no saturation was attempted. Disable with
+    /// [`CheckOptions::lint`].
+    Lint {
+        /// Which graph failed: `"G_s"` or `"G_d"`.
+        graph: String,
+        /// The error-severity diagnostics, already rendered against the
+        /// offending graph (anchors resolved to node/tensor names).
+        diagnostics: Vec<entangle_lint::Diagnostic>,
+        /// The rendered form of `diagnostics`.
+        rendered: Vec<String>,
+    },
     /// The input relation does not map every `G_s` input.
     MissingInputMapping {
         /// Name of the unmapped `G_s` input tensor.
@@ -153,6 +172,21 @@ pub enum RefinementError {
 impl fmt::Display for RefinementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            RefinementError::Lint {
+                graph, rendered, ..
+            } => {
+                writeln!(
+                    f,
+                    "{graph} failed static lint; fix these before refinement checking:"
+                )?;
+                for (i, line) in rendered.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "  {line}")?;
+                }
+                Ok(())
+            }
             RefinementError::MissingInputMapping { tensor } => {
                 write!(f, "input relation has no mapping for G_s input {tensor:?}")
             }
@@ -216,6 +250,33 @@ impl fmt::Display for RefinementError {
 
 impl std::error::Error for RefinementError {}
 
+/// Runs the `entangle-lint` static pre-pass over `G_s` and `G_d`.
+///
+/// Returns `Err(RefinementError::Lint)` for the first graph with
+/// error-severity diagnostics (warnings are ignored here — the CLI surfaces
+/// them separately). This is the cheap front gate of [`check_refinement`]:
+/// it runs before any rewrites are built or any e-graph is touched.
+///
+/// # Errors
+///
+/// Returns [`RefinementError::Lint`] naming the offending graph with its
+/// rendered diagnostics.
+pub fn check_lint(gs: &Graph, gd: &Graph) -> Result<(), RefinementError> {
+    for (label, graph) in [("G_s", gs), ("G_d", gd)] {
+        let report = entangle_lint::lint_graph(graph);
+        if !report.is_clean() {
+            let diagnostics: Vec<_> = report.errors().cloned().collect();
+            let rendered = diagnostics.iter().map(|d| d.render(Some(graph))).collect();
+            return Err(RefinementError::Lint {
+                graph: label.to_owned(),
+                diagnostics,
+                rendered,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Checks that `gd` refines `gs` under the input relation `ri`, returning
 /// the clean output relation `R_o` (Listing 1).
 ///
@@ -230,6 +291,9 @@ pub fn check_refinement(
     ri: &Relation,
     opts: &CheckOptions,
 ) -> Result<CheckOutcome, RefinementError> {
+    if opts.lint {
+        check_lint(gs, gd)?;
+    }
     for &input in gs.inputs() {
         if !ri.contains(input) {
             return Err(RefinementError::MissingInputMapping {
@@ -261,7 +325,9 @@ pub fn check_refinement(
         let start = Instant::now();
         let (mappings, nodes_after) = match &mut shared {
             Some(eg) => {
-                let m = node_out_rel(gs, gd, node, &relation, opts, &rewrites, &mut stats, eg, false)?;
+                let m = node_out_rel(
+                    gs, gd, node, &relation, opts, &rewrites, &mut stats, eg, false,
+                )?;
                 (m, eg.total_nodes())
             }
             None => {
@@ -416,8 +482,11 @@ fn node_out_rel(
     // Steps 2–3: saturate with lemmas while growing the frontier of G_d
     // operators whose inputs relate to this operator (Listing 3), or with
     // everything at once when the optimization is disabled.
-    let name_to_tensor: HashMap<&str, TensorId> =
-        gd.tensors().iter().map(|t| (t.name.as_str(), t.id)).collect();
+    let name_to_tensor: HashMap<&str, TensorId> = gd
+        .tensors()
+        .iter()
+        .map(|t| (t.name.as_str(), t.id))
+        .collect();
     let mut t_rel: HashSet<TensorId> = HashSet::new();
     for exprs in &per_input {
         for e in *exprs {

@@ -30,14 +30,7 @@ impl Default for CleanOps {
         CleanOps {
             // Rearrangement ops + the reduction combining rank-local
             // tensors. `add` is the lowering of `all_reduce`/reduce-sum.
-            ops: vec![
-                "slice",
-                "concat",
-                "transpose",
-                "permute",
-                "identity",
-                "add",
-            ],
+            ops: vec!["slice", "concat", "transpose", "permute", "identity", "add"],
         }
     }
 }
@@ -72,7 +65,10 @@ pub fn clean_cost<'a>(
             ENode::Op(sym, ch) if ch.is_empty() => {
                 // Synthetic canonicalization leaves (e.g. `~ones[2, 3]`)
                 // unify classes but are not G_d tensors: never extract them.
-                if sym.as_str().starts_with(entangle_lemmas::SYNTHETIC_LEAF_PREFIX) {
+                if sym
+                    .as_str()
+                    .starts_with(entangle_lemmas::SYNTHETIC_LEAF_PREFIX)
+                {
                     f64::INFINITY
                 } else if prefer.contains(sym.as_str()) {
                     1.0
@@ -156,11 +152,7 @@ fn fold_binary_with_attr(
 
 /// Encodes a `G_d` node as the equality `leaf(output) ≡ op(leaf(inputs))`,
 /// returning the class holding both.
-pub fn encode_node(
-    eg: &mut EGraph<TensorAnalysis>,
-    gd: &entangle_ir::Graph,
-    node: &Node,
-) -> Id {
+pub fn encode_node(eg: &mut EGraph<TensorAnalysis>, gd: &entangle_ir::Graph, node: &Node) -> Id {
     let inputs: Vec<Id> = node
         .inputs
         .iter()

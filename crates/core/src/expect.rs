@@ -90,16 +90,14 @@ pub fn append_expr(
                 (Some(t.id), Meta::tensor(t.shape.clone(), t.dtype))
             }
             ENode::Op(sym, ch) => {
-                let child_metas: Vec<Meta> =
-                    ch.iter().map(|c| metas[c.index()].clone()).collect();
+                let child_metas: Vec<Meta> = ch.iter().map(|c| metas[c.index()].clone()).collect();
                 let (op, tensor_count) = decode_op(sym.as_str(), &child_metas)
                     .ok_or_else(|| IrError::Invalid(format!("unknown operator {sym}")))?;
                 let inputs: Result<Vec<TensorId>, IrError> = ch[..tensor_count]
                     .iter()
                     .map(|c| {
-                        slots[c.index()].ok_or_else(|| {
-                            IrError::Invalid("scalar used as tensor operand".into())
-                        })
+                        slots[c.index()]
+                            .ok_or_else(|| IrError::Invalid("scalar used as tensor operand".into()))
                     })
                     .collect();
                 let out = g.append(&format!("{name}.{i}"), op, &inputs?)?;
@@ -142,8 +140,7 @@ pub fn check_expectation(
 ) -> Result<CheckOutcome, ExpectationError> {
     let (gs2, out_s) = append_expr(gs, fs, "expected_s")?;
     let (gd2, out_d) = append_expr(gd, fd, "expected_d")?;
-    let outcome =
-        check_refinement(&gs2, &gd2, ri, opts).map_err(ExpectationError::Refinement)?;
+    let outcome = check_refinement(&gs2, &gd2, ri, opts).map_err(ExpectationError::Refinement)?;
     let expected_name = gd2.tensor(out_d).name.clone();
     let mappings = outcome
         .output_relation

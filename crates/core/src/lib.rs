@@ -77,7 +77,7 @@ mod expect;
 mod relation;
 
 pub use checker::{
-    check_refinement, CheckOptions, CheckOutcome, LemmaStats, OpReport, RefinementError,
+    check_lint, check_refinement, CheckOptions, CheckOutcome, LemmaStats, OpReport, RefinementError,
 };
 pub use encode::{clean_cost, encode_node, CleanOps};
 pub use expect::{append_expr, check_expectation, ExpectationError};

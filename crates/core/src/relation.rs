@@ -213,14 +213,13 @@ pub(crate) fn infer_expr_meta(
             }
             entangle_egraph::ENode::Sym(e) => Meta::scalar(e.clone()),
             entangle_egraph::ENode::Op(sym, ch) if ch.is_empty() => {
-                let t = gd.tensor_by_name(sym.as_str()).ok_or_else(|| {
-                    IrError::UnknownTensor(format!("{} in G_d", sym.as_str()))
-                })?;
+                let t = gd
+                    .tensor_by_name(sym.as_str())
+                    .ok_or_else(|| IrError::UnknownTensor(format!("{} in G_d", sym.as_str())))?;
                 Meta::tensor(t.shape.clone(), t.dtype)
             }
             entangle_egraph::ENode::Op(sym, ch) => {
-                let child_metas: Vec<Meta> =
-                    ch.iter().map(|c| metas[c.index()].clone()).collect();
+                let child_metas: Vec<Meta> = ch.iter().map(|c| metas[c.index()].clone()).collect();
                 let (op, tensor_count) = decode_op(sym.as_str(), &child_metas)
                     .ok_or_else(|| IrError::Invalid(format!("unknown operator {sym}")))?;
                 let inputs: Result<Vec<_>, IrError> = child_metas[..tensor_count]
@@ -230,8 +229,9 @@ pub(crate) fn infer_expr_meta(
                             m.shape.clone().ok_or_else(|| {
                                 IrError::Invalid("tensor operand lacks shape".into())
                             })?,
-                            m.dtype
-                                .ok_or_else(|| IrError::Invalid("tensor operand lacks dtype".into()))?,
+                            m.dtype.ok_or_else(|| {
+                                IrError::Invalid("tensor operand lacks dtype".into())
+                            })?,
                         ))
                     })
                     .collect();
@@ -241,7 +241,9 @@ pub(crate) fn infer_expr_meta(
         };
         metas.push(meta);
     }
-    let root = metas.last().ok_or_else(|| IrError::Invalid("empty expression".into()))?;
+    let root = metas
+        .last()
+        .ok_or_else(|| IrError::Invalid("empty expression".into()))?;
     match (&root.shape, root.dtype) {
         (Some(s), Some(d)) => Ok((s.clone(), d)),
         _ => Err(IrError::Invalid("expression is not a tensor".into())),

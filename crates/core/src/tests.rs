@@ -1,13 +1,19 @@
 use entangle_ir::{DType, Dim, GraphBuilder, Op, TensorId};
 
 use crate::{
-    check_expectation, check_refinement, append_expr, CheckOptions, ExpectationError, Relation,
-    RefinementError,
+    append_expr, check_expectation, check_refinement, CheckOptions, ExpectationError,
+    RefinementError, Relation,
 };
 
 /// The paper's Figure 1/2 graphs: sequential `F = (A x B) - E` vs the
 /// 2-rank contraction-split + reduce-scatter implementation.
-fn figure1() -> (entangle_ir::Graph, entangle_ir::Graph, TensorId, TensorId, TensorId) {
+fn figure1() -> (
+    entangle_ir::Graph,
+    entangle_ir::Graph,
+    TensorId,
+    TensorId,
+    TensorId,
+) {
     let mut gs = GraphBuilder::new("seq");
     let a = gs.input("A", &[4, 8], DType::F32);
     let b = gs.input("B", &[8, 4], DType::F32);
@@ -27,10 +33,26 @@ fn figure1() -> (entangle_ir::Graph, entangle_ir::Graph, TensorId, TensorId, Ten
     let c1 = gd.apply("C1", Op::Matmul, &[a1, b1]).unwrap();
     let c2 = gd.apply("C2", Op::Matmul, &[a2, b2]).unwrap();
     let d1 = gd
-        .apply("D1", Op::ReduceScatter { dim: 0, rank: 0, world: 2 }, &[c1, c2])
+        .apply(
+            "D1",
+            Op::ReduceScatter {
+                dim: 0,
+                rank: 0,
+                world: 2,
+            },
+            &[c1, c2],
+        )
         .unwrap();
     let d2 = gd
-        .apply("D2", Op::ReduceScatter { dim: 0, rank: 1, world: 2 }, &[c1, c2])
+        .apply(
+            "D2",
+            Op::ReduceScatter {
+                dim: 0,
+                rank: 1,
+                world: 2,
+            },
+            &[c1, c2],
+        )
         .unwrap();
     let f1 = gd.apply("F1", Op::Sub, &[d1, e1]).unwrap();
     let f2 = gd.apply("F2", Op::Sub, &[d2, e2]).unwrap();
@@ -379,7 +401,9 @@ fn sequence_parallel_elementwise_chain() {
     let g1 = gd.apply("G1", Op::Gelu, &[x1]).unwrap();
     let y0 = gd.apply("Y0", Op::Silu, &[g0]).unwrap();
     let y1 = gd.apply("Y1", Op::Silu, &[g1]).unwrap();
-    let full = gd.apply("Yfull", Op::AllGather { dim: 0 }, &[y0, y1]).unwrap();
+    let full = gd
+        .apply("Yfull", Op::AllGather { dim: 0 }, &[y0, y1])
+        .unwrap();
     gd.mark_output(full);
     let gd = gd.finish().unwrap();
 
@@ -429,7 +453,11 @@ fn symbolic_shapes_check() {
     // symbolic solver proves the seam arithmetic.
     let mut ctx = entangle_symbolic::SymCtx::new();
     let n = ctx.var("n");
-    ctx.assume(n.clone(), entangle_symbolic::Rel::Ge, entangle_symbolic::SymExpr::constant(1));
+    ctx.assume(
+        n.clone(),
+        entangle_symbolic::Rel::Ge,
+        entangle_symbolic::SymExpr::constant(1),
+    );
     let two_n = n.clone() * 2;
 
     let mut gs = GraphBuilder::new("seq");
@@ -605,7 +633,123 @@ fn error_display_is_actionable() {
     ri.map("E", "(concat E1 E2 0)").unwrap();
     let err = check_refinement(&gs, &gd, &ri.build(), &CheckOptions::default()).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("could not map outputs for operator \"C\""), "{msg}");
+    assert!(
+        msg.contains("could not map outputs for operator \"C\""),
+        "{msg}"
+    );
     assert!(msg.contains("(concat A1 A2 1)"), "{msg}");
     assert!(msg.contains("localize"), "{msg}");
+}
+
+mod lint_prepass {
+    use super::*;
+    use crate::check_lint;
+    use entangle_egraph::Rewrite;
+
+    /// A well-formed `G_s` next to a `G_d` whose slice sharding of `X`
+    /// leaves rows `[4, 5)` covered by no shard — a distribution bug the
+    /// lint pre-pass catches statically.
+    fn gap_sharded_pair() -> (entangle_ir::Graph, entangle_ir::Graph) {
+        let mut gs = GraphBuilder::new("seq");
+        let a = gs.input("A", &[8, 4], DType::F32);
+        let r = gs.apply("R", Op::Relu, &[a]).unwrap();
+        gs.mark_output(r);
+        let gs = gs.finish().unwrap();
+
+        let mut gd = GraphBuilder::new("dist");
+        let x = gd.input("X", &[8, 4], DType::F32);
+        let s1 = gd
+            .apply(
+                "S1",
+                Op::Slice {
+                    dim: 0,
+                    start: Dim::from(0),
+                    end: Dim::from(4),
+                },
+                &[x],
+            )
+            .unwrap();
+        let s2 = gd
+            .apply(
+                "S2",
+                Op::Slice {
+                    dim: 0,
+                    start: Dim::from(5),
+                    end: Dim::from(8),
+                },
+                &[x],
+            )
+            .unwrap();
+        let r1 = gd.apply("R1", Op::Relu, &[s1]).unwrap();
+        let r2 = gd.apply("R2", Op::Relu, &[s2]).unwrap();
+        gd.mark_output(r1);
+        gd.mark_output(r2);
+        (gs, gd.finish().unwrap())
+    }
+
+    #[test]
+    fn missharded_gd_fails_lint_before_any_saturation() {
+        let (gs, gd) = gap_sharded_pair();
+        let mut ri = Relation::builder(&gs, &gd);
+        ri.map("A", "X").unwrap();
+
+        // Booby-trap the rewrite set: the searcher matches *every* e-class,
+        // so the applier panics the moment a single saturation step runs.
+        // The check must fail with the lint diagnostic instead, proving the
+        // pre-pass short-circuits before any e-graph work.
+        let trap: Rewrite<entangle_lemmas::TensorAnalysis> =
+            Rewrite::parse_dyn("boobytrap", "?x", |_, _, _| {
+                panic!("saturation ran despite lint errors")
+            })
+            .unwrap();
+        let opts = CheckOptions {
+            rewrites: Some(vec![trap]),
+            ..CheckOptions::default()
+        };
+
+        let err = check_refinement(&gs, &gd, &ri.build(), &opts).unwrap_err();
+        let RefinementError::Lint {
+            graph, diagnostics, ..
+        } = &err
+        else {
+            panic!("expected lint error, got: {err}");
+        };
+        assert_eq!(graph, "G_d");
+        assert!(
+            diagnostics
+                .iter()
+                .any(|d| d.code == entangle_lint::codes::SHARDING_TILE),
+            "expected an E009 sharding diagnostic: {diagnostics:?}"
+        );
+        // The rendered message names the shard after the gap.
+        let msg = err.to_string();
+        assert!(msg.contains("G_d failed static lint"), "{msg}");
+        assert!(msg.contains("S2"), "{msg}");
+        assert!(msg.contains("gap"), "{msg}");
+    }
+
+    #[test]
+    fn lint_can_be_disabled() {
+        let (gs, gd) = gap_sharded_pair();
+        let mut ri = Relation::builder(&gs, &gd);
+        ri.map("A", "X").unwrap();
+        let opts = CheckOptions {
+            lint: false,
+            ..CheckOptions::default()
+        };
+        // With the pre-pass off, checking proceeds into saturation. The
+        // gap-sharded G_d genuinely does not refine G_s, so the failure now
+        // surfaces the expensive way: an unmapped output.
+        let err = check_refinement(&gs, &gd, &ri.build(), &opts).unwrap_err();
+        assert!(
+            !matches!(err, RefinementError::Lint { .. }),
+            "lint ran despite being disabled: {err}"
+        );
+    }
+
+    #[test]
+    fn check_lint_accepts_well_formed_pair() {
+        let (gs, gd, ..) = super::figure1();
+        check_lint(&gs, &gd).unwrap();
+    }
 }

@@ -35,7 +35,7 @@ pub trait Analysis: Sized + 'static {
 /// The trivial analysis: no data.
 impl Analysis for () {
     type Data = ();
-    fn make(_egraph: &EGraph<Self>, _enode: &ENode) -> () {}
+    fn make(_egraph: &EGraph<Self>, _enode: &ENode) {}
     fn merge(_a: &mut (), _b: ()) -> (bool, bool) {
         (false, false)
     }
@@ -256,7 +256,11 @@ impl<A: Analysis> EGraph<A> {
     /// (§4.3.2) that must only fire when their target subterms already
     /// exist.
     pub fn parent_nodes(&self, id: Id) -> Vec<ENode> {
-        self.class(id).parents.iter().map(|(n, _)| n.clone()).collect()
+        self.class(id)
+            .parents
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect()
     }
 
     /// Unions two classes; returns `(root, changed)`.

@@ -163,7 +163,9 @@ impl RecExpr {
     ///
     /// Panics on an empty expression.
     pub fn root(&self) -> &ENode {
-        self.nodes.last().expect("RecExpr::root on empty expression")
+        self.nodes
+            .last()
+            .expect("RecExpr::root on empty expression")
     }
 
     /// Id of the root slot.

@@ -283,11 +283,7 @@ impl Pattern {
     /// Searches the whole e-graph.
     pub fn search<A: Analysis>(&self, egraph: &EGraph<A>) -> Vec<SearchMatches> {
         // Prefilter: a pattern whose operators never occur cannot match.
-        if self
-            .required_ops()
-            .iter()
-            .any(|&sym| !egraph.has_op(sym))
-        {
+        if self.required_ops().iter().any(|&sym| !egraph.has_op(sym)) {
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -389,4 +385,3 @@ impl fmt::Display for Pattern {
         write!(f, "{}", self.ast)
     }
 }
-

@@ -132,7 +132,9 @@ impl<A: Analysis> Rewrite<A> {
             name: name.to_owned(),
             searcher: lhs.parse()?,
             condition: None,
-            applier: Arc::new(DynApplier { f: Arc::new(applier) }),
+            applier: Arc::new(DynApplier {
+                f: Arc::new(applier),
+            }),
         })
     }
 
@@ -158,6 +160,27 @@ impl<A: Analysis> Rewrite<A> {
     /// Searches the e-graph for matches of the left-hand side.
     pub fn search(&self, egraph: &EGraph<A>) -> Vec<crate::pattern::SearchMatches> {
         self.searcher.search(egraph)
+    }
+
+    /// Applies the rule to a single match *without* unioning: checks the
+    /// condition, runs the applier, and returns the ids it produced
+    /// (`None` when the condition rejects the match).
+    ///
+    /// This is the instrumentation hook for lemma auditing — the produced
+    /// right-hand sides can be inspected (extracted, evaluated) while they
+    /// are still distinct classes from the matched left-hand side.
+    pub fn apply_match(
+        &self,
+        egraph: &mut EGraph<A>,
+        eclass: Id,
+        subst: &Subst,
+    ) -> Option<Vec<Id>> {
+        if let Some(cond) = &self.condition {
+            if !cond(egraph, eclass, subst) {
+                return None;
+            }
+        }
+        Some(self.applier.apply_one(egraph, eclass, subst))
     }
 
     /// Applies previously found matches; returns the number of unions that

@@ -53,7 +53,11 @@ fn union_and_congruence() {
     eg.union(x, y);
     eg.rebuild();
     assert_eq!(eg.find(fx), eg.find(fy));
-    assert_eq!(eg.find(gfx), eg.find(gfy), "congruence must propagate upward");
+    assert_eq!(
+        eg.find(gfx),
+        eg.find(gfy),
+        "congruence must propagate upward"
+    );
 }
 
 #[test]
@@ -146,9 +150,7 @@ fn conditional_rewrite_only_fires_when_condition_holds() {
         |eg, _id, subst| {
             let d1 = subst[Var::new("d1")];
             let d2 = subst[Var::new("d2")];
-            let get = |id| {
-                eg[id].nodes.iter().find_map(|n| n.as_int())
-            };
+            let get = |id| eg[id].nodes.iter().find_map(|n| n.as_int());
             match (get(d1), get(d2)) {
                 (Some(a), Some(b)) => a != b,
                 _ => false,
@@ -438,8 +440,8 @@ mod analysis_tests {
             match enode {
                 ENode::Int(i) => Some(*i),
                 ENode::Op(sym, ch) if ch.len() == 2 => {
-                    let a = (*egraph[ch[0]].data.as_ref()?) as i64;
-                    let b = (*egraph[ch[1]].data.as_ref()?) as i64;
+                    let a = *egraph[ch[0]].data.as_ref()?;
+                    let b = *egraph[ch[1]].data.as_ref()?;
                     match sym.as_str() {
                         "add" => Some(a + b),
                         "mul" => Some(a * b),
@@ -581,10 +583,9 @@ mod explain_tests {
         runner.run(&rules);
         let reasons = runner.egraph.explain(l, r).expect("proven");
         assert!(!reasons.is_empty());
-        assert!(reasons.iter().all(|r| matches!(
-            r,
-            Reason::Rule(_) | Reason::Congruence
-        )));
+        assert!(reasons
+            .iter()
+            .all(|r| matches!(r, Reason::Rule(_) | Reason::Congruence)));
         assert!(reasons.contains(&Reason::Rule("mul-one".to_owned())));
     }
 
@@ -631,7 +632,9 @@ mod explain_tests {
     fn explain_survives_many_unions() {
         // Chains through re-rooted trees stay connected and acyclic.
         let mut eg = EGraph::<()>::default();
-        let ids: Vec<Id> = (0..20).map(|i| eg.add(ENode::leaf(&format!("n{i}")))).collect();
+        let ids: Vec<Id> = (0..20)
+            .map(|i| eg.add(ENode::leaf(&format!("n{i}"))))
+            .collect();
         // Union in a scattered order.
         for (i, j) in [(0, 5), (7, 3), (5, 7), (10, 0), (12, 10), (19, 12), (3, 19)] {
             eg.union_with(ids[i], ids[j], Reason::Given(format!("{i}-{j}")));

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Tensor element type.
 ///
 /// The checker is value-agnostic; dtypes exist so shape/type inference can
 /// reject mixed-type operations the way PyTorch would.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 32-bit float (the default compute type in the models we build).
     F32,

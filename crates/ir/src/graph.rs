@@ -3,19 +3,17 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::dtype::DType;
 use crate::infer::infer_output;
 use crate::op::Op;
 use crate::shape::Shape;
 
 /// Identifies a tensor (edge) within one [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TensorId(pub u32);
 
 /// Identifies an operator node (vertex) within one [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for TensorId {
@@ -31,7 +29,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A tensor: an edge of the computation graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tensor {
     /// Unique id within the graph.
     pub id: TensorId,
@@ -46,7 +44,7 @@ pub struct Tensor {
 }
 
 /// An operator node: a vertex of the computation graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// Unique id within the graph.
     pub id: NodeId,
@@ -97,7 +95,7 @@ impl std::error::Error for IrError {}
 /// # Examples
 ///
 /// See the [crate-level example](crate) and [`GraphBuilder`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     name: String,
     tensors: Vec<Tensor>,
@@ -372,7 +370,7 @@ impl Graph {
     ///
     /// Returns [`IrError::Serde`] on serialization failure.
     pub fn to_json(&self) -> Result<String, IrError> {
-        serde_json::to_string_pretty(self).map_err(|e| IrError::Serde(e.to_string()))
+        Ok(crate::json::encode_graph(self))
     }
 
     /// Deserializes from the JSON interchange format and validates.
@@ -382,12 +380,51 @@ impl Graph {
     ///
     /// # Errors
     ///
-    /// Returns [`IrError::Serde`] on malformed JSON, or any validation
-    /// error on a structurally broken graph.
+    /// Returns [`IrError::Serde`] on malformed JSON (including duplicate
+    /// tensor names and out-of-range tensor/node references, which are
+    /// rejected at decode time), or any validation error on a structurally
+    /// broken graph.
     pub fn from_json(json: &str) -> Result<Graph, IrError> {
-        let g: Graph = serde_json::from_str(json).map_err(|e| IrError::Serde(e.to_string()))?;
+        let g = crate::json::decode_graph(json)?;
         g.validate()?;
         Ok(g)
+    }
+
+    /// Deserializes from the JSON interchange format *without* validating.
+    ///
+    /// Decode-level checks (well-formed JSON, positional ids, unique names,
+    /// in-range references) still apply, but structural and shape invariants
+    /// are not enforced — this is the entry point for diagnostics tooling
+    /// (`entangle lint`) that wants to report *all* problems in a graph
+    /// rather than stop at the first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Serde`] on malformed JSON.
+    pub fn from_json_unvalidated(json: &str) -> Result<Graph, IrError> {
+        crate::json::decode_graph(json)
+    }
+
+    /// Assembles a graph from raw parts **without any validation**.
+    ///
+    /// For interchange front ends and diagnostics tooling that must be able
+    /// to represent malformed graphs. Everything else should go through
+    /// [`GraphBuilder`] or [`Graph::from_json`]; accessors like
+    /// [`Graph::tensor`] panic on graphs whose references dangle.
+    pub fn from_parts_unchecked(
+        name: String,
+        tensors: Vec<Tensor>,
+        nodes: Vec<Node>,
+        inputs: Vec<TensorId>,
+        outputs: Vec<TensorId>,
+    ) -> Graph {
+        Graph {
+            name,
+            tensors,
+            nodes,
+            inputs,
+            outputs,
+        }
     }
 }
 

@@ -215,9 +215,7 @@ pub fn infer_output(op: &Op, inputs: &[(Shape, DType)]) -> Result<(Shape, DType)
                 return err(format!("indices must be i64, got {dids}"));
             }
             if grad.rank() != ids.rank() + 1 {
-                return err(format!(
-                    "grad rank must be ids rank + 1: {grad} vs {ids}"
-                ));
+                return err(format!("grad rank must be ids rank + 1: {grad} vs {ids}"));
             }
             if grad.dims()[..grad.rank() - 1] != ids.dims()[..] {
                 return err(format!("grad batch dims mismatch: {grad} vs {ids}"));

@@ -10,7 +10,7 @@
 //! This crate is that representation: an ATen-flavoured operator vocabulary
 //! ([`Op`]), tensors with (possibly symbolic) shapes and dtypes, a validated
 //! DAG ([`Graph`]) built through [`GraphBuilder`] with eager shape
-//! inference, and a serde-JSON interchange format playing the role of the
+//! inference, and a JSON interchange format playing the role of the
 //! paper's fx/HLO bridge (the "377 lines of Python" that translated XLA
 //! output into the tool's intermediate format).
 //!
@@ -40,6 +40,7 @@
 mod dtype;
 mod graph;
 mod infer;
+mod json;
 mod op;
 mod shape;
 

@@ -5,7 +5,6 @@
 //! (RoPE, RMSNorm) of the kind the paper's users add lemmas for (§6.5).
 
 use entangle_symbolic::SymExpr;
-use serde::{Deserialize, Serialize};
 
 use crate::shape::Dim;
 
@@ -15,7 +14,7 @@ use crate::shape::Dim;
 /// are decomposed, as TorchDynamo does). Attributes (dims, bounds, scale
 /// factors) are carried inline and surface as scalar children in the
 /// e-graph encoding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     // ----- element-wise binary (broadcasting) -----
     /// Element-wise addition.

@@ -3,7 +3,6 @@
 use std::fmt;
 
 use entangle_symbolic::SymExpr;
-use serde::{Deserialize, Serialize};
 
 /// A single dimension: an affine symbolic expression, usually a constant.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// let d = Dim::from(16);
 /// assert_eq!(d.as_const(), Some(16));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Dim(pub SymExpr);
 
 impl Dim {
@@ -72,7 +71,7 @@ impl fmt::Display for Dim {
 /// assert_eq!(s.numel(), Some(64));
 /// assert_eq!(s.to_string(), "[2, 4, 8]");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape(pub Vec<Dim>);
 
 impl Shape {
@@ -103,7 +102,9 @@ impl Shape {
 
     /// Total element count, if all dimensions are constant.
     pub fn numel(&self) -> Option<i64> {
-        self.0.iter().try_fold(1i64, |acc, d| Some(acc * d.as_const()?))
+        self.0
+            .iter()
+            .try_fold(1i64, |acc, d| Some(acc * d.as_const()?))
     }
 
     /// All dimensions as constants, if the shape is fully concrete.

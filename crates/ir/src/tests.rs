@@ -44,11 +44,7 @@ fn infer_elementwise() {
     assert_eq!(s, Shape::of(&[2, 3]));
     assert_eq!(d, DType::F32);
     assert!(infer_output(&Op::Add, &[f32s(&[2, 3]), f32s(&[4])]).is_err());
-    assert!(infer_output(
-        &Op::Add,
-        &[f32s(&[2]), (Shape::of(&[2]), DType::I64)]
-    )
-    .is_err());
+    assert!(infer_output(&Op::Add, &[f32s(&[2]), (Shape::of(&[2]), DType::I64)]).is_err());
 }
 
 #[test]
@@ -164,11 +160,7 @@ fn infer_reductions() {
 
 #[test]
 fn infer_norms_and_fused() {
-    let (s, _) = infer_output(
-        &Op::LayerNorm,
-        &[f32s(&[2, 3, 8]), f32s(&[8]), f32s(&[8])],
-    )
-    .unwrap();
+    let (s, _) = infer_output(&Op::LayerNorm, &[f32s(&[2, 3, 8]), f32s(&[8]), f32s(&[8])]).unwrap();
     assert_eq!(s, Shape::of(&[2, 3, 8]));
     assert!(infer_output(&Op::LayerNorm, &[f32s(&[2, 8]), f32s(&[4]), f32s(&[8])]).is_err());
 

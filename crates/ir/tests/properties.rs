@@ -1,0 +1,83 @@
+//! Property tests for the shape algebra and the slice-tiling law the
+//! distribution linter relies on.
+
+use entangle_ir::{infer_output, DType, Dim, Op, Shape};
+use proptest::prelude::*;
+
+/// Arbitrary concrete shapes of rank 0..=4 with dims drawn from a set that
+/// exercises both the broadcast-1 rule and genuine conflicts.
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    proptest::collection::vec(prop_oneof![Just(1i64), Just(2), Just(3), Just(5)], 0..4)
+        .prop_map(|dims| Shape::of(&dims))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `broadcast` is commutative, including in *whether* it is defined.
+    #[test]
+    fn broadcast_is_commutative(a in arb_shape(), b in arb_shape()) {
+        prop_assert_eq!(a.broadcast(&b), b.broadcast(&a));
+    }
+
+    /// `broadcast` is associative: conflicts survive regrouping, and when
+    /// defined both groupings agree dim for dim.
+    #[test]
+    fn broadcast_is_associative(a in arb_shape(), b in arb_shape(), c in arb_shape()) {
+        let left = a.broadcast(&b).and_then(|ab| ab.broadcast(&c));
+        let right = b.broadcast(&c).and_then(|bc| a.broadcast(&bc));
+        prop_assert_eq!(left, right);
+    }
+
+    /// `broadcast` is idempotent and the result absorbs both operands.
+    #[test]
+    fn broadcast_absorbs_its_operands(a in arb_shape(), b in arb_shape()) {
+        if let Some(r) = a.broadcast(&b) {
+            prop_assert_eq!(a.broadcast(&r), Some(r.clone()));
+            prop_assert_eq!(b.broadcast(&r), Some(r.clone()));
+            prop_assert_eq!(r.broadcast(&r), Some(r.clone()));
+        }
+    }
+
+    /// Slice-tiling exactness: any partition of `[0, size)` into contiguous
+    /// pieces concatenates back to the original tensor shape — the law the
+    /// linter's E009 sharding check enforces.
+    #[test]
+    fn slice_tiling_reconstructs_the_tensor(
+        size_idx in 0usize..3,
+        other in 1i64..5,
+        cuts in proptest::collection::vec(1i64..12, 0..3),
+    ) {
+        let size = [6i64, 8, 12][size_idx];
+        let shape = Shape::of(&[size, other]);
+        // Sorted, deduped interior cut points partition [0, size).
+        let mut bounds: Vec<i64> = cuts.into_iter().map(|c| c % size).filter(|&c| c > 0).collect();
+        bounds.push(0);
+        bounds.push(size);
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        // Slice every piece, then infer the shape of the re-concatenation.
+        let meta = (shape.clone(), DType::F32);
+        let mut pieces: Vec<(Shape, DType)> = Vec::new();
+        for w in bounds.windows(2) {
+            let op = Op::Slice { dim: 0, start: Dim::from(w[0]), end: Dim::from(w[1]) };
+            pieces.push(infer_output(&op, std::slice::from_ref(&meta)).unwrap());
+        }
+        let mut acc = pieces[0].clone();
+        for piece in &pieces[1..] {
+            acc = infer_output(&Op::Concat { dim: 0 }, &[acc, piece.clone()]).unwrap();
+        }
+        prop_assert_eq!(&acc.0, &shape, "tiling with bounds {:?} must be exact", bounds);
+
+        // And a deliberate gap (dropping the first piece when there are
+        // several) must *not* reconstruct the shape.
+        if pieces.len() > 1 {
+            let mut acc = pieces[1].clone();
+            for piece in &pieces[2..] {
+                acc = infer_output(&Op::Concat { dim: 0 }, &[acc, piece.clone()]).unwrap();
+            }
+            prop_assert!(acc.0 != shape, "a gapped tiling cannot be exact");
+        }
+    }
+}

@@ -210,7 +210,11 @@ pub(crate) fn install(b: &mut Builder) {
                 vec![subst[v("x")], subst[v("i")], subst[v("j")]],
             );
             let d2c = add_scalar(eg, SymExpr::constant(d2));
-            vec![add_op(eg, "slice", vec![tx, d2c, subst[v("a")], subst[v("b")]])]
+            vec![add_op(
+                eg,
+                "slice",
+                vec![tx, d2c, subst[v("a")], subst[v("b")]],
+            )]
         },
     )
     .expect("parses");
@@ -296,8 +300,7 @@ pub(crate) fn install(b: &mut Builder) {
             let group: Vec<&(i64, SymExpr, SymExpr, ENode)> =
                 slices.iter().filter(|(sd, ..)| *sd == d).collect();
             // DFS over chains; cap work to keep the rule cheap.
-            let mut stack: Vec<(SymExpr, Vec<usize>)> =
-                vec![(SymExpr::zero(), Vec::new())];
+            let mut stack: Vec<(SymExpr, Vec<usize>)> = vec![(SymExpr::zero(), Vec::new())];
             let mut emitted = 0usize;
             let mut steps = 0usize;
             while let Some((cursor, chain)) = stack.pop() {

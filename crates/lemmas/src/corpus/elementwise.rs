@@ -16,7 +16,17 @@ fn v(name: &str) -> Var {
 /// installed separately under the vLLM category (it entered the corpus with
 /// Qwen2), and GELU is attributed to GPT.
 const UNARY_BASE: &[&str] = &[
-    "neg", "exp", "sqrt", "rsqrt", "tanh", "relu", "sigmoid", "cos", "sin", "step", "ones_like",
+    "neg",
+    "exp",
+    "sqrt",
+    "rsqrt",
+    "tanh",
+    "relu",
+    "sigmoid",
+    "cos",
+    "sin",
+    "step",
+    "ones_like",
 ];
 
 fn unary_family(b: &mut Builder, op: &str, category: Category, models: &[&'static str]) {
@@ -42,10 +52,15 @@ fn unary_family(b: &mut Builder, op: &str, category: Category, models: &[&'stati
     let lhs = format!("({op} (slice ?x ?d ?lo ?hi))");
     let rhs = format!("(slice ({op} ?x) ?d ?lo ?hi)");
     let opname = op.to_owned();
-    let rw = Rewrite::parse_if(&name, &lhs, &rhs, move |eg: &entangle_egraph::EGraph<TensorAnalysis>, _id, subst| {
-        let target = entangle_egraph::ENode::op(&opname, vec![subst[v("x")]]);
-        eg.lookup(&target).is_some()
-    })
+    let rw = Rewrite::parse_if(
+        &name,
+        &lhs,
+        &rhs,
+        move |eg: &entangle_egraph::EGraph<TensorAnalysis>, _id, subst| {
+            let target = entangle_egraph::ENode::op(&opname, vec![subst[v("x")]]);
+            eg.lookup(&target).is_some()
+        },
+    )
     .expect("parses");
     b.push(rw, category, 6, 2, models);
 }
@@ -83,11 +98,9 @@ fn binary_family(b: &mut Builder, op: &'static str, models: &[&'static str]) {
         &format!("slice-of-{op}"),
         &format!("(slice ({op} ?x ?y) ?d ?lo ?hi)"),
         &format!("({op} (slice ?x ?d ?lo ?hi) (slice ?y ?d ?lo ?hi))"),
-        |eg, _id, subst| {
-            match (shape(eg, subst[v("x")]), shape(eg, subst[v("y")])) {
-                (Some(sx), Some(sy)) => sx == sy,
-                _ => false,
-            }
+        |eg, _id, subst| match (shape(eg, subst[v("x")]), shape(eg, subst[v("y")])) {
+            (Some(sx), Some(sy)) => sx == sy,
+            _ => false,
         },
     )
     .expect("parses");
@@ -282,6 +295,18 @@ pub(crate) fn install(b: &mut Builder) {
     )
     .expect("parses");
     b.push(rw, Category::General, 8, 3, &[]);
-    b.uni("add-comm", "(add ?a ?b)", "(add ?b ?a)", Category::General, &[]);
-    b.uni("mul-comm", "(mul ?a ?b)", "(mul ?b ?a)", Category::General, &[]);
+    b.uni(
+        "add-comm",
+        "(add ?a ?b)",
+        "(add ?b ?a)",
+        Category::General,
+        &[],
+    );
+    b.uni(
+        "mul-comm",
+        "(mul ?a ?b)",
+        "(mul ?b ?a)",
+        Category::General,
+        &[],
+    );
 }

@@ -23,11 +23,9 @@ pub(crate) fn install(b: &mut Builder) {
             let (q0, q1) = (subst[v("q0")], subst[v("q1")]);
             let (k0, v0) = (subst[v("k0")], subst[v("v0")]);
             let (k1, v1) = (subst[v("k1")], subst[v("v1")]);
-            let (Some(d), Some(h), Some(r)) = (
-                int(eg, subst[v("d")]),
-                int(eg, subst[v("h")]),
-                rank(eg, q0),
-            ) else {
+            let (Some(d), Some(h), Some(r)) =
+                (int(eg, subst[v("d")]), int(eg, subst[v("h")]), rank(eg, q0))
+            else {
                 return vec![];
             };
             if d != r as i64 - 1 || h <= 0 {
@@ -41,10 +39,9 @@ pub(crate) fn install(b: &mut Builder) {
             };
             // k/v splits must match the q split.
             for (a, bq) in [(k0, q0), (v0, q0), (k1, q1), (v1, q1)] {
-                let (Some(sa), Some(sq)) = (
-                    dim_size(eg, a, d as usize),
-                    dim_size(eg, bq, d as usize),
-                ) else {
+                let (Some(sa), Some(sq)) =
+                    (dim_size(eg, a, d as usize), dim_size(eg, bq, d as usize))
+                else {
                     return vec![];
                 };
                 if !sym_eq(eg, &sa, &sq) {
@@ -174,10 +171,8 @@ pub(crate) fn install(b: &mut Builder) {
             if d != r as i64 - 2 {
                 return vec![];
             }
-            let (Some(s0), Some(s1)) = (
-                dim_size(eg, x0, d as usize),
-                dim_size(eg, x1, d as usize),
-            ) else {
+            let (Some(s0), Some(s1)) = (dim_size(eg, x0, d as usize), dim_size(eg, x1, d as usize))
+            else {
                 return vec![];
             };
             let zero = add_scalar(eg, SymExpr::zero());
@@ -230,8 +225,7 @@ pub(crate) fn install(b: &mut Builder) {
         "(rope (concat ?x0 ?x1 ?d) (concat ?c0 ?c1 1) (concat ?s0 ?s1 1))",
         "(concat (rope ?x0 ?c0 ?s0) (rope ?x1 ?c1 ?s1) ?d)",
         |eg, _id, subst| {
-            let (Some(d), Some(r)) = (int(eg, subst[v("d")]), rank(eg, subst[v("x0")]))
-            else {
+            let (Some(d), Some(r)) = (int(eg, subst[v("d")]), rank(eg, subst[v("x0")])) else {
                 return false;
             };
             if d != r as i64 - 1 {

@@ -26,12 +26,7 @@ fn out_dim(d: i64, r_in: usize, ra: usize, rb: usize) -> i64 {
 /// with the other operand (rank `r_other`, shape `other`)? True for the
 /// m/n dim (index `r_split - 2` or `r_split - 1` respectively — checked by
 /// the caller) and for batch dims the other operand broadcasts over.
-fn batch_split_ok(
-    eg: &EG,
-    d: i64,
-    r_split: usize,
-    other: entangle_egraph::Id,
-) -> bool {
+fn batch_split_ok(eg: &EG, d: i64, r_split: usize, other: entangle_egraph::Id) -> bool {
     let Some(so) = shape(eg, other) else {
         return false;
     };
@@ -146,8 +141,7 @@ pub(crate) fn install(b: &mut Builder) {
         |eg, _id, subst| {
             let (a, bb) = (subst[v("a")], subst[v("b")]);
             let (loc, hic) = (subst[v("lo")], subst[v("hi")]);
-            let (Some(d), Some(ra), Some(rb)) =
-                (int(eg, subst[v("d")]), rank(eg, a), rank(eg, bb))
+            let (Some(d), Some(ra), Some(rb)) = (int(eg, subst[v("d")]), rank(eg, a), rank(eg, bb))
             else {
                 return vec![];
             };
@@ -194,8 +188,7 @@ pub(crate) fn install(b: &mut Builder) {
         "(matmul (slice ?a ?d ?lo ?hi) ?b)",
         |eg, _id, subst| {
             let (a, bb) = (subst[v("a")], subst[v("b")]);
-            let (Some(d), Some(ra), Some(rb)) =
-                (int(eg, subst[v("d")]), rank(eg, a), rank(eg, bb))
+            let (Some(d), Some(ra), Some(rb)) = (int(eg, subst[v("d")]), rank(eg, a), rank(eg, bb))
             else {
                 return vec![];
             };
@@ -210,7 +203,11 @@ pub(crate) fn install(b: &mut Builder) {
             }
             let m = add_op(eg, "matmul", vec![a, bb]);
             let dout = add_scalar(eg, SymExpr::constant(out_dim(d, ra, ra, rb)));
-            vec![add_op(eg, "slice", vec![m, dout, subst[v("lo")], subst[v("hi")]])]
+            vec![add_op(
+                eg,
+                "slice",
+                vec![m, dout, subst[v("lo")], subst[v("hi")]],
+            )]
         },
     )
     .expect("parses");
@@ -221,8 +218,7 @@ pub(crate) fn install(b: &mut Builder) {
         "(matmul ?a (slice ?b ?d ?lo ?hi))",
         |eg, _id, subst| {
             let (a, bb) = (subst[v("a")], subst[v("b")]);
-            let (Some(d), Some(ra), Some(rb)) =
-                (int(eg, subst[v("d")]), rank(eg, a), rank(eg, bb))
+            let (Some(d), Some(ra), Some(rb)) = (int(eg, subst[v("d")]), rank(eg, a), rank(eg, bb))
             else {
                 return vec![];
             };
@@ -237,7 +233,11 @@ pub(crate) fn install(b: &mut Builder) {
             }
             let m = add_op(eg, "matmul", vec![a, bb]);
             let dout = add_scalar(eg, SymExpr::constant(out_dim(d, rb, ra, rb)));
-            vec![add_op(eg, "slice", vec![m, dout, subst[v("lo")], subst[v("hi")]])]
+            vec![add_op(
+                eg,
+                "slice",
+                vec![m, dout, subst[v("lo")], subst[v("hi")]],
+            )]
         },
     )
     .expect("parses");

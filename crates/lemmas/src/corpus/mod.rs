@@ -39,6 +39,7 @@ impl Category {
 }
 
 /// A lemma: a rewrite rule plus the metadata reported in §6.5–6.6.
+#[derive(Clone)]
 pub struct Lemma {
     /// Stable index in the registry (the Figure 6 x-axis).
     pub id: usize,
@@ -59,7 +60,13 @@ pub struct Lemma {
 
 impl std::fmt::Debug for Lemma {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Lemma#{} {} [{}]", self.id, self.name, self.category.tag())
+        write!(
+            f,
+            "Lemma#{} {} [{}]",
+            self.id,
+            self.name,
+            self.category.tag()
+        )
     }
 }
 
@@ -67,9 +74,7 @@ impl std::fmt::Debug for Lemma {
 /// measure: "the number of operators appearing in the lemma").
 pub(crate) fn pattern_ops(ast: &PatternAst) -> usize {
     match ast {
-        PatternAst::Op(_, ch) if !ch.is_empty() => {
-            1 + ch.iter().map(pattern_ops).sum::<usize>()
-        }
+        PatternAst::Op(_, ch) if !ch.is_empty() => 1 + ch.iter().map(pattern_ops).sum::<usize>(),
         _ => 0,
     }
 }
@@ -112,8 +117,7 @@ impl Builder {
         category: Category,
         models: &[&'static str],
     ) {
-        let rw = Rewrite::parse(name, lhs, rhs)
-            .unwrap_or_else(|e| panic!("lemma {name}: {e}"));
+        let rw = Rewrite::parse(name, lhs, rhs).unwrap_or_else(|e| panic!("lemma {name}: {e}"));
         let complexity = pattern_ops(rw.searcher().ast())
             + pattern_ops(
                 &rhs.parse::<entangle_egraph::Pattern>()

@@ -126,7 +126,11 @@ pub(crate) fn install(b: &mut Builder) {
             );
             let dout = if k == 0 && d2 < d { d - 1 } else { d };
             let doutc = add_scalar(eg, SymExpr::constant(dout));
-            vec![add_op(eg, "slice", vec![m, doutc, subst[v("lo")], subst[v("hi")]])]
+            vec![add_op(
+                eg,
+                "slice",
+                vec![m, doutc, subst[v("lo")], subst[v("hi")]],
+            )]
         },
     )
     .expect("parses");
@@ -145,8 +149,7 @@ pub(crate) fn install(b: &mut Builder) {
         "mean_all-of-concat",
         "(mean_all (concat ?a ?b ?d))",
         |eg, _id, subst| {
-            let (Some(sa), Some(sb)) = (shape(eg, subst[v("a")]), shape(eg, subst[v("b")]))
-            else {
+            let (Some(sa), Some(sb)) = (shape(eg, subst[v("a")]), shape(eg, subst[v("b")])) else {
                 return vec![];
             };
             let (Some(na), Some(nb)) = (sa.numel(), sb.numel()) else {
@@ -255,8 +258,7 @@ pub(crate) fn install(b: &mut Builder) {
         "cross_entropy-of-concat",
         "(cross_entropy (concat ?l0 ?l1 ?d) (concat ?t0 ?t1 ?d))",
         |eg, _id, subst| {
-            let (Some(d), Some(rl)) = (int(eg, subst[v("d")]), rank(eg, subst[v("l0")]))
-            else {
+            let (Some(d), Some(rl)) = (int(eg, subst[v("d")]), rank(eg, subst[v("l0")])) else {
                 return vec![];
             };
             if d == rl as i64 - 1 {
@@ -266,10 +268,8 @@ pub(crate) fn install(b: &mut Builder) {
             else {
                 return vec![];
             };
-            let (Some(v0), Some(v1)) = (
-                sl0.dim(rl - 1).as_const(),
-                sl1.dim(rl - 1).as_const(),
-            ) else {
+            let (Some(v0), Some(v1)) = (sl0.dim(rl - 1).as_const(), sl1.dim(rl - 1).as_const())
+            else {
                 return vec![];
             };
             let (Some(n0), Some(n1)) = (sl0.numel(), sl1.numel()) else {
@@ -480,8 +480,7 @@ pub(crate) fn install(b: &mut Builder) {
         "(mul ?x (ones_like ?y))",
         "?x",
         |eg, _id, subst| {
-            let (Some(sx), Some(sy)) = (shape(eg, subst[v("x")]), shape(eg, subst[v("y")]))
-            else {
+            let (Some(sx), Some(sy)) = (shape(eg, subst[v("x")]), shape(eg, subst[v("y")])) else {
                 return false;
             };
             // ones_like(y) must broadcast into x's shape without growing it.

@@ -44,7 +44,12 @@ fn registry_sanity() {
         assert_eq!(l.id, i);
     }
     // All four categories are populated.
-    for cat in [Category::Clean, Category::General, Category::Vllm, Category::Hlo] {
+    for cat in [
+        Category::Clean,
+        Category::General,
+        Category::Vllm,
+        Category::Hlo,
+    ] {
         assert!(
             lemmas.iter().any(|l| l.category == cat),
             "category {cat:?} empty"
@@ -59,7 +64,12 @@ fn registry_sanity() {
 fn figure2_block_matmul() {
     // A = [4,8] split into A1,A2 = [4,4] along dim 1;
     // B = [8,4] split into B1,B2 = [4,4] along dim 0.
-    let eg = eg_with(&[("A1", &[4, 4]), ("A2", &[4, 4]), ("B1", &[4, 4]), ("B2", &[4, 4])]);
+    let eg = eg_with(&[
+        ("A1", &[4, 4]),
+        ("A2", &[4, 4]),
+        ("B1", &[4, 4]),
+        ("B2", &[4, 4]),
+    ]);
     assert!(prove_equiv(
         eg,
         "(matmul (concat A1 A2 1) (concat B1 B2 0))",
@@ -115,7 +125,12 @@ fn batched_matmul_respects_rank_mapping() {
 #[test]
 fn contraction_split_requires_matching_seams() {
     // A split 6|2 against B split 4|4 must NOT produce the block identity.
-    let eg = eg_with(&[("A1", &[4, 6]), ("A2", &[4, 2]), ("B1", &[4, 4]), ("B2", &[4, 4])]);
+    let eg = eg_with(&[
+        ("A1", &[4, 6]),
+        ("A2", &[4, 2]),
+        ("B1", &[4, 4]),
+        ("B2", &[4, 4]),
+    ]);
     assert!(!prove_equiv(
         eg,
         "(matmul (concat A1 A2 1) (concat B1 B2 0))",
@@ -310,11 +325,7 @@ fn scalar_mul_algebra() {
     assert!(!prove_equiv(eg, "(add AUX AUX)", "AUX"));
     // Composition reduces fractions.
     let eg = eg_with(&[("X", &[4])]);
-    assert!(prove_equiv(
-        eg,
-        "(scalar_mul (scalar_mul X 2 3) 3 2)",
-        "X"
-    ));
+    assert!(prove_equiv(eg, "(scalar_mul (scalar_mul X 2 3) 3 2)", "X"));
 }
 
 #[test]
@@ -347,14 +358,24 @@ fn gradient_accumulation_identity() {
 
 #[test]
 fn binary_over_concats_needs_aligned_seams() {
-    let eg = eg_with(&[("A", &[2, 4]), ("B", &[2, 4]), ("C", &[2, 4]), ("D", &[2, 4])]);
+    let eg = eg_with(&[
+        ("A", &[2, 4]),
+        ("B", &[2, 4]),
+        ("C", &[2, 4]),
+        ("D", &[2, 4]),
+    ]);
     assert!(prove_equiv(
         eg,
         "(add (concat A B 0) (concat C D 0))",
         "(concat (add A C) (add B D) 0)"
     ));
     // Misaligned seams (3|1 vs 2|2) must not split.
-    let eg = eg_with(&[("A", &[3, 4]), ("B", &[1, 4]), ("C", &[2, 4]), ("D", &[2, 4])]);
+    let eg = eg_with(&[
+        ("A", &[3, 4]),
+        ("B", &[1, 4]),
+        ("C", &[2, 4]),
+        ("D", &[2, 4]),
+    ]);
     assert!(!prove_equiv(
         eg,
         "(add (concat A B 0) (concat C D 0))",
@@ -418,8 +439,8 @@ fn decode_op_roundtrip() {
     );
     assert_eq!(n, 1);
 
-    let (op, _) = crate::decode_op("attention", &[t.clone(), t.clone(), t.clone(), s(4), s(1)])
-        .unwrap();
+    let (op, _) =
+        crate::decode_op("attention", &[t.clone(), t.clone(), t.clone(), s(4), s(1)]).unwrap();
     assert_eq!(
         op,
         Op::Attention {
@@ -428,7 +449,7 @@ fn decode_op_roundtrip() {
         }
     );
 
-    assert!(crate::decode_op("unknown_op", &[t.clone()]).is_none());
+    assert!(crate::decode_op("unknown_op", std::slice::from_ref(&t)).is_none());
     // Missing scalar attrs fail gracefully.
     assert!(crate::decode_op("slice", &[t.clone(), t.clone(), s(0), s(2)]).is_none());
 }
@@ -750,7 +771,15 @@ mod concrete_validation {
     #[test]
     fn validate_unary_concat_lemmas() {
         let mut rng = StdRng::seed_from_u64(11);
-        for op in [Op::Gelu, Op::Silu, Op::Relu, Op::Tanh, Op::Exp, Op::Neg, Op::Sigmoid] {
+        for op in [
+            Op::Gelu,
+            Op::Silu,
+            Op::Relu,
+            Op::Tanh,
+            Op::Exp,
+            Op::Neg,
+            Op::Sigmoid,
+        ] {
             let a = random_value(&mut rng, &[3, 4]);
             let b = random_value(&mut rng, &[2, 4]);
             let lhs = eval_op(&op, &[&cat(&a, &b, 0)]).unwrap();
@@ -812,19 +841,31 @@ mod concrete_validation {
         let sin = random_value(&mut rng, &[s, h]);
         let full = eval_op(&Op::Rope, &[&x, &cos, &sin]).unwrap();
         let part = cat(
-            &eval_op(&Op::Rope, &[&sl(&x, 1, 0, 3), &sl(&cos, 0, 0, 3), &sl(&sin, 0, 0, 3)])
-                .unwrap(),
-            &eval_op(&Op::Rope, &[&sl(&x, 1, 3, 6), &sl(&cos, 0, 3, 6), &sl(&sin, 0, 3, 6)])
-                .unwrap(),
+            &eval_op(
+                &Op::Rope,
+                &[&sl(&x, 1, 0, 3), &sl(&cos, 0, 0, 3), &sl(&sin, 0, 0, 3)],
+            )
+            .unwrap(),
+            &eval_op(
+                &Op::Rope,
+                &[&sl(&x, 1, 3, 6), &sl(&cos, 0, 3, 6), &sl(&sin, 0, 3, 6)],
+            )
+            .unwrap(),
             1,
         );
         assert!(part.allclose(&full, 1e-12));
         // And the buggy offsets really do differ numerically.
         let buggy = cat(
-            &eval_op(&Op::Rope, &[&sl(&x, 1, 0, 3), &sl(&cos, 0, 0, 3), &sl(&sin, 0, 0, 3)])
-                .unwrap(),
-            &eval_op(&Op::Rope, &[&sl(&x, 1, 3, 6), &sl(&cos, 0, 0, 3), &sl(&sin, 0, 0, 3)])
-                .unwrap(),
+            &eval_op(
+                &Op::Rope,
+                &[&sl(&x, 1, 0, 3), &sl(&cos, 0, 0, 3), &sl(&sin, 0, 0, 3)],
+            )
+            .unwrap(),
+            &eval_op(
+                &Op::Rope,
+                &[&sl(&x, 1, 3, 6), &sl(&cos, 0, 0, 3), &sl(&sin, 0, 0, 3)],
+            )
+            .unwrap(),
             1,
         );
         assert!(!buggy.allclose(&full, 1e-6));

@@ -1,0 +1,456 @@
+//! Passes 1 and 2: graph well-formedness and distribution consistency.
+//!
+//! Both passes are *defensive*: they accept arbitrary [`Graph`] values —
+//! including malformed ones assembled by
+//! [`Graph::from_parts_unchecked`](entangle_ir::Graph::from_parts_unchecked)
+//! or loaded with `Graph::from_json_unvalidated` — and never panic or index
+//! out of range. This is what lets `entangle lint` report diagnostics on
+//! graphs that `Graph::validate` would reject with only its first error.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use entangle_ir::{infer_output, Graph, Op, Tensor, TensorId};
+
+use crate::{codes, Anchor, Diagnostic, LintReport};
+
+/// Runs the graph lint: pass 1 (well-formedness) always, pass 2
+/// (distribution consistency) only when pass 1 found no errors — the
+/// distribution checks assume resolvable tensor references.
+pub fn lint_graph(graph: &Graph) -> LintReport {
+    let mut report = LintReport::default();
+    well_formedness(graph, &mut report);
+    if report.is_clean() {
+        distribution(graph, &mut report);
+    }
+    report
+}
+
+/// Resolves a tensor reference without panicking.
+fn tensor_ref(graph: &Graph, id: TensorId) -> Option<&Tensor> {
+    graph.tensors().get(id.0 as usize)
+}
+
+/// Pass 1: structural integrity, SSA, topology, and a full re-run of shape
+/// inference cross-checking the stored metadata.
+fn well_formedness(graph: &Graph, report: &mut LintReport) {
+    let diags = &mut report.diagnostics;
+
+    // Tensor table: positional ids and unique names.
+    let mut names: HashMap<&str, TensorId> = HashMap::new();
+    for (i, t) in graph.tensors().iter().enumerate() {
+        if t.id.0 as usize != i {
+            diags.push(Diagnostic::error(
+                codes::MISINDEXED_ID,
+                Anchor::Tensor(TensorId(i as u32)),
+                format!("tensor at position {i} carries id {}", t.id),
+            ));
+        }
+        if let Some(first) = names.insert(&t.name, t.id) {
+            diags.push(
+                Diagnostic::error(
+                    codes::DUPLICATE_NAME,
+                    Anchor::Tensor(t.id),
+                    format!("tensor name {:?} already used by {first}", t.name),
+                )
+                .with_suggestion("rename one of the tensors; names must be unique per graph"),
+            );
+        }
+    }
+
+    // Graph inputs must resolve; they seed the produced set.
+    let mut produced: HashSet<TensorId> = HashSet::new();
+    for &i in graph.inputs() {
+        if tensor_ref(graph, i).is_none() {
+            diags.push(Diagnostic::error(
+                codes::DANGLING_REF,
+                Anchor::Graph,
+                format!("graph input {i} does not exist"),
+            ));
+        } else {
+            produced.insert(i);
+        }
+    }
+
+    // Node table: positional ids, resolvable references, topological
+    // consumption (which also rules out cycles in this indexed
+    // representation), single static assignment, and inference cross-check.
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let anchor = Anchor::Node(node.id);
+        if node.id.0 as usize != i {
+            diags.push(Diagnostic::error(
+                codes::MISINDEXED_ID,
+                anchor.clone(),
+                format!("node at position {i} carries id {}", node.id),
+            ));
+        }
+        let mut metas = Vec::with_capacity(node.inputs.len());
+        let mut resolvable = true;
+        for &input in &node.inputs {
+            match tensor_ref(graph, input) {
+                None => {
+                    diags.push(Diagnostic::error(
+                        codes::DANGLING_REF,
+                        anchor.clone(),
+                        format!("node {:?} consumes nonexistent tensor {input}", node.name),
+                    ));
+                    resolvable = false;
+                }
+                Some(t) => {
+                    if !produced.contains(&input) {
+                        diags.push(
+                            Diagnostic::error(
+                                codes::NOT_TOPOLOGICAL,
+                                anchor.clone(),
+                                format!(
+                                    "node {:?} consumes {:?} before it is produced \
+                                     (cycle or non-topological order)",
+                                    node.name, t.name
+                                ),
+                            )
+                            .with_suggestion("reorder the node table topologically"),
+                        );
+                    }
+                    metas.push((t.shape.clone(), t.dtype));
+                }
+            }
+        }
+        if let Some(arity) = node.op.arity() {
+            if node.inputs.len() != arity {
+                diags.push(Diagnostic::error(
+                    codes::BAD_APPLICATION,
+                    anchor.clone(),
+                    format!(
+                        "{} expects {arity} input(s), got {}",
+                        node.op.name(),
+                        node.inputs.len()
+                    ),
+                ));
+                resolvable = false;
+            }
+        }
+        let out = match tensor_ref(graph, node.output) {
+            None => {
+                diags.push(Diagnostic::error(
+                    codes::DANGLING_REF,
+                    anchor.clone(),
+                    format!(
+                        "node {:?} claims nonexistent output tensor {}",
+                        node.name, node.output
+                    ),
+                ));
+                continue;
+            }
+            Some(t) => t,
+        };
+        if resolvable {
+            match infer_output(&node.op, &metas) {
+                Err(e) => diags.push(Diagnostic::error(
+                    codes::BAD_APPLICATION,
+                    anchor.clone(),
+                    format!("shape inference rejects {:?}: {e}", node.name),
+                )),
+                Ok((shape, dtype)) => {
+                    if out.shape != shape || out.dtype != dtype {
+                        diags.push(
+                            Diagnostic::error(
+                                codes::SHAPE_MISMATCH,
+                                anchor.clone(),
+                                format!(
+                                    "node {:?} records output {} {} but inference gives {} {}",
+                                    node.name, out.shape, out.dtype, shape, dtype
+                                ),
+                            )
+                            .with_suggestion(
+                                "the stored tensor metadata is stale; rebuild the graph",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if out.producer != Some(node.id) {
+            diags.push(Diagnostic::error(
+                codes::PRODUCER_CONFLICT,
+                anchor.clone(),
+                format!(
+                    "tensor {:?} is produced by node {:?} but its producer link says {:?}",
+                    out.name, node.name, out.producer
+                ),
+            ));
+        }
+        if !produced.insert(node.output) {
+            diags.push(Diagnostic::error(
+                codes::PRODUCER_CONFLICT,
+                anchor,
+                format!(
+                    "tensor {:?} is produced more than once (violates SSA)",
+                    out.name
+                ),
+            ));
+        }
+    }
+
+    // Graph outputs must resolve and be produced.
+    for &o in graph.outputs() {
+        match tensor_ref(graph, o) {
+            None => diags.push(Diagnostic::error(
+                codes::DANGLING_REF,
+                Anchor::Graph,
+                format!("graph output {o} does not exist"),
+            )),
+            Some(t) => {
+                if !produced.contains(&o) {
+                    diags.push(Diagnostic::error(
+                        codes::UNPRODUCED_OUTPUT,
+                        Anchor::Tensor(o),
+                        format!("output {:?} is never produced", t.name),
+                    ));
+                }
+            }
+        }
+    }
+    if graph.outputs().is_empty() {
+        diags.push(Diagnostic::warning(
+            codes::NO_OUTPUTS,
+            Anchor::Graph,
+            "graph declares no outputs; refinement checking has nothing to relate",
+        ));
+    }
+
+    // Liveness warnings: dead nodes and unused inputs.
+    let consumed: HashSet<TensorId> = graph
+        .nodes()
+        .iter()
+        .flat_map(|n| n.inputs.iter().copied())
+        .collect();
+    let out_set: HashSet<TensorId> = graph.outputs().iter().copied().collect();
+    for node in graph.nodes() {
+        if !consumed.contains(&node.output) && !out_set.contains(&node.output) {
+            diags.push(
+                Diagnostic::warning(
+                    codes::DEAD_NODE,
+                    Anchor::Node(node.id),
+                    format!(
+                        "node {:?} computes {:?} which is never used",
+                        node.name,
+                        tensor_ref(graph, node.output).map_or("<?>", |t| t.name.as_str())
+                    ),
+                )
+                .with_suggestion("remove the node, or mark its output as a graph output"),
+            );
+        }
+    }
+    for &i in graph.inputs() {
+        if !consumed.contains(&i) && !out_set.contains(&i) {
+            if let Some(t) = tensor_ref(graph, i) {
+                diags.push(Diagnostic::warning(
+                    codes::UNUSED_INPUT,
+                    Anchor::Tensor(i),
+                    format!("input {:?} is never consumed", t.name),
+                ));
+            }
+        }
+    }
+}
+
+/// Pass 2: distribution consistency. Only meaningful on graphs that passed
+/// pass 1 (all tensor references resolve).
+fn distribution(graph: &Graph, report: &mut LintReport) {
+    slice_tiling(graph, report);
+    collective_groups(graph, report);
+}
+
+/// Slice-based sharding must tile the logical tensor exactly.
+///
+/// Whenever one tensor has two or more distinct const-bound [`Op::Slice`]
+/// consumers along the same dimension that together span it — the first
+/// shard starts at 0 and the last ends at the dimension's extent, the
+/// signature of a sharded `G_d` — the slices, sorted by start, must cover
+/// `[0, size)` with no gap and no overlap. The diagnostic anchors at the
+/// first node whose interval breaks the tiling. Groups that do *not* reach
+/// both endpoints are projections (e.g. unpadding a gathered tensor) and
+/// make no tiling claim; likewise, repeated reads of the same interval are
+/// deduplicated rather than flagged as overlap.
+fn slice_tiling(graph: &Graph, report: &mut LintReport) {
+    /// Const-bound slices of one (source tensor, dim): `(start, end, node)`.
+    type ShardGroups<'g> = BTreeMap<(TensorId, usize), Vec<(i64, i64, &'g entangle_ir::Node)>>;
+    let mut groups: ShardGroups<'_> = ShardGroups::new();
+    for node in graph.nodes() {
+        if let Op::Slice { dim, start, end } = &node.op {
+            let (Some(s), Some(e)) = (start.as_const(), end.as_const()) else {
+                continue;
+            };
+            let Some(&src) = node.inputs.first() else {
+                continue;
+            };
+            groups.entry((src, *dim)).or_default().push((s, e, node));
+        }
+    }
+    for ((src, dim), mut slices) in groups {
+        let tensor = graph.tensor(src);
+        let Some(size) = tensor.shape.dims().get(dim).and_then(|d| d.as_const()) else {
+            continue; // symbolic extent: tiling is the saturation engine's job
+        };
+        slices.sort_by_key(|&(s, e, _)| (s, e));
+        // Full-range slices are identity reads, and repeated intervals are
+        // just repeated reads — neither contributes a shard.
+        slices.retain(|&(s, e, _)| !(s == 0 && e == size));
+        slices.dedup_by_key(|&mut (s, e, _)| (s, e));
+        if slices.len() < 2 {
+            continue; // a lone slice is projection, not sharding
+        }
+        let spans_dim = slices.first().is_some_and(|&(s, _, _)| s == 0)
+            && slices.iter().map(|&(_, e, _)| e).max() == Some(size);
+        if !spans_dim {
+            continue; // projection (e.g. unpad), not a sharding claim
+        }
+        let mut covered = 0i64;
+        for &(s, e, node) in &slices {
+            if s > covered {
+                report.diagnostics.push(
+                    Diagnostic::error(
+                        codes::SHARDING_TILE,
+                        Anchor::Node(node.id),
+                        format!(
+                            "shards of {:?} along dim {dim} leave a gap: \
+                             [{covered}, {s}) is not covered before slice {:?} [{s}, {e})",
+                            tensor.name, node.name
+                        ),
+                    )
+                    .with_suggestion(format!(
+                        "adjust the slice bounds so the shards tile [0, {size}) exactly"
+                    )),
+                );
+            } else if s < covered {
+                report.diagnostics.push(
+                    Diagnostic::error(
+                        codes::SHARDING_TILE,
+                        Anchor::Node(node.id),
+                        format!(
+                            "shards of {:?} along dim {dim} overlap: slice {:?} [{s}, {e}) \
+                             re-reads [{s}, {})",
+                            tensor.name,
+                            node.name,
+                            covered.min(e)
+                        ),
+                    )
+                    .with_suggestion(format!(
+                        "adjust the slice bounds so the shards tile [0, {size}) exactly"
+                    )),
+                );
+            }
+            covered = covered.max(e);
+        }
+        if covered < size {
+            let last = slices.last().expect("len >= 2").2;
+            report.diagnostics.push(
+                Diagnostic::error(
+                    codes::SHARDING_TILE,
+                    Anchor::Node(last.id),
+                    format!(
+                        "shards of {:?} along dim {dim} leave a gap: \
+                         [{covered}, {size}) is never covered",
+                        tensor.name
+                    ),
+                )
+                .with_suggestion(format!(
+                    "adjust the slice bounds so the shards tile [0, {size}) exactly"
+                )),
+            );
+        }
+    }
+}
+
+/// Collectives over the same inputs are one logical communicator: every
+/// rank's node must agree in op kind and attributes, and reduce-scatter
+/// ranks must be distinct and in range.
+fn collective_groups(graph: &Graph, report: &mut LintReport) {
+    let mut groups: BTreeMap<Vec<TensorId>, Vec<&entangle_ir::Node>> = BTreeMap::new();
+    for node in graph.nodes() {
+        if node.op.is_collective() {
+            groups.entry(node.inputs.clone()).or_default().push(node);
+        }
+    }
+    for nodes in groups.values() {
+        let first = nodes[0];
+        let mut ranks: HashMap<usize, &entangle_ir::Node> = HashMap::new();
+        for node in nodes {
+            match (&first.op, &node.op) {
+                (Op::AllReduce, Op::AllReduce) => {}
+                (Op::AllGather { dim: d0 }, Op::AllGather { dim: d1 }) => {
+                    if d0 != d1 {
+                        report.diagnostics.push(Diagnostic::error(
+                            codes::COLLECTIVE_MISMATCH,
+                            Anchor::Node(node.id),
+                            format!(
+                                "all_gather {:?} uses dim {d1} but {:?} over the same \
+                                 inputs uses dim {d0}",
+                                node.name, first.name
+                            ),
+                        ));
+                    }
+                }
+                (
+                    Op::ReduceScatter {
+                        dim: d0, world: w0, ..
+                    },
+                    Op::ReduceScatter {
+                        dim: d1,
+                        rank,
+                        world: w1,
+                    },
+                ) => {
+                    if d0 != d1 || w0 != w1 {
+                        report.diagnostics.push(Diagnostic::error(
+                            codes::COLLECTIVE_MISMATCH,
+                            Anchor::Node(node.id),
+                            format!(
+                                "reduce_scatter {:?} (dim {d1}, world {w1}) disagrees with \
+                                 {:?} (dim {d0}, world {w0}) over the same inputs",
+                                node.name, first.name
+                            ),
+                        ));
+                    }
+                    if rank >= w1 {
+                        report.diagnostics.push(Diagnostic::error(
+                            codes::COLLECTIVE_MISMATCH,
+                            Anchor::Node(node.id),
+                            format!(
+                                "reduce_scatter {:?} claims rank {rank} in a world of {w1}",
+                                node.name
+                            ),
+                        ));
+                    }
+                    if let Some(prev) = ranks.insert(*rank, node) {
+                        report.diagnostics.push(
+                            Diagnostic::error(
+                                codes::COLLECTIVE_MISMATCH,
+                                Anchor::Node(node.id),
+                                format!(
+                                    "reduce_scatter {:?} reuses rank {rank} already taken \
+                                     by {:?}",
+                                    node.name, prev.name
+                                ),
+                            )
+                            .with_suggestion("each rank's shard must use a distinct rank index"),
+                        );
+                    }
+                }
+                _ => {
+                    report.diagnostics.push(Diagnostic::error(
+                        codes::COLLECTIVE_MISMATCH,
+                        Anchor::Node(node.id),
+                        format!(
+                            "node {:?} ({}) and node {:?} ({}) are different collectives \
+                             over the same inputs",
+                            first.name,
+                            first.op.name(),
+                            node.name,
+                            node.op.name()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -44,7 +44,8 @@ pub fn regression(cfg: &RegressionConfig) -> Graph {
     let pred = g.apply("pred", Op::Add, &[xw, b]).expect("valid add");
     let loss = g.apply("loss", Op::MseLoss, &[pred, y]).expect("valid mse");
     g.mark_output(loss);
-    g.finish().expect("regression model is valid by construction")
+    g.finish()
+        .expect("regression model is valid by construction")
 }
 
 /// Builds the regression model with a *sum*-semantics loss:
@@ -69,7 +70,8 @@ pub fn regression_sum_loss(cfg: &RegressionConfig) -> Graph {
     let sq = g.apply("sq", Op::Mul, &[diff, diff]).expect("valid mul");
     let loss = g.apply("loss", Op::SumAll, &[sq]).expect("valid sum");
     g.mark_output(loss);
-    g.finish().expect("regression model is valid by construction")
+    g.finish()
+        .expect("regression model is valid by construction")
 }
 
 /// Builds a full sequential *training step* for the regression model, with
@@ -104,7 +106,9 @@ pub fn regression_training(cfg: &RegressionConfig) -> Graph {
     let xt = g
         .apply("xT", Op::Transpose { d0: 0, d1: 1 }, &[x])
         .expect("valid transpose");
-    let xte = g.apply("xTe", Op::Matmul, &[xt, err]).expect("valid matmul");
+    let xte = g
+        .apply("xTe", Op::Matmul, &[xt, err])
+        .expect("valid matmul");
     let grad_w = g
         .apply("grad_w", Op::ScalarMul { numer: 2, denom: n }, &[xte])
         .expect("valid scale");

@@ -141,9 +141,10 @@ fn causal_flag_respected() {
     let mut cfg = ModelConfig::tiny();
     cfg.causal = true;
     let g = gpt(&cfg);
-    let has_causal_attn = g.nodes().iter().any(|n| {
-        matches!(n.op, entangle_ir::Op::Attention { causal: true, .. })
-    });
+    let has_causal_attn = g
+        .nodes()
+        .iter()
+        .any(|n| matches!(n.op, entangle_ir::Op::Attention { causal: true, .. }));
     assert!(has_causal_attn);
 }
 

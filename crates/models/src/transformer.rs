@@ -83,18 +83,24 @@ impl Ctx<'_> {
             Arch::Gpt => {
                 let w = self.weight(&format!("{prefix}_w"), &[h]);
                 let b = self.weight(&format!("{prefix}_b"), &[h]);
-                self.g.apply(name, Op::LayerNorm, &[x, w, b]).expect("valid norm")
+                self.g
+                    .apply(name, Op::LayerNorm, &[x, w, b])
+                    .expect("valid norm")
             }
             Arch::Llama | Arch::Qwen2 => {
                 let w = self.weight(&format!("{prefix}_w"), &[h]);
-                self.g.apply(name, Op::RmsNorm, &[x, w]).expect("valid norm")
+                self.g
+                    .apply(name, Op::RmsNorm, &[x, w])
+                    .expect("valid norm")
             }
         }
     }
 
     fn linear(&mut self, name: &str, wname: &str, x: TensorId, d_in: i64, d_out: i64) -> TensorId {
         let w = self.weight(wname, &[d_in, d_out]);
-        self.g.apply(name, Op::Matmul, &[x, w]).expect("valid matmul")
+        self.g
+            .apply(name, Op::Matmul, &[x, w])
+            .expect("valid matmul")
     }
 
     fn attention_block(&mut self, l: usize, x: TensorId) -> TensorId {
@@ -109,8 +115,14 @@ impl Ctx<'_> {
         if self.arch.qkv_bias() {
             let bq = self.weight(&format!("{p}.bq"), &[h]);
             let bk = self.weight(&format!("{p}.bk"), &[h]);
-            q = self.g.apply(&format!("{p}.qb"), Op::Add, &[q, bq]).expect("valid add");
-            k = self.g.apply(&format!("{p}.kb"), Op::Add, &[k, bk]).expect("valid add");
+            q = self
+                .g
+                .apply(&format!("{p}.qb"), Op::Add, &[q, bq])
+                .expect("valid add");
+            k = self
+                .g
+                .apply(&format!("{p}.kb"), Op::Add, &[k, bk])
+                .expect("valid add");
         }
         if let Some((cos, sin)) = self.rope {
             q = self
@@ -239,7 +251,10 @@ impl Ctx<'_> {
             .g
             .apply(
                 &format!("{p}.load_b"),
-                Op::MeanDim { dim: 0, keepdim: false },
+                Op::MeanDim {
+                    dim: 0,
+                    keepdim: false,
+                },
                 &[gates],
             )
             .expect("valid mean");
@@ -247,7 +262,10 @@ impl Ctx<'_> {
             .g
             .apply(
                 &format!("{p}.load"),
-                Op::MeanDim { dim: 0, keepdim: false },
+                Op::MeanDim {
+                    dim: 0,
+                    keepdim: false,
+                },
                 &[load_b],
             )
             .expect("valid mean");
@@ -278,14 +296,18 @@ fn build_transformer(cfg: &ModelConfig, arch: Arch, experts: Option<usize>) -> G
     );
     let ids = g.input("ids", &[b, s], DType::I64);
     let wtok = g.input("wtok", &[v, h], DType::F32);
-    let mut x = g.apply("embed", Op::Embedding, &[wtok, ids]).expect("valid embedding");
+    let mut x = g
+        .apply("embed", Op::Embedding, &[wtok, ids])
+        .expect("valid embedding");
     let rope = if arch.uses_rope() {
         let cos = g.input("rope_cos", &[s, h], DType::F32);
         let sin = g.input("rope_sin", &[s, h], DType::F32);
         Some((cos, sin))
     } else {
         let wpos = g.input("wpos", &[s, h], DType::F32);
-        x = g.apply("pos_embed", Op::Add, &[x, wpos]).expect("valid add");
+        x = g
+            .apply("pos_embed", Op::Add, &[x, wpos])
+            .expect("valid add");
         None
     };
 
@@ -315,7 +337,9 @@ fn build_transformer(cfg: &ModelConfig, arch: Arch, experts: Option<usize>) -> G
     }
     let nf = ctx.norm("ln_f", "ln_f", x);
     let wlm = g.input("wlm", &[h, v], DType::F32);
-    let logits = g.apply("logits", Op::Matmul, &[nf, wlm]).expect("valid matmul");
+    let logits = g
+        .apply("logits", Op::Matmul, &[nf, wlm])
+        .expect("valid matmul");
     g.mark_output(logits);
     if let Some(aux) = aux_total {
         g.mark_output(aux);

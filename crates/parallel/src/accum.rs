@@ -16,11 +16,7 @@ use crate::dist::Distributed;
 /// # Panics
 ///
 /// Panics when the batch does not divide evenly.
-pub fn grad_accumulation(
-    cfg: &RegressionConfig,
-    microbatches: usize,
-    scaled: bool,
-) -> Distributed {
+pub fn grad_accumulation(cfg: &RegressionConfig, microbatches: usize, scaled: bool) -> Distributed {
     assert!(microbatches >= 1);
     assert_eq!(cfg.batch % microbatches, 0, "batch must divide evenly");
     let (n, f) = (cfg.batch as i64, cfg.features as i64);
@@ -48,8 +44,12 @@ pub fn grad_accumulation(
             x_expr = format!("(concat {x_expr} x.{i} 0)");
             y_expr = format!("(concat {y_expr} y.{i} 0)");
         }
-        let xw = g.apply(&format!("xw.{i}"), Op::Matmul, &[x, w]).expect("valid");
-        let pred = g.apply(&format!("pred.{i}"), Op::Add, &[xw, b]).expect("valid");
+        let xw = g
+            .apply(&format!("xw.{i}"), Op::Matmul, &[x, w])
+            .expect("valid");
+        let pred = g
+            .apply(&format!("pred.{i}"), Op::Add, &[xw, b])
+            .expect("valid");
         losses.push(
             g.apply(&format!("loss.{i}"), Op::MseLoss, &[pred, y])
                 .expect("valid"),
@@ -60,7 +60,9 @@ pub fn grad_accumulation(
 
     let mut acc = losses[0];
     for (i, &l) in losses.iter().enumerate().skip(1) {
-        acc = g.apply(&format!("acc.{i}"), Op::Add, &[acc, l]).expect("valid");
+        acc = g
+            .apply(&format!("acc.{i}"), Op::Add, &[acc, l])
+            .expect("valid");
     }
     let total = if scaled && microbatches > 1 {
         g.apply("total", Op::ScalarMul { numer: 1, denom: m }, &[acc])

@@ -14,8 +14,7 @@
 //! | 9 | TransformerEngine | missing all-reduce for SP layernorm weight gradients | user expectation violated |
 
 use entangle::{
-    check_expectation, check_refinement, CheckOptions, ExpectationError, RefinementError,
-    Relation,
+    check_expectation, check_refinement, CheckOptions, ExpectationError, RefinementError, Relation,
 };
 use entangle_ir::{DType, Graph, GraphBuilder, IrError, Op};
 use entangle_models::RegressionConfig;
@@ -210,7 +209,9 @@ fn bug2_aux_loss_scale(buggy: bool) -> BugCase {
     let load_d = gd.input("load", &[e], DType::F32);
     let mut contributions = Vec::new();
     for r in 0..2 {
-        let sq = gd.apply(&format!("load_sq.{r}"), Op::Mul, &[load_d, load_d]).unwrap();
+        let sq = gd
+            .apply(&format!("load_sq.{r}"), Op::Mul, &[load_d, load_d])
+            .unwrap();
         let aux = gd.apply(&format!("aux.{r}"), Op::SumAll, &[sq]).unwrap();
         let c = if buggy {
             aux // BUG: forgot the 1/T scale
@@ -224,7 +225,9 @@ fn bug2_aux_loss_scale(buggy: bool) -> BugCase {
         };
         contributions.push(c);
     }
-    let total = gd.apply("aux_total", Op::AllReduce, &contributions).unwrap();
+    let total = gd
+        .apply("aux_total", Op::AllReduce, &contributions)
+        .unwrap();
     gd.mark_output(total);
     let gd = gd.finish().unwrap();
 
@@ -260,26 +263,58 @@ fn bug3_pad_slice_mismatch(buggy: bool) -> BugCase {
     let x1 = gd.input("x.1", &[half, h], DType::F32);
     let w_d = gd.input("w", &[h, h], DType::F32);
     let p0 = gd
-        .apply("pad.0", Op::Pad { dim: 0, before: 0.into(), after: 1.into() }, &[x0])
+        .apply(
+            "pad.0",
+            Op::Pad {
+                dim: 0,
+                before: 0.into(),
+                after: 1.into(),
+            },
+            &[x0],
+        )
         .unwrap();
     let p1 = gd
-        .apply("pad.1", Op::Pad { dim: 0, before: 0.into(), after: 1.into() }, &[x1])
+        .apply(
+            "pad.1",
+            Op::Pad {
+                dim: 0,
+                before: 0.into(),
+                after: 1.into(),
+            },
+            &[x1],
+        )
         .unwrap();
-    let gathered = gd.apply("gather", Op::AllGather { dim: 0 }, &[p0, p1]).unwrap();
+    let gathered = gd
+        .apply("gather", Op::AllGather { dim: 0 }, &[p0, p1])
+        .unwrap();
     // Correct: drop the padding at positions 3 and 7. Buggy: slice [0,3)
     // and [3,6) — keeps the padded zero at 3, drops the element at 4.
     let (b0, b1) = if buggy { (3, 6) } else { (4, 7) };
     let s0 = gd
-        .apply("unpad.0", Op::Slice { dim: 0, start: 0.into(), end: 3.into() }, &[gathered])
+        .apply(
+            "unpad.0",
+            Op::Slice {
+                dim: 0,
+                start: 0.into(),
+                end: 3.into(),
+            },
+            &[gathered],
+        )
         .unwrap();
     let s1 = gd
         .apply(
             "unpad.1",
-            Op::Slice { dim: 0, start: b0.into(), end: b1.into() },
+            Op::Slice {
+                dim: 0,
+                start: b0.into(),
+                end: b1.into(),
+            },
             &[gathered],
         )
         .unwrap();
-    let full = gd.apply("unpadded", Op::Concat { dim: 0 }, &[s0, s1]).unwrap();
+    let full = gd
+        .apply("unpadded", Op::Concat { dim: 0 }, &[s0, s1])
+        .unwrap();
     let y = gd.apply("proj", Op::Matmul, &[full, w_d]).unwrap();
     gd.mark_output(y);
     let gd = gd.finish().unwrap();
@@ -346,7 +381,8 @@ fn bug4_sharded_expert_weights(buggy: bool) -> BugCase {
     BugCase {
         id: 4,
         name: "sharded-expert-weights-sp",
-        description: "incompatible configuration: expert weights sharded instead of replicated under SP",
+        description:
+            "incompatible configuration: expert weights sharded instead of replicated under SP",
         gs,
         dist: Distributed {
             graph: gd,
@@ -368,7 +404,14 @@ fn bug5_layernorm_weight_aggregation(buggy: bool) -> BugCase {
     // sequence-sharded under SP.
     let contrib = gs.input("contrib", &[S, H], DType::F32);
     let grad = gs
-        .apply("ln_w_grad", Op::SumDim { dim: 0, keepdim: false }, &[contrib])
+        .apply(
+            "ln_w_grad",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[contrib],
+        )
         .unwrap();
     gs.mark_output(grad);
     let gs = gs.finish().unwrap();
@@ -378,10 +421,24 @@ fn bug5_layernorm_weight_aggregation(buggy: bool) -> BugCase {
     let c0 = gd.input("contrib.0", &[half, H], DType::F32);
     let c1 = gd.input("contrib.1", &[half, H], DType::F32);
     let g0 = gd
-        .apply("grad.0", Op::SumDim { dim: 0, keepdim: false }, &[c0])
+        .apply(
+            "grad.0",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[c0],
+        )
         .unwrap();
     let g1 = gd
-        .apply("grad.1", Op::SumDim { dim: 0, keepdim: false }, &[c1])
+        .apply(
+            "grad.1",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[c1],
+        )
         .unwrap();
     gd.mark_output(g0);
     gd.mark_output(g1);
@@ -492,7 +549,9 @@ fn bug8_moe_router_all_reduce(buggy: bool) -> BugCase {
     let mut gs = GraphBuilder::new("router-grad");
     let x = gs.input("x", &[S, H], DType::F32);
     let d = gs.input("delta", &[S, e], DType::F32);
-    let xt = gs.apply("xT", Op::Transpose { d0: 0, d1: 1 }, &[x]).unwrap();
+    let xt = gs
+        .apply("xT", Op::Transpose { d0: 0, d1: 1 }, &[x])
+        .unwrap();
     let grad = gs.apply("wr_grad", Op::Matmul, &[xt, d]).unwrap();
     gs.mark_output(grad);
     let gs = gs.finish().unwrap();
@@ -506,7 +565,9 @@ fn bug8_moe_router_all_reduce(buggy: bool) -> BugCase {
         let xt = gd
             .apply(&format!("xT.{r}"), Op::Transpose { d0: 0, d1: 1 }, &[xr])
             .unwrap();
-        let p = gd.apply(&format!("wr_grad.{r}"), Op::Matmul, &[xt, dr]).unwrap();
+        let p = gd
+            .apply(&format!("wr_grad.{r}"), Op::Matmul, &[xt, dr])
+            .unwrap();
         gd.mark_output(p);
         partials.push(p);
     }
@@ -547,7 +608,14 @@ fn bug9_sp_layernorm_all_reduce(buggy: bool) -> BugCase {
     let up = gs.input("upstream", &[S, H], DType::F32);
     let prod = gs.apply("prod", Op::Mul, &[normed, up]).unwrap();
     let grad = gs
-        .apply("rms_w_grad", Op::SumDim { dim: 0, keepdim: false }, &[prod])
+        .apply(
+            "rms_w_grad",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[prod],
+        )
         .unwrap();
     gs.mark_output(grad);
     let gs = gs.finish().unwrap();
@@ -562,7 +630,10 @@ fn bug9_sp_layernorm_all_reduce(buggy: bool) -> BugCase {
         let p = gd
             .apply(
                 &format!("rms_w_grad.{r}"),
-                Op::SumDim { dim: 0, keepdim: false },
+                Op::SumDim {
+                    dim: 0,
+                    keepdim: false,
+                },
                 &[prod],
             )
             .unwrap();
@@ -572,7 +643,9 @@ fn bug9_sp_layernorm_all_reduce(buggy: bool) -> BugCase {
     let expected = if buggy {
         "rms_w_grad.0".to_owned()
     } else {
-        let agg = gd.apply("rms_w_grad_agg", Op::AllReduce, &partials).unwrap();
+        let agg = gd
+            .apply("rms_w_grad_agg", Op::AllReduce, &partials)
+            .unwrap();
         gd.mark_output(agg);
         "rms_w_grad_agg".to_owned()
     };
@@ -586,7 +659,10 @@ fn bug9_sp_layernorm_all_reduce(buggy: bool) -> BugCase {
         dist: Distributed {
             graph: gd,
             input_maps: vec![
-                ("normed".to_owned(), "(concat normed.0 normed.1 0)".to_owned()),
+                (
+                    "normed".to_owned(),
+                    "(concat normed.0 normed.1 0)".to_owned(),
+                ),
                 (
                     "upstream".to_owned(),
                     "(concat upstream.0 upstream.1 0)".to_owned(),

@@ -1,7 +1,7 @@
 //! The output of a distribution strategy: `G_d` plus the input relation.
 
-use entangle_ir::{Graph, IrError};
 use entangle::Relation;
+use entangle_ir::{Graph, IrError};
 
 /// A distributed implementation together with the clean input-relation
 /// specification relating it back to the sequential model.

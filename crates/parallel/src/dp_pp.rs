@@ -32,7 +32,11 @@ pub fn data_parallel(cfg: &RegressionConfig, replicas: usize, average: bool) -> 
     let r = replicas as i64;
     let nm = n / r;
 
-    let mut g = GraphBuilder::new(if average { "regression-dp" } else { "regression-dp-sum" });
+    let mut g = GraphBuilder::new(if average {
+        "regression-dp"
+    } else {
+        "regression-dp-sum"
+    });
     let mut maps = Vec::new();
     let w = g.input("w", &[f, 1], DType::F32);
     let b = g.input("b", &[1], DType::F32);
@@ -50,20 +54,31 @@ pub fn data_parallel(cfg: &RegressionConfig, replicas: usize, average: bool) -> 
             x_expr = format!("(concat {x_expr} x.{i} 0)");
             y_expr = format!("(concat {y_expr} y.{i} 0)");
         }
-        let xw = g.apply(&format!("xw.{i}"), Op::Matmul, &[x, w]).expect("valid");
-        let pred = g.apply(&format!("pred.{i}"), Op::Add, &[xw, b]).expect("valid");
+        let xw = g
+            .apply(&format!("xw.{i}"), Op::Matmul, &[x, w])
+            .expect("valid");
+        let pred = g
+            .apply(&format!("pred.{i}"), Op::Add, &[xw, b])
+            .expect("valid");
         let loss = g
             .apply(&format!("loss.{i}"), Op::MseLoss, &[pred, y])
             .expect("valid");
-        let err = g.apply(&format!("err.{i}"), Op::Sub, &[pred, y]).expect("valid");
+        let err = g
+            .apply(&format!("err.{i}"), Op::Sub, &[pred, y])
+            .expect("valid");
         let xt = g
             .apply(&format!("xT.{i}"), Op::Transpose { d0: 0, d1: 1 }, &[x])
             .expect("valid");
-        let xte = g.apply(&format!("xTe.{i}"), Op::Matmul, &[xt, err]).expect("valid");
+        let xte = g
+            .apply(&format!("xTe.{i}"), Op::Matmul, &[xt, err])
+            .expect("valid");
         let grad = g
             .apply(
                 &format!("grad.{i}"),
-                Op::ScalarMul { numer: 2, denom: nm },
+                Op::ScalarMul {
+                    numer: 2,
+                    denom: nm,
+                },
                 &[xte],
             )
             .expect("valid");
@@ -99,8 +114,12 @@ fn weighted_average(
             .expect("valid all-reduce")
     };
     if average && parts.len() > 1 {
-        g.apply(&format!("{name}_avg"), Op::ScalarMul { numer: 1, denom: r }, &[reduced])
-            .expect("valid scale")
+        g.apply(
+            &format!("{name}_avg"),
+            Op::ScalarMul { numer: 1, denom: r },
+            &[reduced],
+        )
+        .expect("valid scale")
     } else {
         reduced
     }
@@ -126,11 +145,12 @@ pub fn pipeline(cfg: &ModelConfig, arch: Arch, microbatches: usize) -> Distribut
 
     let mut g = GraphBuilder::new("dist-pp");
     let mut maps: Vec<(String, String)> = Vec::new();
-    let weight = |g: &mut GraphBuilder, maps: &mut Vec<(String, String)>, name: &str, dims: &[i64]| {
-        let id = g.input(name, dims, DType::F32);
-        maps.push((name.to_owned(), name.to_owned()));
-        id
-    };
+    let weight =
+        |g: &mut GraphBuilder, maps: &mut Vec<(String, String)>, name: &str, dims: &[i64]| {
+            let id = g.input(name, dims, DType::F32);
+            maps.push((name.to_owned(), name.to_owned()));
+            id
+        };
 
     let wtok = weight(&mut g, &mut maps, "wtok", &[v, h]);
     let rope = if matches!(arch, Arch::Llama | Arch::Qwen2) {
@@ -231,23 +251,40 @@ pub fn pipeline(cfg: &ModelConfig, arch: Arch, microbatches: usize) -> Distribut
         }
         for (l, lw) in layer_weights.iter().enumerate() {
             let p = format!("mb{i}.L{l}");
-            let norm = |g: &mut GraphBuilder, name: &str, x: TensorId, (w, b): (TensorId, Option<TensorId>)| {
+            let norm = |g: &mut GraphBuilder,
+                        name: &str,
+                        x: TensorId,
+                        (w, b): (TensorId, Option<TensorId>)| {
                 match b {
                     Some(b) => g.apply(name, Op::LayerNorm, &[x, w, b]).expect("valid"),
                     None => g.apply(name, Op::RmsNorm, &[x, w]).expect("valid"),
                 }
             };
             let n1 = norm(&mut g, &format!("{p}.ln1"), x, lw.ln1);
-            let mut q = g.apply(&format!("{p}.q"), Op::Matmul, &[n1, lw.wq]).expect("valid");
-            let mut k = g.apply(&format!("{p}.k"), Op::Matmul, &[n1, lw.wk]).expect("valid");
-            let vv = g.apply(&format!("{p}.v"), Op::Matmul, &[n1, lw.wv]).expect("valid");
+            let mut q = g
+                .apply(&format!("{p}.q"), Op::Matmul, &[n1, lw.wq])
+                .expect("valid");
+            let mut k = g
+                .apply(&format!("{p}.k"), Op::Matmul, &[n1, lw.wk])
+                .expect("valid");
+            let vv = g
+                .apply(&format!("{p}.v"), Op::Matmul, &[n1, lw.wv])
+                .expect("valid");
             if let (Some(bq), Some(bk)) = (lw.bq, lw.bk) {
-                q = g.apply(&format!("{p}.qb"), Op::Add, &[q, bq]).expect("valid");
-                k = g.apply(&format!("{p}.kb"), Op::Add, &[k, bk]).expect("valid");
+                q = g
+                    .apply(&format!("{p}.qb"), Op::Add, &[q, bq])
+                    .expect("valid");
+                k = g
+                    .apply(&format!("{p}.kb"), Op::Add, &[k, bk])
+                    .expect("valid");
             }
             if let Some((cos, sin)) = rope {
-                q = g.apply(&format!("{p}.q_rope"), Op::Rope, &[q, cos, sin]).expect("valid");
-                k = g.apply(&format!("{p}.k_rope"), Op::Rope, &[k, cos, sin]).expect("valid");
+                q = g
+                    .apply(&format!("{p}.q_rope"), Op::Rope, &[q, cos, sin])
+                    .expect("valid");
+                k = g
+                    .apply(&format!("{p}.k_rope"), Op::Rope, &[k, cos, sin])
+                    .expect("valid");
             }
             let attn = g
                 .apply(
@@ -259,24 +296,44 @@ pub fn pipeline(cfg: &ModelConfig, arch: Arch, microbatches: usize) -> Distribut
                     &[q, k, vv],
                 )
                 .expect("valid");
-            let o = g.apply(&format!("{p}.attn_out"), Op::Matmul, &[attn, lw.wo]).expect("valid");
-            x = g.apply(&format!("{p}.res1"), Op::Add, &[x, o]).expect("valid");
+            let o = g
+                .apply(&format!("{p}.attn_out"), Op::Matmul, &[attn, lw.wo])
+                .expect("valid");
+            x = g
+                .apply(&format!("{p}.res1"), Op::Add, &[x, o])
+                .expect("valid");
             let n2 = norm(&mut g, &format!("{p}.ln2"), x, lw.ln2);
             let mlp = match lw.w3 {
                 None => {
-                    let up = g.apply(&format!("{p}.mlp_up"), Op::Matmul, &[n2, lw.w1]).expect("valid");
-                    let act = g.apply(&format!("{p}.mlp_act"), Op::Gelu, &[up]).expect("valid");
-                    g.apply(&format!("{p}.mlp_down"), Op::Matmul, &[act, lw.w2]).expect("valid")
+                    let up = g
+                        .apply(&format!("{p}.mlp_up"), Op::Matmul, &[n2, lw.w1])
+                        .expect("valid");
+                    let act = g
+                        .apply(&format!("{p}.mlp_act"), Op::Gelu, &[up])
+                        .expect("valid");
+                    g.apply(&format!("{p}.mlp_down"), Op::Matmul, &[act, lw.w2])
+                        .expect("valid")
                 }
                 Some(w3) => {
-                    let gate = g.apply(&format!("{p}.mlp_gate"), Op::Matmul, &[n2, lw.w1]).expect("valid");
-                    let up = g.apply(&format!("{p}.mlp_upproj"), Op::Matmul, &[n2, w3]).expect("valid");
-                    let act = g.apply(&format!("{p}.mlp_silu"), Op::Silu, &[gate]).expect("valid");
-                    let prod = g.apply(&format!("{p}.mlp_mul"), Op::Mul, &[act, up]).expect("valid");
-                    g.apply(&format!("{p}.mlp_down"), Op::Matmul, &[prod, lw.w2]).expect("valid")
+                    let gate = g
+                        .apply(&format!("{p}.mlp_gate"), Op::Matmul, &[n2, lw.w1])
+                        .expect("valid");
+                    let up = g
+                        .apply(&format!("{p}.mlp_upproj"), Op::Matmul, &[n2, w3])
+                        .expect("valid");
+                    let act = g
+                        .apply(&format!("{p}.mlp_silu"), Op::Silu, &[gate])
+                        .expect("valid");
+                    let prod = g
+                        .apply(&format!("{p}.mlp_mul"), Op::Mul, &[act, up])
+                        .expect("valid");
+                    g.apply(&format!("{p}.mlp_down"), Op::Matmul, &[prod, lw.w2])
+                        .expect("valid")
                 }
             };
-            x = g.apply(&format!("{p}.res2"), Op::Add, &[x, mlp]).expect("valid");
+            x = g
+                .apply(&format!("{p}.res2"), Op::Add, &[x, mlp])
+                .expect("valid");
         }
         let nf = match lnf.1 {
             Some(b) => g

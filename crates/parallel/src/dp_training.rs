@@ -159,18 +159,23 @@ pub fn data_parallel_training(
 
     // Combine: average the losses and the parameter gradients; scale and
     // gather the batch-input gradients.
-    let combine = |g: &mut GraphBuilder, name: &str, parts: &[TensorId]| -> Result<TensorId, DpError> {
-        let red = if parts.len() == 1 {
-            parts[0]
-        } else {
-            g.apply(&format!("{name}_allreduce"), Op::AllReduce, parts)?
+    let combine =
+        |g: &mut GraphBuilder, name: &str, parts: &[TensorId]| -> Result<TensorId, DpError> {
+            let red = if parts.len() == 1 {
+                parts[0]
+            } else {
+                g.apply(&format!("{name}_allreduce"), Op::AllReduce, parts)?
+            };
+            Ok(if average && parts.len() > 1 {
+                g.apply(
+                    &format!("{name}_avg"),
+                    Op::ScalarMul { numer: 1, denom: r },
+                    &[red],
+                )?
+            } else {
+                red
+            })
         };
-        Ok(if average && parts.len() > 1 {
-            g.apply(&format!("{name}_avg"), Op::ScalarMul { numer: 1, denom: r }, &[red])?
-        } else {
-            red
-        })
-    };
 
     let losses: Vec<TensorId> = instances.iter().map(|m| m[&shard_loss]).collect();
     let total_loss = combine(&mut g, "loss", &losses)?;
@@ -203,7 +208,11 @@ pub fn data_parallel_training(
             let gathered = if replicas == 1 {
                 scaled[0]
             } else {
-                g.apply(&format!("grad_{name}_gather"), Op::AllGather { dim: 0 }, &scaled)?
+                g.apply(
+                    &format!("grad_{name}_gather"),
+                    Op::AllGather { dim: 0 },
+                    &scaled,
+                )?
             };
             g.mark_output(gathered);
         } else {
@@ -248,7 +257,9 @@ fn reshard(graph: &Graph, batch_inputs: &[&str], replicas: usize) -> Result<Grap
     }
     for name in batch_inputs {
         if graph.tensor_by_name(name).is_none() {
-            return Err(DpError::BadBatchInput(format!("{name} is not a graph input")));
+            return Err(DpError::BadBatchInput(format!(
+                "{name} is not a graph input"
+            )));
         }
     }
     for node in graph.nodes() {

@@ -270,9 +270,16 @@ fn pipeline_parallel_refines() {
 #[test]
 fn operator_counts_grow_with_parallelism() {
     let cfg = ModelConfig::tiny();
-    let n2 = parallelize(&cfg, Arch::Gpt, &Strategy::tp(2)).graph.num_nodes();
-    let n4 = parallelize(&cfg, Arch::Gpt, &Strategy::tp(4)).graph.num_nodes();
-    assert!(n4 > n2, "tp4 ({n4}) should have more operators than tp2 ({n2})");
+    let n2 = parallelize(&cfg, Arch::Gpt, &Strategy::tp(2))
+        .graph
+        .num_nodes();
+    let n4 = parallelize(&cfg, Arch::Gpt, &Strategy::tp(4))
+        .graph
+        .num_nodes();
+    assert!(
+        n4 > n2,
+        "tp4 ({n4}) should have more operators than tp2 ({n2})"
+    );
 }
 
 #[test]
@@ -365,8 +372,7 @@ fn bug7_localizes_to_second_matmul() {
     let case = bug(7, true);
     match case.run(&CheckOptions::default()) {
         BugVerdict::RefinementBug(entangle::RefinementError::OperatorUnmapped {
-            operator,
-            ..
+            operator, ..
         }) => assert_eq!(operator, "y"),
         other => panic!("expected localization at y, got {other:?}"),
     }
@@ -437,8 +443,7 @@ mod differential {
                         .map(|c| meta_of(&vals[c.index()], expr, *c))
                         .collect();
                     let (op, tcount) =
-                        entangle_lemmas::decode_op(sym.as_str(), &metas)
-                            .expect("known op");
+                        entangle_lemmas::decode_op(sym.as_str(), &metas).expect("known op");
                     let inputs: Vec<&Value> =
                         ch[..tcount].iter().map(|c| &vals[c.index()]).collect();
                     eval_op(&op, &inputs).expect("clean expr evaluates")
@@ -455,13 +460,11 @@ mod differential {
         id: entangle_egraph::Id,
     ) -> entangle_lemmas::Meta {
         match expr.node(id) {
-            entangle_egraph::ENode::Int(i) => entangle_lemmas::Meta::scalar(
-                entangle_symbolic::SymExpr::constant(*i),
-            ),
+            entangle_egraph::ENode::Int(i) => {
+                entangle_lemmas::Meta::scalar(entangle_symbolic::SymExpr::constant(*i))
+            }
             _ => entangle_lemmas::Meta::tensor(
-                entangle_ir::Shape::of(
-                    &val.shape().iter().map(|&d| d as i64).collect::<Vec<_>>(),
-                ),
+                entangle_ir::Shape::of(&val.shape().iter().map(|&d| d as i64).collect::<Vec<_>>()),
                 DType::F32,
             ),
         }
@@ -504,12 +507,7 @@ mod differential {
 
     /// Splits `full` according to the concat structure of `expr`, assigning
     /// each leaf its shard.
-    fn assign_shards(
-        gd: &Graph,
-        expr: &str,
-        full: &Value,
-        out: &mut HashMap<TensorId, Value>,
-    ) {
+    fn assign_shards(gd: &Graph, expr: &str, full: &Value, out: &mut HashMap<TensorId, Value>) {
         let parsed: entangle_egraph::RecExpr = expr.parse().unwrap();
         split_rec(gd, &parsed, parsed.root_id(), full, out);
     }
@@ -527,10 +525,7 @@ mod differential {
                 out.insert(t.id, val.clone());
             }
             entangle_egraph::ENode::Op(sym, ch) if sym.as_str() == "concat" => {
-                let dim = expr
-                    .node(ch[2])
-                    .as_int()
-                    .expect("concat dim is concrete") as usize;
+                let dim = expr.node(ch[2]).as_int().expect("concat dim is concrete") as usize;
                 // Left child size: total minus right child leaf count…
                 // simpler: recurse by computing the left subtree's dim size
                 // from the graph's recorded shapes.
@@ -552,13 +547,14 @@ mod differential {
         dim: usize,
     ) -> usize {
         match expr.node(id) {
-            entangle_egraph::ENode::Op(sym, ch) if ch.is_empty() => gd
-                .tensor_by_name(sym.as_str())
-                .unwrap()
-                .shape
-                .dim(dim)
-                .as_const()
-                .unwrap() as usize,
+            entangle_egraph::ENode::Op(sym, ch) if ch.is_empty() => {
+                gd.tensor_by_name(sym.as_str())
+                    .unwrap()
+                    .shape
+                    .dim(dim)
+                    .as_const()
+                    .unwrap() as usize
+            }
             entangle_egraph::ENode::Op(_, ch) => {
                 subtree_dim_size(gd, expr, ch[0], dim) + subtree_dim_size(gd, expr, ch[1], dim)
             }
@@ -580,8 +576,7 @@ mod differential {
 
     fn differential_check(gs: &Graph, dist: &Distributed, seed: u64) {
         let ri = dist.relation(gs).unwrap();
-        let outcome =
-            check_refinement(gs, &dist.graph, &ri, &CheckOptions::default()).unwrap();
+        let outcome = check_refinement(gs, &dist.graph, &ri, &CheckOptions::default()).unwrap();
         let (gs_env, gd_in) = related_inputs(gs, dist, seed);
         let gs_out = eval_graph(gs, &gs_env).unwrap();
         let gd_out = eval_graph(&dist.graph, &gd_in).unwrap();

@@ -108,7 +108,11 @@ impl<'a> DistBuilder<'a> {
     fn sharded(&mut self, name: &str, full_dims: &[i64], dim: usize) -> Vec<TensorId> {
         let t = self.t();
         let mut dims = full_dims.to_vec();
-        assert_eq!(dims[dim] % t as i64, 0, "{name} dim {dim} must divide by tp");
+        assert_eq!(
+            dims[dim] % t as i64,
+            0,
+            "{name} dim {dim} must divide by tp"
+        );
         dims[dim] /= t as i64;
         let shards: Vec<TensorId> = (0..t)
             .map(|r| self.g.input(&format!("{name}.{r}"), &dims, DType::F32))
@@ -313,13 +317,10 @@ impl<'a> DistBuilder<'a> {
                 let up = self.apply(&format!("{p}.e{ex}_gateproj"), Op::Matmul, &[n2, w1]);
                 let act = self.apply(&format!("{p}.e{ex}_silu"), Op::Silu, &[up]);
                 let down = self.apply(&format!("{p}.e{ex}_down"), Op::Matmul, &[act, w2]);
-                let weighted =
-                    self.apply(&format!("{p}.e{ex}_weighted"), Op::Mul, &[down, gate]);
+                let weighted = self.apply(&format!("{p}.e{ex}_weighted"), Op::Mul, &[down, gate]);
                 acc = Some(match acc {
                     None => weighted,
-                    Some(a) => {
-                        self.apply(&format!("{p}.moe_sum{ex}"), Op::Add, &[a, weighted])
-                    }
+                    Some(a) => self.apply(&format!("{p}.moe_sum{ex}"), Op::Add, &[a, weighted]),
                 });
             }
             partials.push(acc.expect("each rank owns at least one expert"));
@@ -332,12 +333,18 @@ impl<'a> DistBuilder<'a> {
         for r in 0..t {
             let load_b = self.apply(
                 &format!("{p}.load_b.{r}"),
-                Op::MeanDim { dim: 0, keepdim: false },
+                Op::MeanDim {
+                    dim: 0,
+                    keepdim: false,
+                },
                 &[gates],
             );
             let load = self.apply(
                 &format!("{p}.load.{r}"),
-                Op::MeanDim { dim: 0, keepdim: false },
+                Op::MeanDim {
+                    dim: 0,
+                    keepdim: false,
+                },
                 &[load_b],
             );
             let sq = self.apply(&format!("{p}.load_sq.{r}"), Op::Mul, &[load, load]);
@@ -373,7 +380,7 @@ impl<'a> DistBuilder<'a> {
             // Rope tables are hidden-sharded per TP rank.
             if t > 1 {
                 let hs = h / t as i64;
-                        let mut cos_expr = "rope_cos.0".to_owned();
+                let mut cos_expr = "rope_cos.0".to_owned();
                 let mut sin_expr = "rope_sin.0".to_owned();
                 for r in 0..t {
                     let cos = self.g.input(&format!("rope_cos.{r}"), &[s, hs], DType::F32);
@@ -409,8 +416,7 @@ impl<'a> DistBuilder<'a> {
                 let wpos = self.sharded("wpos", &[s, h], 0);
                 // `sharded` made F32 inputs named wpos.r of [ss, h].
                 for (r, shard) in shards.iter_mut().enumerate() {
-                    *shard =
-                        self.apply(&format!("pos_embed.{r}"), Op::Add, &[*shard, wpos[r]]);
+                    *shard = self.apply(&format!("pos_embed.{r}"), Op::Add, &[*shard, wpos[r]]);
                 }
             }
             Act::Shards(shards)
@@ -452,7 +458,12 @@ impl<'a> DistBuilder<'a> {
 /// parallelism-6 Llama point).
 pub fn parallelize(cfg: &ModelConfig, arch: Arch, s: &Strategy) -> Distributed {
     s.validate(cfg);
-    let name = format!("dist-tp{}{}{}", s.tp, if s.sp { "-sp" } else { "" }, if s.vp { "-vp" } else { "" });
+    let name = format!(
+        "dist-tp{}{}{}",
+        s.tp,
+        if s.sp { "-sp" } else { "" },
+        if s.vp { "-vp" } else { "" }
+    );
     let mut b = DistBuilder::new(&name, cfg, arch, *s);
     let mut x = b.embed();
     for l in 0..cfg.layers {

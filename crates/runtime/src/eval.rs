@@ -58,7 +58,8 @@ pub fn eval_op(op: &Op, inputs: &[&Value]) -> Result<Value, EvalError> {
         Op::Rsqrt => unary(inputs, |x| 1.0 / x.sqrt()),
         Op::Tanh => unary(inputs, f64::tanh),
         Op::Gelu => unary(inputs, |x| {
-            0.5 * x * (1.0 + ((2.0 / std::f64::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
+            0.5 * x
+                * (1.0 + ((2.0 / std::f64::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
         }),
         Op::Silu => unary(inputs, |x| x / (1.0 + (-x).exp())),
         Op::Relu => unary(inputs, |x| x.max(0.0)),
@@ -216,10 +217,10 @@ fn unary(inputs: &[&Value], f: impl Fn(f64) -> f64) -> Result<Value, EvalError> 
 fn broadcast_shape(op: &Op, a: &[usize], b: &[usize]) -> Result<Vec<usize>, EvalError> {
     let rank = a.len().max(b.len());
     let mut out = vec![0; rank];
-    for i in 0..rank {
+    for (i, slot) in out.iter_mut().enumerate() {
         let x = a.len().checked_sub(rank - i).map(|j| a[j]).unwrap_or(1);
         let y = b.len().checked_sub(rank - i).map(|j| b[j]).unwrap_or(1);
-        out[i] = if x == y {
+        *slot = if x == y {
             x
         } else if x == 1 {
             y
@@ -514,8 +515,8 @@ fn layer_norm(op: &Op, x: &Value, w: &Value, b: Option<&Value>) -> Result<Value,
         let mean = row.iter().sum::<f64>() / h as f64;
         let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / h as f64;
         let rstd = 1.0 / (var + NORM_EPS).sqrt();
-        for j in 0..h {
-            let normed = (row[j] - mean) * rstd;
+        for (j, &xv) in row.iter().enumerate() {
+            let normed = (xv - mean) * rstd;
             let bias = b.map(|bb| bb.data()[j]).unwrap_or(0.0);
             out.data_mut()[base + j] = normed * w.data()[j] + bias;
         }
@@ -538,8 +539,8 @@ fn rms_norm(op: &Op, x: &Value, w: &Value) -> Result<Value, EvalError> {
         let row = &x.data()[base..base + h];
         let ms = row.iter().map(|v| v * v).sum::<f64>() / h as f64;
         let rrms = 1.0 / (ms + NORM_EPS).sqrt();
-        for j in 0..h {
-            out.data_mut()[base + j] = row[j] * rrms * w.data()[j];
+        for (j, &xv) in row.iter().enumerate() {
+            out.data_mut()[base + j] = xv * rrms * w.data()[j];
         }
     }
     Ok(out)
@@ -556,7 +557,7 @@ fn rope(op: &Op, x: &Value, cos: &Value, sin: &Value) -> Result<Value, EvalError
     }
     let s = x.shape()[x.rank() - 2];
     let h = x.shape()[x.rank() - 1];
-    if cos.shape() != [s, h] || h % 2 != 0 {
+    if cos.shape() != [s, h] || !h.is_multiple_of(2) {
         return Err(shape_err(op, "cos table mismatch or odd head dim"));
     }
     let mut out = x.clone();
@@ -589,7 +590,7 @@ fn attention(
     }
     let h = q.shape()[q.rank() - 1];
     let s = q.shape()[q.rank() - 2];
-    if heads == 0 || h % heads != 0 {
+    if heads == 0 || !h.is_multiple_of(heads) {
         return Err(shape_err(op, "hidden not divisible by heads"));
     }
     let hd = h / heads;
@@ -604,13 +605,13 @@ fn attention(
                 let qbase = (b * s + i) * h + col0;
                 let mut scores = vec![f64::NEG_INFINITY; s];
                 let limit = if causal { i + 1 } else { s };
-                for j in 0..limit {
+                for (j, score) in scores.iter_mut().enumerate().take(limit) {
                     let kbase = (b * s + j) * h + col0;
                     let mut dot = 0.0;
                     for c in 0..hd {
                         dot += q.data()[qbase + c] * k.data()[kbase + c];
                     }
-                    scores[j] = dot * scale;
+                    *score = dot * scale;
                 }
                 let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let mut denom = 0.0;

@@ -81,13 +81,7 @@ fn transpose_permute() {
     let t = eval_op(&Op::Transpose { d0: 0, d1: 1 }, &[&x]).unwrap();
     assert_eq!(t.shape(), &[3, 2]);
     assert_eq!(t.get(&[2, 1]), x.get(&[1, 2]));
-    let p = eval_op(
-        &Op::Permute {
-            perm: vec![1, 0],
-        },
-        &[&x],
-    )
-    .unwrap();
+    let p = eval_op(&Op::Permute { perm: vec![1, 0] }, &[&x]).unwrap();
     assert_eq!(p, t);
 }
 
@@ -328,18 +322,66 @@ fn tensor_parallel_matmul_identity() {
     let full = eval_op(&Op::Matmul, &[&a, &b]).unwrap();
 
     // Column parallel.
-    let b0 = eval_op(&Op::Slice { dim: 1, start: Dim::from(0), end: Dim::from(3) }, &[&b]).unwrap();
-    let b1 = eval_op(&Op::Slice { dim: 1, start: Dim::from(3), end: Dim::from(6) }, &[&b]).unwrap();
+    let b0 = eval_op(
+        &Op::Slice {
+            dim: 1,
+            start: Dim::from(0),
+            end: Dim::from(3),
+        },
+        &[&b],
+    )
+    .unwrap();
+    let b1 = eval_op(
+        &Op::Slice {
+            dim: 1,
+            start: Dim::from(3),
+            end: Dim::from(6),
+        },
+        &[&b],
+    )
+    .unwrap();
     let c0 = eval_op(&Op::Matmul, &[&a, &b0]).unwrap();
     let c1 = eval_op(&Op::Matmul, &[&a, &b1]).unwrap();
     let cat = eval_op(&Op::Concat { dim: 1 }, &[&c0, &c1]).unwrap();
     assert!(cat.allclose(&full, 1e-9));
 
     // Row parallel.
-    let a0 = eval_op(&Op::Slice { dim: 1, start: Dim::from(0), end: Dim::from(2) }, &[&a]).unwrap();
-    let a1 = eval_op(&Op::Slice { dim: 1, start: Dim::from(2), end: Dim::from(4) }, &[&a]).unwrap();
-    let b0 = eval_op(&Op::Slice { dim: 0, start: Dim::from(0), end: Dim::from(2) }, &[&b]).unwrap();
-    let b1 = eval_op(&Op::Slice { dim: 0, start: Dim::from(2), end: Dim::from(4) }, &[&b]).unwrap();
+    let a0 = eval_op(
+        &Op::Slice {
+            dim: 1,
+            start: Dim::from(0),
+            end: Dim::from(2),
+        },
+        &[&a],
+    )
+    .unwrap();
+    let a1 = eval_op(
+        &Op::Slice {
+            dim: 1,
+            start: Dim::from(2),
+            end: Dim::from(4),
+        },
+        &[&a],
+    )
+    .unwrap();
+    let b0 = eval_op(
+        &Op::Slice {
+            dim: 0,
+            start: Dim::from(0),
+            end: Dim::from(2),
+        },
+        &[&b],
+    )
+    .unwrap();
+    let b1 = eval_op(
+        &Op::Slice {
+            dim: 0,
+            start: Dim::from(2),
+            end: Dim::from(4),
+        },
+        &[&b],
+    )
+    .unwrap();
     let p0 = eval_op(&Op::Matmul, &[&a0, &b0]).unwrap();
     let p1 = eval_op(&Op::Matmul, &[&a1, &b1]).unwrap();
     let sum = eval_op(&Op::Add, &[&p0, &p1]).unwrap();

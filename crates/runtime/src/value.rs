@@ -165,7 +165,7 @@ pub struct IndexIter {
 
 impl IndexIter {
     fn new(shape: Vec<usize>) -> IndexIter {
-        let next = if shape.iter().any(|&d| d == 0) {
+        let next = if shape.contains(&0) {
             None
         } else {
             Some(vec![0; shape.len()])

@@ -4,19 +4,26 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// An interned symbolic integer variable.
 ///
 /// Variables are created through [`crate::SymCtx::var`]; the context owns the
 /// mapping from indices back to human-readable names.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SymVar(pub(crate) u32);
 
 impl SymVar {
     /// The interned index of this variable.
     pub fn index(self) -> u32 {
         self.0
+    }
+
+    /// Reconstructs a variable from its interned index.
+    ///
+    /// Intended for interchange formats that persist variables by index;
+    /// the caller is responsible for pairing it with the right
+    /// [`crate::SymCtx`].
+    pub fn from_index(index: u32) -> SymVar {
+        SymVar(index)
     }
 }
 
@@ -43,7 +50,7 @@ impl SymVar {
 /// assert!(e.as_const().is_none());
 /// assert_eq!(SymExpr::constant(7).as_const(), Some(7));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SymExpr {
     /// Variable coefficients; invariant: no zero coefficients are stored.
     pub(crate) terms: BTreeMap<SymVar, i64>,
@@ -88,6 +95,27 @@ impl SymExpr {
     /// The variables mentioned by this expression.
     pub fn vars(&self) -> impl Iterator<Item = SymVar> + '_ {
         self.terms.keys().copied()
+    }
+
+    /// The `(variable, coefficient)` terms, in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (SymVar, i64)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// The constant part `c` of `c + Σ aᵢ·xᵢ`.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// Builds an expression from a constant and `(variable, coefficient)`
+    /// terms; zero coefficients are dropped.
+    pub fn from_terms(constant: i64, terms: impl IntoIterator<Item = (SymVar, i64)>) -> SymExpr {
+        let mut e = SymExpr {
+            terms: terms.into_iter().collect(),
+            constant,
+        };
+        e.normalize();
+        e
     }
 
     /// Evaluates the expression under a concrete assignment.

@@ -55,7 +55,10 @@ fn equality_assumption_propagates() {
     ctx.assume(a.clone(), Rel::Eq, b.clone());
     assert_eq!(ctx.check_eq(&a, &b), Truth::Proved);
     assert_eq!(
-        ctx.check_eq(&(a.clone() + SymExpr::constant(5)), &(b.clone() + SymExpr::constant(5))),
+        ctx.check_eq(
+            &(a.clone() + SymExpr::constant(5)),
+            &(b.clone() + SymExpr::constant(5))
+        ),
         Truth::Proved
     );
     assert_eq!(
@@ -165,10 +168,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn small_expr(nvars: usize) -> impl Strategy<Value = (Vec<i64>, i64)> {
-        (
-            proptest::collection::vec(-5i64..=5, nvars),
-            -20i64..=20,
-        )
+        (proptest::collection::vec(-5i64..=5, nvars), -20i64..=20)
     }
 
     fn to_expr(ctx: &mut SymCtx, coeffs: &[i64], constant: i64) -> SymExpr {

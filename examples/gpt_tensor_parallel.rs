@@ -20,9 +20,16 @@ fn main() {
         ffn: 64,
         ..ModelConfig::tiny()
     };
-    println!("Building sequential GPT ({layers} layer(s), hidden {})...", cfg.hidden);
+    println!(
+        "Building sequential GPT ({layers} layer(s), hidden {})...",
+        cfg.hidden
+    );
     let gs = gpt(&cfg);
-    println!("  G_s: {} operators, {} tensors", gs.num_nodes(), gs.num_tensors());
+    println!(
+        "  G_s: {} operators, {} tensors",
+        gs.num_nodes(),
+        gs.num_tensors()
+    );
 
     println!("Applying TP+SP+VP at degree {tp} (Megatron-style)...");
     let dist = parallelize(&cfg, Arch::Gpt, &Strategy::tp_sp_vp(tp));
@@ -33,7 +40,9 @@ fn main() {
         dist.input_maps.len()
     );
 
-    let ri = dist.relation(&gs).expect("strategy emits a valid input relation");
+    let ri = dist
+        .relation(&gs)
+        .expect("strategy emits a valid input relation");
     let start = std::time::Instant::now();
     let outcome = check_refinement(&gs, &dist.graph, &ri, &CheckOptions::default())
         .expect("the strategy output refines the model");

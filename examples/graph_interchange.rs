@@ -34,7 +34,8 @@ fn main() {
 
     let mut ri = entangle::Relation::builder(&gs2, &gd2);
     for (name, expr) in &dist.input_maps {
-        ri.map(name, expr).expect("maps validate against loaded graphs");
+        ri.map(name, expr)
+            .expect("maps validate against loaded graphs");
     }
     let outcome = check_refinement(&gs2, &gd2, &ri.build(), &CheckOptions::default())
         .expect("loaded graphs verify");

@@ -32,10 +32,26 @@ fn main() {
     let c1 = gd.apply("C1", Op::Matmul, &[a1, b1]).unwrap();
     let c2 = gd.apply("C2", Op::Matmul, &[a2, b2]).unwrap();
     let d1 = gd
-        .apply("D1", Op::ReduceScatter { dim: 0, rank: 0, world: 2 }, &[c1, c2])
+        .apply(
+            "D1",
+            Op::ReduceScatter {
+                dim: 0,
+                rank: 0,
+                world: 2,
+            },
+            &[c1, c2],
+        )
         .unwrap();
     let d2 = gd
-        .apply("D2", Op::ReduceScatter { dim: 0, rank: 1, world: 2 }, &[c1, c2])
+        .apply(
+            "D2",
+            Op::ReduceScatter {
+                dim: 0,
+                rank: 1,
+                world: 2,
+            },
+            &[c1, c2],
+        )
         .unwrap();
     let f1 = gd.apply("F1", Op::Sub, &[d1, e1]).unwrap();
     let f2 = gd.apply("F2", Op::Sub, &[d2, e2]).unwrap();

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, tests (including the lemma-corpus audit),
+# formatting, and lints. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "CI OK"

@@ -126,7 +126,8 @@ fn strategy_matrix_verifies() {
             Arch::Qwen2 => qwen2(&cfg),
         };
         let dist = parallelize(&cfg, arch, &strategy);
-        let ri = dist.relation(&gs)
+        let ri = dist
+            .relation(&gs)
             .unwrap_or_else(|e| panic!("{arch:?}/{strategy:?}: relation failed: {e}"));
         check_refinement(&gs, &dist.graph, &ri, &CheckOptions::default())
             .unwrap_or_else(|e| panic!("{arch:?}/{strategy:?} should refine: {e}"));

@@ -8,7 +8,14 @@ fn scenario(with_aggregation: bool) -> (entangle_ir::Graph, entangle_ir::Graph, 
     let mut gs = GraphBuilder::new("seq");
     let x = gs.input("x", &[8, 4], DType::F32);
     let g = gs
-        .apply("grad", Op::SumDim { dim: 0, keepdim: false }, &[x])
+        .apply(
+            "grad",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[x],
+        )
         .unwrap();
     gs.mark_output(g);
     let gs = gs.finish().unwrap();
@@ -17,10 +24,24 @@ fn scenario(with_aggregation: bool) -> (entangle_ir::Graph, entangle_ir::Graph, 
     let x0 = gd.input("x.0", &[4, 4], DType::F32);
     let x1 = gd.input("x.1", &[4, 4], DType::F32);
     let g0 = gd
-        .apply("grad.0", Op::SumDim { dim: 0, keepdim: false }, &[x0])
+        .apply(
+            "grad.0",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[x0],
+        )
         .unwrap();
     let g1 = gd
-        .apply("grad.1", Op::SumDim { dim: 0, keepdim: false }, &[x1])
+        .apply(
+            "grad.1",
+            Op::SumDim {
+                dim: 0,
+                keepdim: false,
+            },
+            &[x1],
+        )
         .unwrap();
     gd.mark_output(g0);
     gd.mark_output(g1);
@@ -78,6 +99,9 @@ fn malformed_expectations_are_rejected() {
     let fd = "(concat grad.0 nonexistent 0)".parse().unwrap();
     match check_expectation(&gs, &gd, &ri, &fs, &fd, &CheckOptions::default()) {
         Err(ExpectationError::Invalid(_)) => {}
-        other => panic!("expected invalid-expectation error, got {:?}", other.map(|_| ())),
+        other => panic!(
+            "expected invalid-expectation error, got {:?}",
+            other.map(|_| ())
+        ),
     }
 }

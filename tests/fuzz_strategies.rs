@@ -64,11 +64,13 @@ fn apply_step(
             .unwrap(),
         Step::AddBias => {
             let b = weight(g, &format!("{prefix}.bias"), &[COLS]);
-            g.apply(&format!("{prefix}.addb"), Op::Add, &[x, b]).unwrap()
+            g.apply(&format!("{prefix}.addb"), Op::Add, &[x, b])
+                .unwrap()
         }
         Step::MatmulSquare => {
             let w = weight(g, &format!("{prefix}.w"), &[COLS, COLS]);
-            g.apply(&format!("{prefix}.mm"), Op::Matmul, &[x, w]).unwrap()
+            g.apply(&format!("{prefix}.mm"), Op::Matmul, &[x, w])
+                .unwrap()
         }
         Step::ScaleHalfTwice => {
             let half = g
@@ -120,16 +122,23 @@ fn build_distributed(steps: &[Step], fault: Option<usize>) -> (Graph, Vec<(Strin
                 _ => {}
             }
         }
+        #[allow(clippy::needless_range_loop)] // `r` also names the shards in apply_step
         for r in 0..2 {
             if fault == Some(i) && r == 1 {
                 continue; // rank 1 forgets this step entirely
             }
             let mut widx = 0;
-            shards[r] = apply_step(&mut g, &format!("r{r}.s{i}"), *step, shards[r], |_, _, _| {
-                let w = weights[widx];
-                widx += 1;
-                w
-            });
+            shards[r] = apply_step(
+                &mut g,
+                &format!("r{r}.s{i}"),
+                *step,
+                shards[r],
+                |_, _, _| {
+                    let w = weights[widx];
+                    widx += 1;
+                    w
+                },
+            );
         }
     }
     let out = g

@@ -19,8 +19,7 @@ fn verification_works_on_deserialized_graphs() {
     for (name, expr) in &dist.input_maps {
         ri.map(name, expr).unwrap();
     }
-    let outcome =
-        check_refinement(&gs2, &gd2, &ri.build(), &CheckOptions::default()).unwrap();
+    let outcome = check_refinement(&gs2, &gd2, &ri.build(), &CheckOptions::default()).unwrap();
     assert!(outcome.output_relation.is_complete_for(gs2.outputs()));
 }
 
@@ -47,4 +46,106 @@ fn malformed_interchange_is_rejected() {
     assert!(Graph::from_json(&json[..json.len() / 2]).is_err());
     let corrupt = json.replacen("\"Matmul\"", "\"Softmax\"", 1);
     assert!(Graph::from_json(&corrupt).is_err());
+}
+
+/// A hand-written minimal interchange document, used as the base for the
+/// malformed-input tests below.
+const TINY_JSON: &str = r#"{
+  "name": "tiny",
+  "tensors": [
+    { "id": 0, "name": "x", "shape": [2, 4], "dtype": "F32", "producer": null },
+    { "id": 1, "name": "y", "shape": [2, 4], "dtype": "F32", "producer": 0 }
+  ],
+  "nodes": [
+    { "id": 0, "name": "relu", "op": "Relu", "inputs": [0], "output": 1 }
+  ],
+  "inputs": [0],
+  "outputs": [1]
+}"#;
+
+#[test]
+fn tiny_document_round_trips() {
+    let g = Graph::from_json(TINY_JSON).unwrap();
+    let j1 = g.to_json().unwrap();
+    let g2 = Graph::from_json(&j1).unwrap();
+    assert_eq!(j1, g2.to_json().unwrap(), "encoding is stable");
+}
+
+#[test]
+fn round_trip_is_stable_across_model_zoo() {
+    use entangle_models::{gpt, llama3};
+    let cfg = ModelConfig::tiny();
+    for (name, g) in [
+        ("gpt", gpt(&cfg)),
+        ("llama3", llama3(&cfg)),
+        ("qwen2", qwen2(&cfg)),
+    ] {
+        let j1 = g.to_json().unwrap();
+        let back = Graph::from_json(&j1).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            j1,
+            back.to_json().unwrap(),
+            "{name}: round-trip is byte-stable"
+        );
+        assert_eq!(g.num_nodes(), back.num_nodes());
+        assert_eq!(g.num_tensors(), back.num_tensors());
+    }
+}
+
+#[test]
+fn malformed_documents_get_descriptive_errors() {
+    // Duplicate tensor name (first "name": "y" is the tensor's).
+    let dup = TINY_JSON.replacen("\"name\": \"y\"", "\"name\": \"x\"", 1);
+    let err = Graph::from_json(&dup).unwrap_err().to_string();
+    assert!(err.contains("duplicate") && err.contains("x"), "{err}");
+
+    // Node input referencing a tensor that does not exist.
+    let dangling = TINY_JSON.replace(
+        "\"inputs\": [0], \"output\": 1",
+        "\"inputs\": [7], \"output\": 1",
+    );
+    let err = Graph::from_json(&dangling).unwrap_err().to_string();
+    assert!(err.contains("out of range"), "{err}");
+
+    // Graph output referencing a tensor that does not exist.
+    let bad_out = TINY_JSON.replace("\"outputs\": [1]", "\"outputs\": [9]");
+    let err = Graph::from_json(&bad_out).unwrap_err().to_string();
+    assert!(err.contains("out of range"), "{err}");
+
+    // Producer pointing at a node that does not exist.
+    let bad_prod = TINY_JSON.replace("\"producer\": 0", "\"producer\": 5");
+    let err = Graph::from_json(&bad_prod).unwrap_err().to_string();
+    assert!(err.contains("out of range"), "{err}");
+
+    // Duplicate JSON keys fail at the parse level.
+    let dup_key = TINY_JSON.replace(
+        "\"name\": \"tiny\",",
+        "\"name\": \"tiny\", \"name\": \"twice\",",
+    );
+    let err = Graph::from_json(&dup_key).unwrap_err().to_string();
+    assert!(err.contains("duplicate object key"), "{err}");
+}
+
+#[test]
+fn stale_shapes_fail_validation_but_load_for_linting() {
+    // Corrupt the *derived* tensor's recorded shape (second occurrence).
+    let stale = TINY_JSON.replacen("\"shape\": [2, 4]", "\"shape\": [4, 2]", 2);
+    let stale = stale.replacen("\"shape\": [4, 2]", "\"shape\": [2, 4]", 1);
+    assert_ne!(stale, TINY_JSON);
+
+    // The validating loader rejects it with a shape diagnosis...
+    let err = Graph::from_json(&stale).unwrap_err().to_string();
+    assert!(err.contains("shape"), "{err}");
+
+    // ...while the lint loader accepts it and the linter pinpoints it.
+    let g = Graph::from_json_unvalidated(&stale).unwrap();
+    let report = entangle_lint::lint_graph(&g);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .errors()
+            .any(|d| d.code == entangle_lint::codes::SHAPE_MISMATCH),
+        "{}",
+        report.render(Some(&g))
+    );
 }

@@ -1,0 +1,68 @@
+//! CI gate: the lemma-corpus soundness audit over the full registry.
+//!
+//! Every lemma the checker saturates with is exercised on ground seed
+//! expressions, shape-checked, and numerically validated through the
+//! runtime interpreter on random tensors. A single unsound lemma makes
+//! every "verified" certificate worthless, so this runs in the default
+//! test suite, not an optional binary.
+
+use entangle_lemmas::registry;
+use entangle_lint::{audit_lemmas, audit_registry, codes, AuditOptions};
+
+#[test]
+fn full_registry_audit_is_clean() {
+    let report = audit_registry(&AuditOptions::default());
+    assert!(
+        report.is_clean(),
+        "lemma corpus failed its soundness audit:\n{}",
+        report.render()
+    );
+    // The seed corpus must actually exercise the registry: every lemma
+    // fires at least once, and a healthy share reaches the numeric stage.
+    let uncovered: Vec<&str> = report
+        .entries
+        .iter()
+        .filter(|e| e.matches == 0)
+        .map(|e| e.name.as_str())
+        .collect();
+    assert!(uncovered.is_empty(), "uncovered lemmas: {uncovered:?}");
+    assert!(
+        report.numeric_checked() > 50,
+        "only {} numeric validations ran",
+        report.numeric_checked()
+    );
+}
+
+#[test]
+fn audit_catches_an_intentionally_broken_lemma() {
+    // Plant a plausible-looking but wrong lemma in a copy of the registry:
+    // dropping one concat operand type-checks in many uses but changes both
+    // the shape and the values.
+    let mut lemmas = registry();
+    let mut broken = lemmas[0].clone();
+    broken.name = "intentionally-broken".to_owned();
+    broken.rewrite =
+        entangle_egraph::Rewrite::parse("intentionally-broken", "(concat ?a ?b 0)", "?a").unwrap();
+    lemmas.push(broken);
+
+    let report = audit_lemmas(&lemmas, &AuditOptions::default());
+    assert!(!report.is_clean());
+    let flagged: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == entangle_lint::Severity::Error)
+        .collect();
+    assert!(
+        flagged.iter().all(|d| matches!(
+            &d.anchor,
+            entangle_lint::Anchor::Lemma(name) if name == "intentionally-broken"
+        )),
+        "only the planted lemma may be flagged: {}",
+        report.render()
+    );
+    assert!(
+        flagged.iter().any(|d| d.code == codes::LEMMA_SHAPE_UNSOUND),
+        "{}",
+        report.render()
+    );
+}
