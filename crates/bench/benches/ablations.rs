@@ -12,11 +12,19 @@ fn bench_ablations(c: &mut Criterion) {
     let ri = w.dist.relation(&w.gs).expect("relation builds");
 
     let configs: Vec<(&str, CheckOptions)> = vec![
-        ("frontier_iterative", CheckOptions::default()),
+        ("shard_hinted", CheckOptions::default()),
+        (
+            "frontier_iterative",
+            CheckOptions {
+                shard_hints: false,
+                ..CheckOptions::default()
+            },
+        ),
         (
             "no_frontier",
             CheckOptions {
                 frontier: false,
+                shard_hints: false,
                 ..CheckOptions::default()
             },
         ),
@@ -25,6 +33,7 @@ fn bench_ablations(c: &mut Criterion) {
             CheckOptions {
                 frontier: false,
                 fresh_egraph_per_op: false,
+                shard_hints: false,
                 ..CheckOptions::default()
             },
         ),

@@ -40,6 +40,11 @@ fn main() {
 
     run(
         "iterative + frontier (paper)",
+        &entangle_bench::saturation_opts(),
+        &mut rows,
+    );
+    run(
+        "  + shard hints (this work)",
         &CheckOptions::default(),
         &mut rows,
     );
@@ -47,7 +52,7 @@ fn main() {
         "iterative, no frontier",
         &CheckOptions {
             frontier: false,
-            ..CheckOptions::default()
+            ..entangle_bench::saturation_opts()
         },
         &mut rows,
     );
@@ -56,7 +61,7 @@ fn main() {
         &CheckOptions {
             frontier: false,
             fresh_egraph_per_op: false,
-            ..CheckOptions::default()
+            ..entangle_bench::saturation_opts()
         },
         &mut rows,
     );
@@ -64,7 +69,7 @@ fn main() {
         "pruning off (keep 16 mappings)",
         &CheckOptions {
             max_mappings: 16,
-            ..CheckOptions::default()
+            ..entangle_bench::saturation_opts()
         },
         &mut rows,
     );

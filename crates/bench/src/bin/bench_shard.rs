@@ -1,0 +1,116 @@
+//! Shard-hint benchmark: `check_refinement` with and without
+//! `CheckOptions::shard_hints` across the model zoo (GPT / Llama-3 / Qwen2 /
+//! MoE under TP and TP+SP).
+//!
+//! Writes `results/BENCH_shard.json` (stable field order, no serde) and
+//! prints the comparison table. Expected shape: hints are never slower, and
+//! at least one TP strategy is measurably faster because the propagation
+//! pass proves most per-operator mappings outright and saturation is
+//! skipped for them.
+
+use std::time::{Duration, Instant};
+
+use entangle::{check_refinement, CheckOptions, CheckOutcome};
+use entangle_bench::{bench_config, print_table, saturation_opts, secs};
+use entangle_models::{gpt, llama3, moe, qwen2, Arch, ModelConfig, MoeConfig};
+use entangle_parallel::{parallelize, parallelize_moe, Distributed, Strategy};
+
+/// Best-of-N wall clock for one configuration, plus the last outcome.
+fn time_check(
+    gs: &entangle_ir::Graph,
+    dist: &Distributed,
+    opts: &CheckOptions,
+    reps: usize,
+) -> (Duration, CheckOutcome) {
+    let ri = dist.relation(gs).expect("relation builds");
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let outcome = check_refinement(gs, &dist.graph, &ri, opts)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", dist.graph.name()));
+        best = best.min(start.elapsed());
+        last = Some(outcome);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+struct Case {
+    name: String,
+    gs: entangle_ir::Graph,
+    dist: Distributed,
+}
+
+fn zoo(cfg: &ModelConfig) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for (arch, label, build) in [
+        (Arch::Gpt, "GPT", gpt as fn(&ModelConfig) -> _),
+        (Arch::Llama, "Llama-3", llama3 as fn(&ModelConfig) -> _),
+        (Arch::Qwen2, "Qwen2", qwen2 as fn(&ModelConfig) -> _),
+    ] {
+        for (sname, strategy) in [("TP2", Strategy::tp(2)), ("TP-SP2", Strategy::tp_sp(2))] {
+            cases.push(Case {
+                name: format!("{label}/{sname}"),
+                gs: build(cfg),
+                dist: parallelize(cfg, arch, &strategy),
+            });
+        }
+    }
+    let moe_cfg = MoeConfig {
+        base: cfg.clone(),
+        experts: 8,
+    };
+    cases.push(Case {
+        name: "MoE/TP-SP2".to_owned(),
+        gs: moe(&moe_cfg),
+        dist: parallelize_moe(&moe_cfg, &Strategy::tp_sp(2)),
+    });
+    cases
+}
+
+fn main() {
+    let reps = 3;
+    let cfg = bench_config();
+    println!("Shard-hint benchmark ({reps} reps, best-of):\n");
+
+    let mut rows = Vec::new();
+    let mut json_cases = Vec::new();
+    for case in zoo(&cfg) {
+        let (t_hints, with_hints) =
+            time_check(&case.gs, &case.dist, &CheckOptions::default(), reps);
+        let (t_plain, _) = time_check(&case.gs, &case.dist, &saturation_opts(), reps);
+        let hinted_ops = with_hints.op_reports.iter().filter(|r| r.hinted).count();
+        let total_ops = with_hints.op_reports.len();
+        let speedup = t_plain.as_secs_f64() / t_hints.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            case.name.clone(),
+            secs(t_hints),
+            secs(t_plain),
+            format!("{speedup:.2}x"),
+            format!("{hinted_ops}/{total_ops}"),
+        ]);
+        json_cases.push(format!(
+            "{{\"name\":{},\"hints_ms\":{:.3},\"saturation_ms\":{:.3},\
+             \"speedup\":{:.3},\"hinted_ops\":{},\"total_ops\":{}}}",
+            entangle_lint::json_str(&case.name),
+            t_hints.as_secs_f64() * 1e3,
+            t_plain.as_secs_f64() * 1e3,
+            speedup,
+            hinted_ops,
+            total_ops,
+        ));
+    }
+
+    print_table(
+        &["workload", "hints", "saturation", "speedup", "hinted ops"],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\"bench\":\"shard_hints\",\"reps\":{reps},\"cases\":[{}]}}\n",
+        json_cases.join(",")
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    println!("\nwrote results/BENCH_shard.json");
+}

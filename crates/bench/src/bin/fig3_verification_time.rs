@@ -7,12 +7,11 @@
 //! positively correlated with the total operator count; the regression
 //! model takes well under a second.
 
-use entangle::CheckOptions;
 use entangle_bench::{figure3_suite, print_table, secs};
 
 fn main() {
     println!("Figure 3: end-to-end verification time (parallelism 2, 1 layer)\n");
-    let opts = CheckOptions::default();
+    let opts = entangle_bench::saturation_opts();
     let mut rows = Vec::new();
     for w in figure3_suite() {
         let (outcome, elapsed) = w.check(&opts);

@@ -6,12 +6,11 @@
 //! Llama-3 has no parallelism-6 point because 6 does not divide the model's
 //! dimensions — our builders panic on the same condition.
 
-use entangle::CheckOptions;
 use entangle_bench::{gpt_workload, llama_workload, print_table, secs, Workload};
 
 fn sweep(name: &str, make: impl Fn(usize, usize) -> Workload) {
     println!("\n{name}: verification time (s) by parallelism x layers");
-    let opts = CheckOptions::default();
+    let opts = entangle_bench::saturation_opts();
     let layer_counts = [1usize, 2, 4];
     let mut rows = Vec::new();
     for par in [2usize, 4, 8] {

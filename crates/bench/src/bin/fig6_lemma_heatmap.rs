@@ -6,14 +6,13 @@
 //! clean-operator lemmas dominate, HLO models reuse most ATen lemmas, and
 //! higher parallelism applies more lemmas.
 
-use entangle::CheckOptions;
 use entangle_bench::{gpt_workload, llama_workload, qwen2_workload, Workload};
 use entangle_lemmas::registry;
 
 fn main() {
     println!("Figure 6: lemma application counts per model/parallelism\n");
     let lemmas = registry();
-    let opts = CheckOptions::default();
+    let opts = entangle_bench::saturation_opts();
     let rows: Vec<(String, Workload)> = vec![
         ("GPT(2)".into(), gpt_workload(2, 1)),
         ("GPT(4)".into(), gpt_workload(4, 1)),

@@ -197,6 +197,16 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Options measuring the *saturation* pipeline alone (Listings 1-3):
+/// shard hints would skip saturation for operators the propagation pass can
+/// prove, which is exactly what the figure benchmarks are timing.
+pub fn saturation_opts() -> CheckOptions {
+    CheckOptions {
+        shard_hints: false,
+        ..CheckOptions::default()
+    }
+}
+
 /// Formats a duration in seconds with millisecond precision.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())

@@ -51,6 +51,20 @@ pub enum Command {
     Lint {
         /// Path to the graph JSON.
         graph: String,
+        /// Emit the report as JSON.
+        json: bool,
+    },
+    /// Run the sharding-propagation analysis over one graph file.
+    Shard {
+        /// Path to the distributed graph JSON.
+        gd: String,
+        /// Optional sequential graph JSON (enables cross-rank checks and
+        /// relation hints).
+        gs: Option<String>,
+        /// `name=expr` input mappings (paired mode).
+        maps: Vec<(String, String)>,
+        /// Emit the analysis as JSON.
+        json: bool,
     },
     /// Print a summary of one graph file.
     Info {
@@ -82,7 +96,8 @@ entangle — static refinement checking for distributed ML models
 USAGE:
   entangle check  <gs.json> <gd.json> (--map 'name=(expr)')* [--maps FILE]
   entangle expect <gs.json> <gd.json> [--map ...|--maps FILE] --fs EXPR --fd EXPR
-  entangle lint   <graph.json>
+  entangle lint   <graph.json> [--json]
+  entangle shard  <gd.json> [--gs <gs.json>] [--map ...|--maps FILE] [--json]
   entangle info   <graph.json> [--dot]
   entangle help
 
@@ -93,6 +108,11 @@ per line; '#' starts a comment.
 lint runs the static diagnostics passes (well-formedness, distribution
 consistency) over one graph and prints every finding; check runs them on
 both graphs before any saturation (see E###/W### codes in the docs).
+
+shard runs the abstract sharding-propagation analysis (SH## codes): with
+--gs and mappings it seeds shard layouts from the input relation, checks
+cross-rank consistency, and prints the relation hints it can prove;
+without, it reports the per-tensor layout structure of the graph alone.
 
 EXIT CODES:  0 verified   1 refinement/expectation failed   2 usage error
              3 static lint errors";
@@ -113,10 +133,52 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .next()
                 .ok_or_else(|| CliError("lint: missing <graph.json>".into()))?
                 .clone();
-            if let Some(other) = it.next() {
-                return Err(CliError(format!("lint: unknown flag {other}")));
+            let json = match it.next().map(String::as_str) {
+                None => false,
+                Some("--json") => true,
+                Some(other) => return Err(CliError(format!("lint: unknown flag {other}"))),
+            };
+            Ok(Command::Lint { graph, json })
+        }
+        "shard" => {
+            let gd = it
+                .next()
+                .ok_or_else(|| CliError("shard: missing <gd.json>".into()))?
+                .clone();
+            let mut gs = None;
+            let mut maps = Vec::new();
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--gs" => {
+                        gs = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--gs needs a file path".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--map" => {
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| CliError("--map needs name=expr".into()))?;
+                        maps.push(parse_map_spec(spec)?);
+                    }
+                    "--maps" => {
+                        let path = it
+                            .next()
+                            .ok_or_else(|| CliError("--maps needs a file path".into()))?;
+                        let text = fs::read_to_string(path)
+                            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+                        maps.extend(parse_maps_file(&text)?);
+                    }
+                    "--json" => json = true,
+                    other => return Err(CliError(format!("shard: unknown flag {other}"))),
+                }
             }
-            Ok(Command::Lint { graph })
+            if gs.is_none() && !maps.is_empty() {
+                return Err(CliError("shard: --map/--maps need --gs".into()));
+            }
+            Ok(Command::Shard { gd, gs, maps, json })
         }
         "info" => {
             let graph = it
@@ -262,9 +324,13 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
             println!("{USAGE}");
             Ok(0)
         }
-        Command::Lint { graph } => {
+        Command::Lint { graph, json } => {
             let g = load_graph_unvalidated(graph)?;
             let report = entangle_lint::lint_graph(&g);
+            if *json {
+                println!("{}", report.to_json(Some(&g)));
+                return Ok(if report.is_clean() { 0 } else { 3 });
+            }
             if !report.diagnostics.is_empty() {
                 println!("{}", report.render(Some(&g)));
             }
@@ -276,6 +342,40 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
                 g.num_tensors(),
             );
             Ok(if report.is_clean() { 0 } else { 3 })
+        }
+        Command::Shard { gd, gs, maps, json } => {
+            let gd = load_graph(gd)?;
+            let analysis = match gs {
+                None => entangle_shard::analyze_graph(&gd),
+                Some(gs) => {
+                    let gs = load_graph(gs)?;
+                    let mut parsed = Vec::with_capacity(maps.len());
+                    for (name, expr) in maps {
+                        let e = expr
+                            .parse()
+                            .map_err(|e| CliError(format!("mapping {name}: {e}")))?;
+                        parsed.push((name.clone(), e));
+                    }
+                    entangle_shard::analyze_pair(&gs, &gd, &parsed, &[])
+                }
+            };
+            if *json {
+                println!("{}", analysis.to_json(&gd));
+                return Ok(if analysis.is_clean() { 0 } else { 3 });
+            }
+            println!("layouts:");
+            print!("{}", analysis.describe(&gd));
+            if !analysis.report.diagnostics.is_empty() {
+                println!("{}", analysis.report.render(Some(&gd)));
+            }
+            if !analysis.hints.is_empty() {
+                println!("proven relation hints:");
+                for h in &analysis.hints {
+                    println!("  {} = {}", h.gs_tensor, h.expr);
+                }
+            }
+            println!("{}: {}", gd.name(), analysis.summary());
+            Ok(if analysis.is_clean() { 0 } else { 3 })
         }
         Command::Info { graph, dot } => {
             let g = load_graph(graph)?;
@@ -303,6 +403,7 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
                     .join(", ")
             );
             println!("lint     : {}", entangle_lint::lint_graph(&g).summary());
+            println!("shard    : {}", entangle_shard::analyze_graph(&g).summary());
             Ok(0)
         }
         Command::Check { gs, gd, maps } => {

@@ -46,6 +46,81 @@ fn parse_errors() {
 }
 
 #[test]
+fn parse_shard_command() {
+    let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    match parse_args(&to_args(&[
+        "shard",
+        "gd.json",
+        "--gs",
+        "gs.json",
+        "--map",
+        "A=(concat A1 A2 1)",
+        "--json",
+    ]))
+    .unwrap()
+    {
+        Command::Shard { gd, gs, maps, json } => {
+            assert_eq!(gd, "gd.json");
+            assert_eq!(gs.as_deref(), Some("gs.json"));
+            assert_eq!(maps.len(), 1);
+            assert!(json);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Self-seeded mode: just the graph.
+    assert!(matches!(
+        parse_args(&to_args(&["shard", "gd.json"])),
+        Ok(Command::Shard {
+            gs: None,
+            json: false,
+            ..
+        })
+    ));
+    assert!(parse_args(&to_args(&["shard"])).is_err());
+    // Mappings are meaningless without a G_s to resolve them against.
+    assert!(parse_args(&to_args(&["shard", "gd.json", "--map", "A=B"])).is_err());
+    assert!(parse_args(&to_args(&["lint", "g.json", "--json"])).is_ok());
+}
+
+#[test]
+fn shard_command_end_to_end() {
+    let dir = tmpdir();
+    let cfg = ModelConfig::tiny();
+    let gs = gpt(&cfg);
+    let dist = parallelize(&cfg, Arch::Gpt, &Strategy::tp(2));
+
+    let gs_path = dir.join("shard_gs.json");
+    let gd_path = dir.join("shard_gd.json");
+    let maps_path = dir.join("shard_maps.txt");
+    fs::write(&gs_path, gs.to_json().unwrap()).unwrap();
+    fs::write(&gd_path, dist.graph.to_json().unwrap()).unwrap();
+    let maps_text: String = dist
+        .input_maps
+        .iter()
+        .map(|(name, expr)| format!("{name} = {expr}\n"))
+        .collect();
+    fs::write(&maps_path, maps_text).unwrap();
+
+    // Paired mode over a correct TP(2) strategy: clean, exit 0.
+    let cmd = Command::Shard {
+        gd: gd_path.to_str().unwrap().to_owned(),
+        gs: Some(gs_path.to_str().unwrap().to_owned()),
+        maps: parse_maps_file(&fs::read_to_string(&maps_path).unwrap()).unwrap(),
+        json: false,
+    };
+    assert_eq!(run(&cmd), 0, "correct TP(2) sharding analyzes clean");
+
+    // Self-seeded and JSON modes also succeed on the same graph.
+    let cmd = Command::Shard {
+        gd: gd_path.to_str().unwrap().to_owned(),
+        gs: None,
+        maps: Vec::new(),
+        json: true,
+    };
+    assert_eq!(run(&cmd), 0, "self-seeded shard analysis is clean");
+}
+
+#[test]
 fn map_spec_parsing() {
     assert_eq!(
         parse_map_spec("A = (concat A1 A2 1)").unwrap(),
@@ -218,6 +293,7 @@ fn lint_subcommand_end_to_end() {
     fs::write(&clean_path, gpt(&cfg).to_json().unwrap()).unwrap();
     let cmd = Command::Lint {
         graph: clean_path.to_str().unwrap().to_owned(),
+        json: false,
     };
     assert_eq!(run(&cmd), 0, "well-formed graph lints clean");
 
@@ -253,12 +329,14 @@ fn lint_subcommand_end_to_end() {
     fs::write(&bad_path, gd.to_json().unwrap()).unwrap();
     let cmd = Command::Lint {
         graph: bad_path.to_str().unwrap().to_owned(),
+        json: false,
     };
     assert_eq!(run(&cmd), 3, "sharding gap is a lint error");
 
     // Missing file stays a usage error.
     let cmd = Command::Lint {
         graph: "/nonexistent.json".to_owned(),
+        json: false,
     };
     assert_eq!(run(&cmd), 2);
 

@@ -42,6 +42,14 @@ pub struct CheckOptions {
     /// rejected for pennies instead of surfacing as an opaque unmapped
     /// operator after seconds of e-graph work.
     pub lint: bool,
+    /// Run the `entangle-shard` abstract sharding-propagation pass between
+    /// lint and saturation (on by default). Provable layout violations fail
+    /// fast with [`RefinementError::ShardViolation`], anchored at the first
+    /// inconsistent `G_d` operator; proven layouts are exported as relation
+    /// hints that seed — and, where they fully cover an operator's output —
+    /// skip per-operator saturation. Turning this off reproduces the pure
+    /// Listing 1–3 pipeline (ablation).
+    pub shard_hints: bool,
 }
 
 impl Default for CheckOptions {
@@ -57,6 +65,7 @@ impl Default for CheckOptions {
             sym_ctx: SymCtx::new(),
             rewrites: None,
             lint: true,
+            shard_hints: true,
         }
     }
 }
@@ -99,10 +108,14 @@ pub struct OpReport {
     pub name: String,
     /// Wall-clock time to compute its output relation.
     pub elapsed: Duration,
-    /// E-graph size after processing.
+    /// E-graph size after processing (0 when the operator was skipped on a
+    /// shard hint).
     pub egraph_nodes: usize,
     /// Number of clean mappings found for its output.
     pub mappings: usize,
+    /// `true` when sharding-propagation hints covered this operator and
+    /// saturation was skipped entirely.
+    pub hinted: bool,
 }
 
 /// The result of a successful refinement check: the certificate of §3.3.
@@ -135,6 +148,19 @@ pub enum RefinementError {
         /// offending graph (anchors resolved to node/tensor names).
         diagnostics: Vec<entangle_lint::Diagnostic>,
         /// The rendered form of `diagnostics`.
+        rendered: Vec<String>,
+    },
+    /// The abstract sharding-propagation pass (`entangle-shard`) proved a
+    /// layout violation in `G_d`; no saturation was attempted. The
+    /// diagnostics are anchored at the first inconsistent operator —
+    /// usually a sharper localization than the saturation failure the same
+    /// bug would eventually cause. Disable with
+    /// [`CheckOptions::shard_hints`].
+    ShardViolation {
+        /// The error-severity `SH##` diagnostics, in topological order.
+        diagnostics: Vec<entangle_lint::Diagnostic>,
+        /// The rendered form of `diagnostics` (anchors resolved against
+        /// `G_d`).
         rendered: Vec<String>,
     },
     /// The input relation does not map every `G_s` input.
@@ -178,6 +204,20 @@ impl fmt::Display for RefinementError {
                 writeln!(
                     f,
                     "{graph} failed static lint; fix these before refinement checking:"
+                )?;
+                for (i, line) in rendered.iter().enumerate() {
+                    if i > 0 {
+                        writeln!(f)?;
+                    }
+                    write!(f, "  {line}")?;
+                }
+                Ok(())
+            }
+            RefinementError::ShardViolation { rendered, .. } => {
+                writeln!(
+                    f,
+                    "sharding propagation proved layout violations in G_d; the \
+                     distributed implementation cannot refine the model:"
                 )?;
                 for (i, line) in rendered.iter().enumerate() {
                     if i > 0 {
@@ -301,6 +341,15 @@ pub fn check_refinement(
             });
         }
     }
+    // Abstract sharding propagation (entangle-shard): localize provable
+    // layout violations before any e-graph exists, and harvest proven
+    // layouts as per-operator relation hints.
+    let hinted: HashMap<TensorId, Vec<RecExpr>> = if opts.shard_hints {
+        shard_pass(gs, gd, ri, &opts.clean)?
+    } else {
+        HashMap::new()
+    };
+
     let rewrites = opts
         .rewrites
         .clone()
@@ -309,6 +358,13 @@ pub fn check_refinement(
     let mut relation = ri.clone();
     let mut stats = LemmaStats::default();
     let mut op_reports = Vec::with_capacity(gs.num_nodes());
+
+    let gd_output_names: HashSet<&str> = gd
+        .outputs()
+        .iter()
+        .map(|&t| gd.tensor(t).name.as_str())
+        .collect();
+    let gs_output_set: HashSet<TensorId> = gs.outputs().iter().copied().collect();
 
     // Monolithic (ablation) mode: one shared e-graph with all of G_d.
     let mut shared: Option<EGraph<TensorAnalysis>> = if opts.fresh_egraph_per_op {
@@ -323,12 +379,45 @@ pub fn check_refinement(
 
     for node in gs.nodes() {
         let start = Instant::now();
-        let (mappings, nodes_after) = match &mut shared {
+        let hint_exprs: &[RecExpr] = hinted.get(&node.output).map(Vec::as_slice).unwrap_or(&[]);
+
+        // A hint covers this operator when it proves at least one mapping —
+        // and, for a G_s *output*, at least one mapping over G_d outputs
+        // alone (otherwise the Listing 1 line 9 gate still needs whatever
+        // saturation can find). Clean-op nodes (add, concat, …) are never
+        // skipped: their saturation is cheap, and the alternate mappings it
+        // discovers carry the leaf diversity later frontiers seed from —
+        // skipping them can starve a downstream operator of the very G_d
+        // names it needs to pull producers into its frontier.
+        let covered = !hint_exprs.is_empty()
+            && !opts.clean.is_clean(node.op.name())
+            && (!gs_output_set.contains(&node.output)
+                || hint_exprs.iter().any(|e| {
+                    e.leaf_symbols()
+                        .iter()
+                        .all(|s| gd_output_names.contains(s.as_str()))
+                }));
+        if covered {
+            for expr in hint_exprs {
+                relation.insert(node.output, expr.clone());
+            }
+            op_reports.push(OpReport {
+                name: node.name.clone(),
+                elapsed: start.elapsed(),
+                egraph_nodes: 0,
+                mappings: hint_exprs.len(),
+                hinted: true,
+            });
+            continue;
+        }
+
+        let attempt = match &mut shared {
             Some(eg) => {
                 let m = node_out_rel(
                     gs, gd, node, &relation, opts, &rewrites, &mut stats, eg, false,
-                )?;
-                (m, eg.total_nodes())
+                );
+                let n = eg.total_nodes();
+                m.map(|m| (m, n))
             }
             None => {
                 let mut eg = fresh_egraph(gd, opts);
@@ -342,28 +431,39 @@ pub fn check_refinement(
                     &mut stats,
                     &mut eg,
                     opts.frontier,
-                )?;
-                (m, eg.total_nodes())
+                );
+                let n = eg.total_nodes();
+                m.map(|m| (m, n))
             }
         };
+        let (mappings, nodes_after, rescued) = match attempt {
+            Ok((m, n)) => (m, n, false),
+            // Saturation found nothing, but the hints *prove* mappings over
+            // G_d intermediates: defer to the R_o gate below, which reports
+            // the sharper "reconstructs only from intermediates" failure.
+            Err(e) if !hint_exprs.is_empty() => {
+                let _ = e;
+                (Vec::new(), 0, true)
+            }
+            Err(e) => return Err(e),
+        };
+        for expr in mappings {
+            relation.insert(node.output, expr);
+        }
+        for expr in hint_exprs {
+            relation.insert(node.output, expr.clone());
+        }
         op_reports.push(OpReport {
             name: node.name.clone(),
             elapsed: start.elapsed(),
             egraph_nodes: nodes_after,
-            mappings: mappings.len(),
+            mappings: relation.mappings(node.output).map_or(0, <[RecExpr]>::len),
+            hinted: rescued,
         });
-        for expr in mappings {
-            relation.insert(node.output, expr);
-        }
     }
 
     // Listing 1 line 9: R_o keeps only mappings whose leaves are G_d
     // *outputs* — the tensors a deployed implementation actually emits.
-    let gd_output_names: HashSet<&str> = gd
-        .outputs()
-        .iter()
-        .map(|&t| gd.tensor(t).name.as_str())
-        .collect();
     let mut output_relation = Relation::new();
     for &out in gs.outputs() {
         let Some(maps) = relation.mappings(out) else {
@@ -401,6 +501,55 @@ pub fn check_refinement(
         lemma_stats: stats,
         op_reports,
     })
+}
+
+/// Runs the sharding-propagation pass and converts its products: errors
+/// become [`RefinementError::ShardViolation`]; hints are filtered to the
+/// clean-operator set, re-validated through the relation builder (shape,
+/// dtype, names), and keyed by `G_s` tensor id. A hint that fails
+/// validation is dropped — hints are an optimization, never an authority.
+fn shard_pass(
+    gs: &Graph,
+    gd: &Graph,
+    ri: &Relation,
+    clean: &CleanOps,
+) -> Result<HashMap<TensorId, Vec<RecExpr>>, RefinementError> {
+    let maps: Vec<(String, RecExpr)> = ri
+        .iter()
+        .flat_map(|(t, exprs)| {
+            let name = gs.tensor(t).name.clone();
+            exprs.iter().map(move |e| (name.clone(), e.clone()))
+        })
+        .collect();
+    let analysis = entangle_shard::analyze_pair(gs, gd, &maps, &[]);
+    if !analysis.is_clean() {
+        let diagnostics: Vec<_> = analysis.report.errors().cloned().collect();
+        let rendered = diagnostics.iter().map(|d| d.render(Some(gd))).collect();
+        return Err(RefinementError::ShardViolation {
+            diagnostics,
+            rendered,
+        });
+    }
+    let mut hinted: HashMap<TensorId, Vec<RecExpr>> = HashMap::new();
+    for hint in &analysis.hints {
+        if hint.op.is_some_and(|op| !clean.is_clean(op)) {
+            continue;
+        }
+        let Some(t) = gs.tensor_by_name(&hint.gs_tensor) else {
+            continue;
+        };
+        let mut b = Relation::builder(gs, gd);
+        if b.map(&hint.gs_tensor, &hint.expr).is_err() {
+            continue;
+        }
+        for expr in b.build().mappings(t.id).unwrap_or(&[]) {
+            let entry = hinted.entry(t.id).or_default();
+            if !entry.contains(expr) {
+                entry.push(expr.clone());
+            }
+        }
+    }
+    Ok(hinted)
 }
 
 fn fresh_egraph(gd: &Graph, opts: &CheckOptions) -> EGraph<TensorAnalysis> {

@@ -1,0 +1,134 @@
+//! Shard-layout metadata: the vocabulary shared between the distribution
+//! strategies in `entangle-parallel` (which *declare* how they lay tensors
+//! out) and the `entangle-shard` abstract interpreter (which *infers*
+//! layouts and cross-checks the declarations).
+//!
+//! A distributed tensor's relationship to a logical tensor along one
+//! dimension is described by a list of [`Seg`]ments: the tensor is the
+//! concatenation of the segments, where a [`Seg::Piece`] is a contiguous
+//! slice `[start, end)` of the logical dimension and a [`Seg::Pad`] is a
+//! run of zeros (the padding real frameworks insert so equal-shape
+//! collectives apply). This single representation covers classic sharding
+//! (`one piece`), padded sharding (`piece + pad`), halo/offset windows
+//! (`overlapping pieces across ranks`), and gather results (`many pieces`).
+
+use std::fmt;
+
+/// One segment of a windowed dimension: either a contiguous piece of the
+/// logical tensor or a run of padding zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Seg {
+    /// `len` zero elements inserted by padding.
+    Pad(i64),
+    /// The logical elements `[start, end)`.
+    Piece {
+        /// Inclusive start in logical coordinates.
+        start: i64,
+        /// Exclusive end in logical coordinates.
+        end: i64,
+    },
+}
+
+impl Seg {
+    /// The number of elements the segment occupies.
+    pub fn len(&self) -> i64 {
+        match self {
+            Seg::Pad(n) => *n,
+            Seg::Piece { start, end } => end - start,
+        }
+    }
+
+    /// `true` for zero-length segments.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` for padding segments.
+    pub fn is_pad(&self) -> bool {
+        matches!(self, Seg::Pad(_))
+    }
+}
+
+impl fmt::Display for Seg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Seg::Pad(n) => write!(f, "pad({n})"),
+            Seg::Piece { start, end } => write!(f, "[{start},{end})"),
+        }
+    }
+}
+
+/// Total element count of a segment list.
+pub fn segs_len(segs: &[Seg]) -> i64 {
+    segs.iter().map(Seg::len).sum()
+}
+
+/// `true` when any segment is padding.
+pub fn has_pad(segs: &[Seg]) -> bool {
+    segs.iter().any(Seg::is_pad)
+}
+
+/// Normalizes a segment list: drops empty segments, merges adjacent pads,
+/// and merges adjacent pieces that are contiguous in logical coordinates
+/// (`[a,b)` followed by `[b,c)` becomes `[a,c)`).
+pub fn coalesce(segs: Vec<Seg>) -> Vec<Seg> {
+    let mut out: Vec<Seg> = Vec::with_capacity(segs.len());
+    for seg in segs {
+        if seg.is_empty() {
+            continue;
+        }
+        match (out.last_mut(), seg) {
+            (Some(Seg::Pad(a)), Seg::Pad(b)) => *a += b,
+            (Some(Seg::Piece { end, .. }), Seg::Piece { start: s2, end: e2 }) if *end == s2 => {
+                *end = e2
+            }
+            (_, seg) => out.push(seg),
+        }
+    }
+    out
+}
+
+/// If the list is exactly one padding-free piece, its `(start, end)`.
+pub fn pure_piece(segs: &[Seg]) -> Option<(i64, i64)> {
+    match segs {
+        [Seg::Piece { start, end }] => Some((*start, *end)),
+        _ => None,
+    }
+}
+
+/// Renders a segment list as `seg+seg+…`.
+pub fn render_segs(segs: &[Seg]) -> String {
+    segs.iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join("+")
+}
+
+/// The layout a distribution strategy *declares* for a tensor it creates —
+/// recorded by the `entangle-parallel` builders and cross-checked against
+/// the inferred layout by `entangle-shard` (code `SH06`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclaredLayout {
+    /// Every rank holds the full logical tensor.
+    Replicated,
+    /// The tensor is shard `index` of `parts` equal slices along `dim`.
+    Sharded {
+        /// The sharded dimension.
+        dim: usize,
+        /// This shard's index (`0 <= index < parts`).
+        index: usize,
+        /// Number of equal parts.
+        parts: usize,
+    },
+}
+
+impl fmt::Display for DeclaredLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeclaredLayout::Replicated => write!(f, "replicated"),
+            DeclaredLayout::Sharded { dim, index, parts } => {
+                write!(f, "sharded(dim={dim}, {index}/{parts})")
+            }
+        }
+    }
+}

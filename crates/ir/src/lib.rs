@@ -41,12 +41,14 @@ mod dtype;
 mod graph;
 mod infer;
 mod json;
+pub mod layout;
 mod op;
 mod shape;
 
 pub use dtype::DType;
 pub use graph::{Graph, GraphBuilder, IrError, Node, NodeId, Tensor, TensorId};
 pub use infer::infer_output;
+pub use layout::DeclaredLayout;
 pub use op::Op;
 pub use shape::{Dim, Shape};
 

@@ -347,6 +347,70 @@ impl Op {
             Op::AllReduce | Op::AllGather { .. } | Op::ReduceScatter { .. }
         )
     }
+
+    /// `true` for broadcasting element-wise binary operators.
+    pub fn is_elementwise_binary(&self) -> bool {
+        matches!(self, Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Maximum)
+    }
+
+    /// `true` for pointwise unary operators (each output element depends on
+    /// exactly the corresponding input element).
+    pub fn is_elementwise_unary(&self) -> bool {
+        matches!(
+            self,
+            Op::Neg
+                | Op::Exp
+                | Op::Sqrt
+                | Op::Rsqrt
+                | Op::Tanh
+                | Op::Gelu
+                | Op::Silu
+                | Op::Relu
+                | Op::Sigmoid
+                | Op::Step
+                | Op::GeluGrad
+                | Op::SiluGrad
+                | Op::Cos
+                | Op::Sin
+                | Op::ScalarMul { .. }
+        )
+    }
+
+    /// `true` for pointwise unary operators with `f(0) == 0`: padding zeros
+    /// survive the operator unchanged, so sharding analyses may carry padded
+    /// windows through. (`exp(0) = 1`, `sigmoid(0) = ½`, `cos(0) = 1`,
+    /// `rsqrt(0) = ∞`, `gelu'(0) = ½`, `silu'(0) = ½` are all excluded.)
+    pub fn preserves_zero(&self) -> bool {
+        matches!(
+            self,
+            Op::Neg
+                | Op::Sqrt
+                | Op::Tanh
+                | Op::Gelu
+                | Op::Silu
+                | Op::Relu
+                | Op::Step
+                | Op::Sin
+                | Op::ScalarMul { .. }
+        )
+    }
+
+    /// `true` for unary operators linear in their input: they commute with
+    /// summation, so partial sums pass through (`f(Σxᵢ) = Σf(xᵢ)`).
+    pub fn is_linear_unary(&self) -> bool {
+        matches!(
+            self,
+            Op::Neg
+                | Op::ScalarMul { .. }
+                | Op::Identity
+                | Op::Transpose { .. }
+                | Op::Permute { .. }
+                | Op::SumDim { .. }
+                | Op::MeanDim { .. }
+                | Op::SumAll
+                | Op::MeanAll
+        )
+    }
 }
 
 impl std::fmt::Display for Op {

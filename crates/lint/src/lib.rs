@@ -150,6 +150,44 @@ impl Diagnostic {
         self
     }
 
+    /// Renders the diagnostic as a JSON object with a stable field order:
+    /// `code`, `severity`, `anchor`, `anchor_name` (when resolvable),
+    /// `message`, `suggestion` (when present).
+    pub fn to_json(&self, graph: Option<&Graph>) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":{}", json_str(self.code)));
+        out.push_str(&format!(
+            ",\"severity\":{}",
+            json_str(&self.severity.to_string())
+        ));
+        let anchor = match &self.anchor {
+            Anchor::Graph => "graph".to_owned(),
+            Anchor::Node(id) => id.to_string(),
+            Anchor::Tensor(id) => id.to_string(),
+            Anchor::Lemma(name) => format!("lemma:{name}"),
+        };
+        out.push_str(&format!(",\"anchor\":{}", json_str(&anchor)));
+        let name = match (&self.anchor, graph) {
+            (Anchor::Node(id), Some(g)) if (id.0 as usize) < g.nodes().len() => {
+                Some(g.node(*id).name.clone())
+            }
+            (Anchor::Tensor(id), Some(g)) if (id.0 as usize) < g.tensors().len() => {
+                Some(g.tensor(*id).name.clone())
+            }
+            (Anchor::Graph, Some(g)) => Some(g.name().to_owned()),
+            _ => None,
+        };
+        if let Some(name) = name {
+            out.push_str(&format!(",\"anchor_name\":{}", json_str(&name)));
+        }
+        out.push_str(&format!(",\"message\":{}", json_str(&self.message)));
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!(",\"suggestion\":{}", json_str(s)));
+        }
+        out.push('}');
+        out
+    }
+
     /// Renders the diagnostic, resolving anchors to names when a graph is
     /// available.
     pub fn render(&self, graph: Option<&Graph>) -> String {
@@ -223,6 +261,19 @@ impl LintReport {
             .join("\n")
     }
 
+    /// Renders the whole report as a JSON object with a stable field order:
+    /// `errors`, `warnings`, `clean`, `diagnostics`.
+    pub fn to_json(&self, graph: Option<&Graph>) -> String {
+        let diags: Vec<String> = self.diagnostics.iter().map(|d| d.to_json(graph)).collect();
+        format!(
+            "{{\"errors\":{},\"warnings\":{},\"clean\":{},\"diagnostics\":[{}]}}",
+            self.error_count(),
+            self.warning_count(),
+            self.is_clean(),
+            diags.join(",")
+        )
+    }
+
     /// The one-line `N errors / M warnings` summary used by `entangle info`.
     pub fn summary(&self) -> String {
         format!(
@@ -233,6 +284,27 @@ impl LintReport {
             if self.warning_count() == 1 { "" } else { "s" },
         )
     }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included). Hand-rolled so
+/// the workspace stays serde-free; covers the control characters JSON
+/// requires escaping.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@ use entangle_ir::{DType, Dim, Graph, GraphBuilder, Node, NodeId, Op, Shape, Tens
 use entangle_lemmas::{registry, Category, Lemma, TensorAnalysis};
 
 use crate::audit::{audit_lemmas, AuditOptions};
-use crate::{codes, lint_graph, Anchor, Severity};
+use crate::{codes, lint_graph, Anchor, Diagnostic, LintReport, Severity};
 
 fn has_code(report: &crate::LintReport, code: &str) -> bool {
     report.diagnostics.iter().any(|d| d.code == code)
@@ -448,5 +448,34 @@ fn audit_reports_uncovered_lemma() {
             .any(|d| d.code == codes::LEMMA_UNCOVERED && d.severity == Severity::Warning),
         "{}",
         report.render()
+    );
+}
+
+#[test]
+fn diagnostics_render_as_stable_json() {
+    let d = Diagnostic::error(
+        codes::SHAPE_MISMATCH,
+        Anchor::Node(NodeId(3)),
+        "stored shape [2, \"x\"] disagrees",
+    )
+    .with_suggestion("re-run inference");
+    let json = d.to_json(None);
+    assert_eq!(
+        json,
+        "{\"code\":\"E006\",\"severity\":\"error\",\"anchor\":\"n3\",\
+         \"message\":\"stored shape [2, \\\"x\\\"] disagrees\",\
+         \"suggestion\":\"re-run inference\"}"
+    );
+
+    let report = LintReport {
+        diagnostics: vec![d],
+    };
+    let json = report.to_json(None);
+    assert!(json.starts_with("{\"errors\":1,\"warnings\":0,\"clean\":false,\"diagnostics\":["));
+
+    // Control characters and quotes survive the hand-rolled escaper.
+    assert_eq!(
+        crate::json_str("a\"b\\c\nd\te\u{1}"),
+        "\"a\\\"b\\\\c\\nd\\te\\u0001\""
     );
 }

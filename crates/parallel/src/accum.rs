@@ -72,6 +72,7 @@ pub fn grad_accumulation(cfg: &RegressionConfig, microbatches: usize, scaled: bo
     };
     g.mark_output(total);
     Distributed {
+        declared: Vec::new(),
         graph: g.finish().expect("accumulation graph must validate"),
         input_maps: maps,
     }

@@ -185,6 +185,7 @@ fn bug1_rope_offset(buggy: bool) -> BugCase {
         description: "incorrect offset in RoPE cos/sin slices with sequence parallelism",
         gs,
         dist: Distributed {
+            declared: Vec::new(),
             graph: gd,
             input_maps: maps,
         },
@@ -237,6 +238,7 @@ fn bug2_aux_loss_scale(buggy: bool) -> BugCase {
         description: "auxiliary loss not scaled down by the TP world size",
         gs,
         dist: Distributed {
+            declared: Vec::new(),
             graph: gd,
             input_maps: vec![("load".to_owned(), "load".to_owned())],
         },
@@ -325,6 +327,7 @@ fn bug3_pad_slice_mismatch(buggy: bool) -> BugCase {
         description: "mismatched padding and slicing parameters in data processing",
         gs,
         dist: Distributed {
+            declared: Vec::new(),
             graph: gd,
             input_maps: vec![
                 ("x".to_owned(), "(concat x.0 x.1 0)".to_owned()),
@@ -385,6 +388,7 @@ fn bug4_sharded_expert_weights(buggy: bool) -> BugCase {
             "incompatible configuration: expert weights sharded instead of replicated under SP",
         gs,
         dist: Distributed {
+            declared: Vec::new(),
             graph: gd,
             input_maps: maps,
         },
@@ -459,6 +463,7 @@ fn bug5_layernorm_weight_aggregation(buggy: bool) -> BugCase {
         description: "layernorm weight not registered with the SP optimizer group",
         gs,
         dist: Distributed {
+            declared: Vec::new(),
             graph: gd,
             input_maps: vec![(
                 "contrib".to_owned(),
@@ -528,6 +533,7 @@ fn bug7_missing_all_reduce_linear(buggy: bool) -> BugCase {
         description: "missing all-reduce in a parallel linear layer due to mis-configuration",
         gs,
         dist: Distributed {
+            declared: Vec::new(),
             graph: gd,
             input_maps: vec![
                 ("x".to_owned(), "(concat x.0 x.1 1)".to_owned()),
@@ -586,6 +592,7 @@ fn bug8_moe_router_all_reduce(buggy: bool) -> BugCase {
         description: "missing all-reduce in the optimizer for the TP+SP MoE router",
         gs,
         dist: Distributed {
+            declared: Vec::new(),
             graph: gd,
             input_maps: vec![
                 ("x".to_owned(), "(concat x.0 x.1 0)".to_owned()),
@@ -657,6 +664,7 @@ fn bug9_sp_layernorm_all_reduce(buggy: bool) -> BugCase {
         description: "missing all-reduce in the optimizer for SP layernorm/RMSNorm weights",
         gs,
         dist: Distributed {
+            declared: Vec::new(),
             graph: gd,
             input_maps: vec![
                 (

@@ -1,7 +1,7 @@
 //! The output of a distribution strategy: `G_d` plus the input relation.
 
 use entangle::Relation;
-use entangle_ir::{Graph, IrError};
+use entangle_ir::{DeclaredLayout, Graph, IrError, TensorId};
 
 /// A distributed implementation together with the clean input-relation
 /// specification relating it back to the sequential model.
@@ -13,6 +13,11 @@ pub struct Distributed {
     /// user-provided input relation `R_i`, emitted mechanically by the
     /// strategy that performed the partitioning.
     pub input_maps: Vec<(String, String)>,
+    /// Layouts the strategy declared for the inputs it created, for
+    /// cross-checking against the layouts the input relation implies
+    /// (`entangle-shard`, code `SH06`). Strategies that predate the
+    /// annotation simply leave this empty.
+    pub declared: Vec<(TensorId, DeclaredLayout)>,
 }
 
 impl Distributed {
@@ -42,6 +47,11 @@ impl Distributed {
                     let name = gs.tensor(t).name.clone();
                     (name.clone(), name)
                 })
+                .collect(),
+            declared: gs
+                .inputs()
+                .iter()
+                .map(|&t| (t, DeclaredLayout::Replicated))
                 .collect(),
         }
     }

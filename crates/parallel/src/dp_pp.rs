@@ -95,6 +95,7 @@ pub fn data_parallel(cfg: &RegressionConfig, replicas: usize, average: bool) -> 
     g.mark_output(total_loss);
     g.mark_output(total_grad);
     Distributed {
+        declared: Vec::new(),
         graph: g.finish().expect("DP graph validates"),
         input_maps: maps,
     }
@@ -357,6 +358,7 @@ pub fn pipeline(cfg: &ModelConfig, arch: Arch, microbatches: usize) -> Distribut
     };
     g.mark_output(logits);
     Distributed {
+        declared: Vec::new(),
         graph: g.finish().expect("PP graph validates"),
         input_maps: maps,
     }

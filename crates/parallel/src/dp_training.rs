@@ -225,6 +225,7 @@ pub fn data_parallel_training(
     Ok(DpTraining {
         sequential,
         distributed: Distributed {
+            declared: Vec::new(),
             graph,
             input_maps: maps,
         },

@@ -322,8 +322,30 @@ fn no_false_alarms_on_fixed_twins() {
 
 #[test]
 fn bug1_localizes_to_rope_operator() {
+    // With shard hints on (the default), the sharding-propagation pass
+    // catches the misaligned rotary tables *before* saturation, anchored at
+    // the rope operator in G_d.
     let case = bug(1, true);
     match case.run(&CheckOptions::default()) {
+        BugVerdict::RefinementBug(entangle::RefinementError::ShardViolation {
+            diagnostics,
+            ..
+        }) => {
+            assert_eq!(diagnostics[0].code, "SH02");
+            let anchored = case.dist.graph.nodes().iter().any(|n| {
+                diagnostics[0].anchor == entangle_lint::Anchor::Node(n.id)
+                    && n.name.starts_with("apply_rotary")
+            });
+            assert!(anchored, "SH02 must anchor at a rope operator");
+        }
+        other => panic!("expected SH02 rope localization, got {other:?}"),
+    }
+    // Pure saturation (hints ablated) still localizes to the same operator.
+    let opts = CheckOptions {
+        shard_hints: false,
+        ..CheckOptions::default()
+    };
+    match case.run(&opts) {
         BugVerdict::RefinementBug(entangle::RefinementError::OperatorUnmapped {
             operator,
             op,
@@ -369,8 +391,28 @@ fn bug6_fails_at_the_loss_operator() {
 
 #[test]
 fn bug7_localizes_to_second_matmul() {
+    // Shard propagation flags the second matmul consuming an unreduced
+    // partial sum (the missing all-reduce) pre-saturation.
     let case = bug(7, true);
     match case.run(&CheckOptions::default()) {
+        BugVerdict::RefinementBug(entangle::RefinementError::ShardViolation {
+            diagnostics,
+            ..
+        }) => {
+            assert_eq!(diagnostics[0].code, "SH04");
+            let anchored = case.dist.graph.nodes().iter().any(|n| {
+                diagnostics[0].anchor == entangle_lint::Anchor::Node(n.id)
+                    && n.name.starts_with("y.")
+            });
+            assert!(anchored, "SH04 must anchor at the per-rank second matmul");
+        }
+        other => panic!("expected SH04 partial-sum localization, got {other:?}"),
+    }
+    let opts = CheckOptions {
+        shard_hints: false,
+        ..CheckOptions::default()
+    };
+    match case.run(&opts) {
         BugVerdict::RefinementBug(entangle::RefinementError::OperatorUnmapped {
             operator, ..
         }) => assert_eq!(operator, "y"),

@@ -1,7 +1,7 @@
 //! Distributed transformer builders: TP / SP / VP / EP applied to the zoo
 //! models, the way Megatron-LM (and the ByteDance framework) apply them.
 
-use entangle_ir::{DType, GraphBuilder, Op, TensorId};
+use entangle_ir::{DType, DeclaredLayout, GraphBuilder, Op, TensorId};
 use entangle_models::{Arch, ModelConfig, MoeConfig};
 
 use crate::dist::Distributed;
@@ -77,6 +77,7 @@ struct DistBuilder<'a> {
     arch: Arch,
     s: Strategy,
     maps: Vec<(String, String)>,
+    declared: Vec<(TensorId, DeclaredLayout)>,
     /// Per-rank (cos, sin) hidden shards, if the architecture uses rope.
     rope: Vec<(TensorId, TensorId)>,
 }
@@ -89,6 +90,7 @@ impl<'a> DistBuilder<'a> {
             arch,
             s,
             maps: Vec::new(),
+            declared: Vec::new(),
             rope: Vec::new(),
         }
     }
@@ -101,6 +103,7 @@ impl<'a> DistBuilder<'a> {
     fn replicated(&mut self, name: &str, dims: &[i64], dtype: DType) -> TensorId {
         let id = self.g.input(name, dims, dtype);
         self.maps.push((name.to_owned(), name.to_owned()));
+        self.declared.push((id, DeclaredLayout::Replicated));
         id
     }
 
@@ -115,7 +118,18 @@ impl<'a> DistBuilder<'a> {
         );
         dims[dim] /= t as i64;
         let shards: Vec<TensorId> = (0..t)
-            .map(|r| self.g.input(&format!("{name}.{r}"), &dims, DType::F32))
+            .map(|r| {
+                let id = self.g.input(&format!("{name}.{r}"), &dims, DType::F32);
+                self.declared.push((
+                    id,
+                    DeclaredLayout::Sharded {
+                        dim,
+                        index: r,
+                        parts: t,
+                    },
+                ));
+                id
+            })
             .collect();
         let mut expr = format!("{name}.0");
         for r in 1..t {
@@ -385,6 +399,16 @@ impl<'a> DistBuilder<'a> {
                 for r in 0..t {
                     let cos = self.g.input(&format!("rope_cos.{r}"), &[s, hs], DType::F32);
                     let sin = self.g.input(&format!("rope_sin.{r}"), &[s, hs], DType::F32);
+                    for id in [cos, sin] {
+                        self.declared.push((
+                            id,
+                            DeclaredLayout::Sharded {
+                                dim: 1,
+                                index: r,
+                                parts: t,
+                            },
+                        ));
+                    }
                     self.rope.push((cos, sin));
                     if r > 0 {
                         cos_expr = format!("(concat {cos_expr} rope_cos.{r} 1)");
@@ -406,6 +430,14 @@ impl<'a> DistBuilder<'a> {
             let mut shards = Vec::with_capacity(t);
             for r in 0..t {
                 let ids = self.g.input(&format!("ids.{r}"), &[b, ss], DType::I64);
+                self.declared.push((
+                    ids,
+                    DeclaredLayout::Sharded {
+                        dim: 1,
+                        index: r,
+                        parts: t,
+                    },
+                ));
                 if r > 0 {
                     ids_expr = format!("(concat {ids_expr} ids.{r} 1)");
                 }
@@ -476,6 +508,7 @@ pub fn parallelize(cfg: &ModelConfig, arch: Arch, s: &Strategy) -> Distributed {
     Distributed {
         graph,
         input_maps: b.maps,
+        declared: b.declared,
     }
 }
 
@@ -509,5 +542,6 @@ pub fn parallelize_moe(cfg: &MoeConfig, s: &Strategy) -> Distributed {
     Distributed {
         graph,
         input_maps: b.maps,
+        declared: b.declared,
     }
 }

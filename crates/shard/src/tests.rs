@@ -1,0 +1,439 @@
+//! Unit tests: the abstract domain, per-operator transfer functions,
+//! diagnostics, and hint generation on hand-built graph pairs, plus the
+//! model zoo as a cleanliness regression.
+
+use entangle_egraph::RecExpr;
+use entangle_ir::layout::Seg;
+use entangle_ir::{DType, DeclaredLayout, Graph, GraphBuilder, Op};
+use entangle_models::{gpt, llama3, moe, qwen2, Arch, ModelConfig, MoeConfig};
+use entangle_parallel::{parallelize, parallelize_moe, Distributed, Strategy};
+
+use crate::domain::{AbsVal, TermTable};
+use crate::{analyze_graph, analyze_pair, codes, ShardAnalysis};
+
+fn parse_maps(maps: &[(String, String)]) -> Vec<(String, RecExpr)> {
+    maps.iter()
+        .map(|(gs, expr)| (gs.clone(), expr.parse().expect("map must parse")))
+        .collect()
+}
+
+fn run(gs: &Graph, dist: &Distributed) -> ShardAnalysis {
+    analyze_pair(
+        gs,
+        &dist.graph,
+        &parse_maps(&dist.input_maps),
+        &dist.declared,
+    )
+}
+
+fn first_error_node<'g>(a: &ShardAnalysis, gd: &'g Graph) -> &'g str {
+    match a.report.errors().next().expect("expected an error").anchor {
+        entangle_lint::Anchor::Node(id) => &gd.node(id).name,
+        ref other => panic!("error anchored at {other:?}, expected a node"),
+    }
+}
+
+// ---------------------------------------------------------------- domain
+
+#[test]
+fn window_normalizes_to_rep_and_unknown() {
+    let mut t = TermTable::new();
+    let a = t.leaf("a");
+    assert_eq!(
+        AbsVal::window(a, 1, 8, vec![Seg::Piece { start: 0, end: 8 }]),
+        AbsVal::Rep(a)
+    );
+    assert_eq!(AbsVal::window(a, 1, 8, Vec::new()), AbsVal::Unknown);
+    // Adjacent pieces coalesce back into the full extent.
+    assert_eq!(
+        AbsVal::window(
+            a,
+            0,
+            8,
+            vec![
+                Seg::Piece { start: 0, end: 4 },
+                Seg::Piece { start: 4, end: 8 },
+            ],
+        ),
+        AbsVal::Rep(a)
+    );
+}
+
+#[test]
+fn partial_covering_the_range_is_replicated() {
+    let mut t = TermTable::new();
+    let a = t.leaf("a");
+    assert_eq!(AbsVal::partial(a, 0, 8, 8, 1), AbsVal::Rep(a));
+    assert!(matches!(
+        AbsVal::partial(a, 0, 4, 8, 1),
+        AbsVal::Partial { .. }
+    ));
+}
+
+#[test]
+fn scaled_terms_reduce_and_cancel() {
+    let mut t = TermTable::new();
+    let a = t.leaf("a");
+    let half = t.scaled(a, 1, 2);
+    assert_ne!(half, a);
+    assert_eq!(t.scaled(half, 2, 1), a);
+    assert_eq!(t.scaled(a, 3, 3), a);
+    // `all_reduce(½a, ½a)` is `2 · ½a = a`.
+    assert_eq!(t.fold_add(&[half, half]), a);
+}
+
+#[test]
+fn hash_consing_gives_pointer_equality() {
+    let mut t = TermTable::new();
+    let a = t.leaf("a");
+    let b = t.leaf("b");
+    assert_eq!(
+        t.op("matmul", vec![a, b], Vec::new()),
+        t.op("matmul", vec![a, b], Vec::new())
+    );
+    assert_eq!(a, t.leaf("a"));
+    assert_ne!(t.fresh_term(), t.fresh_term());
+}
+
+// ---------------------------------------------------- transfer functions
+
+/// `G_s`: y = x · w with x `[4,8]`, w `[8,6]`.
+fn matmul_gs() -> Graph {
+    let mut b = GraphBuilder::new("gs");
+    let x = b.input("x", &[4, 8], DType::F32);
+    let w = b.input("w", &[8, 6], DType::F32);
+    let y = b.apply("y", Op::Matmul, &[x, w]).unwrap();
+    b.mark_output(y);
+    b.finish().unwrap()
+}
+
+#[test]
+fn column_sharded_matmul_is_clean_and_hinted() {
+    let gs = matmul_gs();
+    let mut b = GraphBuilder::new("gd");
+    let x = b.input("x", &[4, 8], DType::F32);
+    let w0 = b.input("w.0", &[8, 3], DType::F32);
+    let w1 = b.input("w.1", &[8, 3], DType::F32);
+    let y0 = b.apply("y0", Op::Matmul, &[x, w0]).unwrap();
+    let y1 = b.apply("y1", Op::Matmul, &[x, w1]).unwrap();
+    let y = b.apply("y", Op::Concat { dim: 1 }, &[y0, y1]).unwrap();
+    b.mark_output(y);
+    let dist = Distributed {
+        graph: b.finish().unwrap(),
+        input_maps: vec![
+            ("x".to_owned(), "x".to_owned()),
+            ("w".to_owned(), "(concat w.0 w.1 1)".to_owned()),
+        ],
+        declared: Vec::new(),
+    };
+    let a = run(&gs, &dist);
+    assert!(a.is_clean(), "{}", a.report.render(Some(&dist.graph)));
+    // The concatenated halves reconstitute the sequential product exactly.
+    let y_id = dist.graph.tensor_by_name("y").unwrap().id;
+    assert!(matches!(a.value(y_id), AbsVal::Rep(_)));
+    // Both the whole tensor and the shard tiling are exported as hints.
+    let y_hints: Vec<&str> = a
+        .hints
+        .iter()
+        .filter(|h| h.gs_tensor == "y")
+        .map(|h| h.expr.as_str())
+        .collect();
+    assert!(y_hints.contains(&"y"), "hints: {y_hints:?}");
+    assert!(y_hints.contains(&"(concat y0 y1 1)"), "hints: {y_hints:?}");
+}
+
+#[test]
+fn row_sharded_matmul_partials_reduce_to_replicated() {
+    let gs = matmul_gs();
+    let mut b = GraphBuilder::new("gd");
+    let x0 = b.input("x.0", &[4, 4], DType::F32);
+    let x1 = b.input("x.1", &[4, 4], DType::F32);
+    let w0 = b.input("w.0", &[4, 6], DType::F32);
+    let w1 = b.input("w.1", &[4, 6], DType::F32);
+    let p0 = b.apply("p0", Op::Matmul, &[x0, w0]).unwrap();
+    let p1 = b.apply("p1", Op::Matmul, &[x1, w1]).unwrap();
+    let y = b.apply("y", Op::AllReduce, &[p0, p1]).unwrap();
+    b.mark_output(y);
+    let dist = Distributed {
+        graph: b.finish().unwrap(),
+        input_maps: vec![
+            ("x".to_owned(), "(concat x.0 x.1 1)".to_owned()),
+            ("w".to_owned(), "(concat w.0 w.1 0)".to_owned()),
+        ],
+        declared: Vec::new(),
+    };
+    let a = run(&gs, &dist);
+    assert!(a.is_clean(), "{}", a.report.render(Some(&dist.graph)));
+    let p0_id = dist.graph.tensor_by_name("p0").unwrap().id;
+    assert!(matches!(a.value(p0_id), AbsVal::Partial { .. }));
+    let y_id = dist.graph.tensor_by_name("y").unwrap().id;
+    assert!(matches!(a.value(y_id), AbsVal::Rep(_)));
+    let y_hints: Vec<&str> = a
+        .hints
+        .iter()
+        .filter(|h| h.gs_tensor == "y")
+        .map(|h| h.expr.as_str())
+        .collect();
+    assert!(y_hints.contains(&"(add p0 p1)"), "hints: {y_hints:?}");
+}
+
+#[test]
+fn sh01_partial_group_that_does_not_tile() {
+    let gs = matmul_gs();
+    let mut b = GraphBuilder::new("gd");
+    let x0 = b.input("x.0", &[4, 4], DType::F32);
+    let x1 = b.input("x.1", &[4, 4], DType::F32);
+    let w0 = b.input("w.0", &[4, 6], DType::F32);
+    let w1 = b.input("w.1", &[4, 6], DType::F32);
+    // Both ranks multiply rank-0's operands: two copies of the same addend.
+    let p0 = b.apply("p0", Op::Matmul, &[x0, w0]).unwrap();
+    let p1 = b.apply("p1", Op::Matmul, &[x0, w0]).unwrap();
+    let y = b.apply("y", Op::AllReduce, &[p0, p1]).unwrap();
+    b.mark_output(y);
+    let _ = (x1, w1);
+    let dist = Distributed {
+        graph: b.finish().unwrap(),
+        input_maps: vec![
+            ("x".to_owned(), "(concat x.0 x.1 1)".to_owned()),
+            ("w".to_owned(), "(concat w.0 w.1 0)".to_owned()),
+        ],
+        declared: Vec::new(),
+    };
+    let a = run(&gs, &dist);
+    let first = a.report.errors().next().expect("SH01 expected");
+    assert_eq!(first.code, codes::PARTIAL_TILE);
+    assert_eq!(first_error_node(&a, &dist.graph), "y");
+}
+
+#[test]
+fn sh02_misaligned_elementwise_shards() {
+    let mut b = GraphBuilder::new("gs");
+    let x = b.input("a", &[8], DType::F32);
+    let y = b.input("b", &[8], DType::F32);
+    let c = b.apply("c", Op::Add, &[x, y]).unwrap();
+    b.mark_output(c);
+    let gs = b.finish().unwrap();
+
+    let mut b = GraphBuilder::new("gd");
+    let a0 = b.input("a.0", &[4], DType::F32);
+    let a1 = b.input("a.1", &[4], DType::F32);
+    let b0 = b.input("b.0", &[4], DType::F32);
+    let b1 = b.input("b.1", &[4], DType::F32);
+    // Rank 0 adds its own half of `a` to rank 1's half of `b`.
+    let bad = b.apply("bad", Op::Add, &[a0, b1]).unwrap();
+    let ok = b.apply("ok", Op::Add, &[a1, b0]).unwrap();
+    b.mark_output(bad);
+    b.mark_output(ok);
+    let dist = Distributed {
+        graph: b.finish().unwrap(),
+        input_maps: vec![
+            ("a".to_owned(), "(concat a.0 a.1 0)".to_owned()),
+            ("b".to_owned(), "(concat b.0 b.1 0)".to_owned()),
+        ],
+        declared: Vec::new(),
+    };
+    let a = run(&gs, &dist);
+    assert_eq!(a.report.error_count(), 2);
+    let first = a.report.errors().next().unwrap();
+    assert_eq!(first.code, codes::WINDOW_MISALIGNED);
+    assert_eq!(first_error_node(&a, &dist.graph), "bad");
+}
+
+#[test]
+fn sh03_slice_straddling_padding() {
+    let mut b = GraphBuilder::new("gs");
+    let x = b.input("x", &[8], DType::F32);
+    let y = b.apply("y", Op::Identity, &[x]).unwrap();
+    b.mark_output(y);
+    let gs = b.finish().unwrap();
+
+    let mut b = GraphBuilder::new("gd");
+    let x0 = b.input("x.0", &[4], DType::F32);
+    let x1 = b.input("x.1", &[4], DType::F32);
+    let padded = b
+        .apply(
+            "padded",
+            Op::Pad {
+                dim: 0,
+                before: 0.into(),
+                after: 4.into(),
+            },
+            &[x0],
+        )
+        .unwrap();
+    let sl = b
+        .apply(
+            "sl",
+            Op::Slice {
+                dim: 0,
+                start: 2.into(),
+                end: 6.into(),
+            },
+            &[padded],
+        )
+        .unwrap();
+    let out = b.apply("out", Op::Add, &[sl, x1]).unwrap();
+    b.mark_output(out);
+    let dist = Distributed {
+        graph: b.finish().unwrap(),
+        input_maps: vec![("x".to_owned(), "(concat x.0 x.1 0)".to_owned())],
+        declared: Vec::new(),
+    };
+    let a = run(&gs, &dist);
+    let first = a.report.errors().next().expect("SH03 expected");
+    assert_eq!(first.code, codes::SLICE_STRADDLES_PAD);
+    assert_eq!(first_error_node(&a, &dist.graph), "sl");
+}
+
+#[test]
+fn sh04_contraction_consumes_unreduced_partial() {
+    let mut b = GraphBuilder::new("gs");
+    let x = b.input("x", &[4, 8], DType::F32);
+    let w = b.input("w", &[8, 6], DType::F32);
+    let v = b.input("v", &[6, 2], DType::F32);
+    let y = b.apply("y", Op::Matmul, &[x, w]).unwrap();
+    let z = b.apply("z", Op::Matmul, &[y, v]).unwrap();
+    b.mark_output(z);
+    let gs = b.finish().unwrap();
+
+    let mut b = GraphBuilder::new("gd");
+    let x0 = b.input("x.0", &[4, 4], DType::F32);
+    let x1 = b.input("x.1", &[4, 4], DType::F32);
+    let w0 = b.input("w.0", &[4, 6], DType::F32);
+    let w1 = b.input("w.1", &[4, 6], DType::F32);
+    let v0 = b.input("v.0", &[6, 1], DType::F32);
+    let v1 = b.input("v.1", &[6, 1], DType::F32);
+    let p0 = b.apply("p0", Op::Matmul, &[x0, w0]).unwrap();
+    let p1 = b.apply("p1", Op::Matmul, &[x1, w1]).unwrap();
+    // Missing all-reduce: the partial flows straight into the next matmul.
+    let z0 = b.apply("z0", Op::Matmul, &[p0, v0]).unwrap();
+    let z1 = b.apply("z1", Op::Matmul, &[p1, v1]).unwrap();
+    let z = b.apply("z", Op::Concat { dim: 1 }, &[z0, z1]).unwrap();
+    b.mark_output(z);
+    let dist = Distributed {
+        graph: b.finish().unwrap(),
+        input_maps: vec![
+            ("x".to_owned(), "(concat x.0 x.1 1)".to_owned()),
+            ("w".to_owned(), "(concat w.0 w.1 0)".to_owned()),
+            ("v".to_owned(), "(concat v.0 v.1 1)".to_owned()),
+        ],
+        declared: Vec::new(),
+    };
+    let a = run(&gs, &dist);
+    let first = a.report.errors().next().expect("SH04 expected");
+    assert_eq!(first.code, codes::PARTIAL_CONSUMED);
+    assert_eq!(first_error_node(&a, &dist.graph), "z0");
+}
+
+#[test]
+fn sh05_live_unmapped_input_is_flagged() {
+    let mut b = GraphBuilder::new("gs");
+    let x = b.input("x", &[4], DType::F32);
+    let y = b.apply("y", Op::Identity, &[x]).unwrap();
+    b.mark_output(y);
+    let gs = b.finish().unwrap();
+
+    let mut b = GraphBuilder::new("gd");
+    let x = b.input("x", &[4], DType::F32);
+    let extra = b.input("extra", &[4], DType::F32);
+    let out = b.apply("out", Op::Add, &[x, extra]).unwrap();
+    b.mark_output(out);
+    let dist = Distributed {
+        graph: b.finish().unwrap(),
+        input_maps: vec![("x".to_owned(), "x".to_owned())],
+        declared: Vec::new(),
+    };
+    let a = run(&gs, &dist);
+    assert_eq!(a.report.error_count(), 0);
+    assert!(a
+        .report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == codes::UNMAPPED_INPUT));
+}
+
+#[test]
+fn sh06_declared_layout_contradicting_the_relation() {
+    let mut b = GraphBuilder::new("gs");
+    let x = b.input("x", &[8], DType::F32);
+    let y = b.apply("y", Op::Identity, &[x]).unwrap();
+    b.mark_output(y);
+    let gs = b.finish().unwrap();
+
+    let mut b = GraphBuilder::new("gd");
+    let x = b.input("x", &[8], DType::F32);
+    let y = b.apply("y", Op::Identity, &[x]).unwrap();
+    b.mark_output(y);
+    let gd = b.finish().unwrap();
+    let x_id = gd.tensor_by_name("x").unwrap().id;
+    let dist = Distributed {
+        graph: gd,
+        input_maps: vec![("x".to_owned(), "x".to_owned())],
+        declared: vec![(
+            x_id,
+            DeclaredLayout::Sharded {
+                dim: 0,
+                index: 0,
+                parts: 2,
+            },
+        )],
+    };
+    let a = run(&gs, &dist);
+    assert_eq!(a.report.error_count(), 0);
+    assert!(a
+        .report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == codes::DECLARED_MISMATCH));
+}
+
+// ------------------------------------------------------------ self-seeded
+
+#[test]
+fn self_seeded_analysis_tracks_forms() {
+    let cfg = ModelConfig::tiny();
+    let a = analyze_graph(&gpt(&cfg));
+    assert!(a.is_clean());
+    let (rep, _, _, _) = a.form_counts();
+    assert!(rep > 0, "inputs are their own replicated leaves");
+    assert!(a.hints.is_empty(), "self-seeded mode exports no hints");
+}
+
+// ------------------------------------------------------------------- zoo
+
+#[test]
+fn zoo_tp_strategies_are_clean_and_hinted() {
+    let cfg = ModelConfig::tiny();
+    let models: [(Arch, Graph); 3] = [
+        (Arch::Gpt, gpt(&cfg)),
+        (Arch::Llama, llama3(&cfg)),
+        (Arch::Qwen2, qwen2(&cfg)),
+    ];
+    for (arch, gs) in &models {
+        for s in [Strategy::tp(2), Strategy::tp_sp(2)] {
+            let dist = parallelize(&cfg, *arch, &s);
+            let a = run(gs, &dist);
+            assert!(
+                a.is_clean(),
+                "{arch:?} {s:?}:\n{}",
+                a.report.render(Some(&dist.graph))
+            );
+            assert_eq!(
+                a.report.warning_count(),
+                0,
+                "{arch:?} {s:?}:\n{}",
+                a.report.render(Some(&dist.graph))
+            );
+            assert!(!a.hints.is_empty(), "{arch:?} {s:?} produced no hints");
+        }
+    }
+}
+
+#[test]
+fn moe_expert_parallel_is_clean() {
+    let cfg = MoeConfig::tiny();
+    let gs = moe(&cfg);
+    let dist = parallelize_moe(&cfg, &Strategy::tp(2));
+    let a = run(&gs, &dist);
+    assert!(a.is_clean(), "{}", a.report.render(Some(&dist.graph)));
+}

@@ -1,0 +1,1286 @@
+//! Per-operator transfer functions over [`AbsVal`].
+//!
+//! Each function answers: given the abstract layouts of an operator's
+//! inputs, what is the layout of its output — and is the combination
+//! *provably wrong*? Wrongness is reported as a [`ShardErr`] carrying one
+//! of the `SH##` codes; everything merely unprovable widens to
+//! [`AbsVal::Unknown`], which is always sound (the downstream saturation
+//! checker retains full authority over unknowns).
+
+use entangle_ir::layout::{self, Seg};
+use entangle_ir::{Graph, Node, Op, Shape};
+
+use crate::domain::{AbsVal, TermId, TermTable, CONTRACTION_AXIS};
+
+/// A provable layout violation found while transferring one operator.
+#[derive(Debug, Clone)]
+pub struct ShardErr {
+    /// Stable `SH##` code (see `entangle_shard::codes`).
+    pub code: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Optional remediation hint.
+    pub suggestion: Option<String>,
+}
+
+impl ShardErr {
+    fn new(code: &'static str, message: String) -> ShardErr {
+        ShardErr {
+            code,
+            message,
+            suggestion: None,
+        }
+    }
+
+    fn suggest(mut self, s: impl Into<String>) -> ShardErr {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+type Transfer = Result<AbsVal, ShardErr>;
+
+fn extent(shape: &Shape, dim: usize) -> Option<i64> {
+    shape.dims().get(dim).and_then(|d| d.as_const())
+}
+
+/// Concrete attribute scalars of an operator, or `None` when any attribute
+/// is symbolic (symbolic attributes make the term inexpressible).
+fn concrete_attrs(op: &Op) -> Option<Vec<i64>> {
+    op.attr_scalars().iter().map(|e| e.as_const()).collect()
+}
+
+/// Transfers one `G_d` operator. `vals` are the input layouts in operator
+/// order; shapes are read from `gd`.
+pub(crate) fn transfer(
+    table: &mut TermTable,
+    gd: &Graph,
+    node: &Node,
+    vals: &[AbsVal],
+) -> Transfer {
+    let out_shape = &gd.tensor(node.output).shape;
+    let in_shapes: Vec<&Shape> = node.inputs.iter().map(|&t| &gd.tensor(t).shape).collect();
+    let op = &node.op;
+
+    match op {
+        Op::Identity => Ok(vals[0].clone()),
+        Op::OnesLike => Ok(ones_like(table, out_shape)),
+        _ if op.is_elementwise_unary() => Ok(unary(table, op, &vals[0])),
+        _ if op.is_elementwise_binary() => zip(table, op, vals, &in_shapes, out_shape),
+        Op::SumDim { dim, keepdim } => Ok(sum_dim(table, op, &vals[0], *dim, *keepdim)),
+        Op::MeanDim { dim, .. } => Ok(mean_dim(table, op, &vals[0], *dim)),
+        Op::SumAll => Ok(sum_all(table, op, &vals[0])),
+        Op::MeanAll => Ok(linear_only(table, op, &vals[0])),
+        Op::Softmax { dim } => Ok(softmax(table, op, &vals[0], *dim)),
+        Op::Reshape { .. } => Ok(rep_only(table, op, &vals[0])),
+        Op::Transpose { d0, d1 } => Ok(permute_like(table, op, &vals[0], |d| {
+            if d == *d0 {
+                *d1
+            } else if d == *d1 {
+                *d0
+            } else {
+                d
+            }
+        })),
+        Op::Permute { perm } => {
+            let perm = perm.clone();
+            Ok(permute_like(table, op, &vals[0], move |d| {
+                perm.iter().position(|&p| p == d).unwrap_or(usize::MAX)
+            }))
+        }
+        Op::Slice { dim, start, end } => slice(
+            table,
+            op,
+            &vals[0],
+            in_shapes[0],
+            *dim,
+            start.as_const(),
+            end.as_const(),
+        ),
+        Op::Pad { dim, before, after } => Ok(pad(
+            table,
+            op,
+            &vals[0],
+            in_shapes[0],
+            *dim,
+            before.as_const(),
+            after.as_const(),
+        )),
+        Op::Concat { dim } | Op::AllGather { dim } => Ok(concat(table, vals, &in_shapes, *dim)),
+        Op::AllReduce => all_reduce(table, gd, node, vals),
+        Op::ReduceScatter { dim, rank, world } => {
+            reduce_scatter(table, gd, node, vals, *dim, *rank, *world, out_shape)
+        }
+        Op::Matmul => matmul(
+            table,
+            &vals[0],
+            &vals[1],
+            in_shapes[0],
+            in_shapes[1],
+            out_shape,
+        ),
+        Op::Embedding => Ok(embedding(table, &vals[0], &vals[1], out_shape)),
+        Op::EmbeddingGrad { vocab } => Ok(embedding_grad(table, &vals[0], &vals[1], *vocab)),
+        Op::LayerNorm => Ok(norm(table, op, vals, in_shapes[0])),
+        Op::RmsNorm => Ok(norm(table, op, vals, in_shapes[0])),
+        Op::Rope => rope(table, vals, &in_shapes),
+        Op::Attention { heads, causal } => attention(table, vals, &in_shapes, *heads, *causal),
+        Op::MseLoss | Op::CrossEntropy => Ok(rep_pair(table, op, vals)),
+        // The guarded element-wise arms above are exhaustive over the
+        // remaining variants; widening keeps any future operator sound.
+        _ => Ok(AbsVal::Unknown),
+    }
+}
+
+/// `op(t…)` term with the operator's (concrete) attributes; `None` if any
+/// attribute is symbolic.
+fn op_term(table: &mut TermTable, op: &Op, children: Vec<TermId>) -> Option<TermId> {
+    match op {
+        Op::ScalarMul { numer, denom } => Some(table.scaled(children[0], *numer, *denom)),
+        _ => {
+            let attrs = concrete_attrs(op)?;
+            Some(table.op(op.name(), children, attrs))
+        }
+    }
+}
+
+fn ones_like(table: &mut TermTable, out_shape: &Shape) -> AbsVal {
+    // A ones tensor depends only on its shape, so even an `Unknown` input
+    // yields a known output — the gs-side interpretation builds the same
+    // shape-keyed term, letting the two sides meet.
+    match out_shape.as_concrete() {
+        Some(dims) => AbsVal::Rep(table.op("ones", Vec::new(), dims)),
+        None => AbsVal::Unknown,
+    }
+}
+
+fn unary(table: &mut TermTable, op: &Op, v: &AbsVal) -> AbsVal {
+    match v {
+        AbsVal::Unknown => AbsVal::Unknown,
+        AbsVal::Rep(t) => match op_term(table, op, vec![*t]) {
+            Some(t2) => AbsVal::Rep(t2),
+            None => AbsVal::Unknown,
+        },
+        AbsVal::Window {
+            term,
+            dim,
+            full,
+            segs,
+        } => {
+            if layout::has_pad(segs) && !op.preserves_zero() {
+                return AbsVal::Unknown;
+            }
+            match op_term(table, op, vec![*term]) {
+                Some(t2) => AbsVal::window(t2, *dim, *full, segs.clone()),
+                None => AbsVal::Unknown,
+            }
+        }
+        AbsVal::Partial {
+            term,
+            start,
+            end,
+            total,
+            axis,
+        } => {
+            if !op.is_linear_unary() {
+                return AbsVal::Unknown;
+            }
+            match op_term(table, op, vec![*term]) {
+                Some(t2) => AbsVal::partial(t2, *start, *end, *total, *axis),
+                None => AbsVal::Unknown,
+            }
+        }
+    }
+}
+
+/// Broadcasting element-wise combination. All window operands must window
+/// the same (right-aligned) output dimension with the same segments;
+/// windows of *different* terms with mismatching segments are the classic
+/// misaligned-shard bug and raise `SH02`.
+fn zip(
+    table: &mut TermTable,
+    op: &Op,
+    vals: &[AbsVal],
+    in_shapes: &[&Shape],
+    out_shape: &Shape,
+) -> Transfer {
+    // `add` of partial sums from one group is manual aggregation — the
+    // elementwise form of an all-reduce (e.g. an explicit
+    // `grad.0 + grad.1` combiner).
+    if matches!(op, Op::Add) {
+        if let Some(combined) = combine_partials(vals) {
+            return Ok(combined);
+        }
+    }
+
+    let out_rank = out_shape.rank();
+    let mut terms: Vec<TermId> = Vec::with_capacity(vals.len());
+    // (operand index, out dim, full, segs, term)
+    let mut windows: Vec<(usize, usize, i64, Vec<Seg>, TermId)> = Vec::new();
+    for (i, v) in vals.iter().enumerate() {
+        match v {
+            AbsVal::Unknown | AbsVal::Partial { .. } => return Ok(AbsVal::Unknown),
+            AbsVal::Rep(t) => terms.push(*t),
+            AbsVal::Window {
+                term,
+                dim,
+                full,
+                segs,
+            } => {
+                let od = dim + (out_rank - in_shapes[i].rank());
+                match extent(out_shape, od) {
+                    Some(e) if e == layout::segs_len(segs) => {}
+                    // A window that broadcast-expands along its own
+                    // dimension is no longer a window of the term.
+                    _ => return Ok(AbsVal::Unknown),
+                }
+                windows.push((i, od, *full, segs.clone(), *term));
+                terms.push(*term);
+            }
+        }
+    }
+    let Some((_, od, full, segs, wterm)) = windows.first().cloned() else {
+        // All replicated.
+        return Ok(match op_term(table, op, terms) {
+            Some(t) => AbsVal::Rep(t),
+            None => AbsVal::Unknown,
+        });
+    };
+    if windows.iter().any(|(_, d, f, ..)| *d != od || *f != full) {
+        return Ok(AbsVal::Unknown);
+    }
+    if windows.iter().any(|(_, _, _, s, _)| *s != segs) {
+        if windows.iter().all(|(.., t)| *t == wterm) {
+            // Same term, different pieces: a legitimate chunked fold
+            // (e.g. add(x[0:4], x[4:8])), just not a window of anything.
+            return Ok(AbsVal::Unknown);
+        }
+        let detail = windows
+            .iter()
+            .map(|(i, _, _, s, _)| format!("input {}: {}", i, layout::render_segs(s)))
+            .collect::<Vec<_>>()
+            .join("; ");
+        return Err(ShardErr::new(
+            crate::codes::WINDOW_MISALIGNED,
+            format!(
+                "element-wise {} combines windows of different tensors with \
+                 mismatched slices along dim {od} ({detail})",
+                op.name()
+            ),
+        )
+        .suggest("re-shard the operands so each rank combines the same logical slice"));
+    }
+    // Replicated operands must broadcast *along* the windowed dimension
+    // (lack it or have extent 1); a replicated operand materialized at the
+    // window's physical extent is positionally ambiguous.
+    for (i, v) in vals.iter().enumerate() {
+        if let AbsVal::Rep(_) = v {
+            let r = in_shapes[i].rank();
+            if od + r >= out_rank {
+                let j = od + r - out_rank;
+                if extent(in_shapes[i], j) != Some(1) {
+                    return Ok(AbsVal::Unknown);
+                }
+            }
+        }
+    }
+    if layout::has_pad(&segs) {
+        let pads_ok = match op {
+            // 0 · y = 0 regardless of the other operand.
+            Op::Mul => true,
+            // f(0,…,0) = 0 only when every operand is zero in the pad
+            // region, i.e. every operand is a window (same segs, checked).
+            Op::Add | Op::Sub | Op::Maximum => windows.len() == vals.len(),
+            _ => false,
+        };
+        if !pads_ok {
+            return Ok(AbsVal::Unknown);
+        }
+    }
+    Ok(match op_term(table, op, terms) {
+        Some(t) => AbsVal::window(t, od, full, segs),
+        None => AbsVal::Unknown,
+    })
+}
+
+/// Sums partial addends of one `(term, axis, total)` group: disjoint
+/// adjacent pieces merge into the partial covering their union (the full
+/// value once everything is covered). `None` when the operands are not all
+/// partials of one group or the pieces do not abut.
+fn combine_partials(vals: &[AbsVal]) -> Option<AbsVal> {
+    let mut key: Option<(TermId, usize, i64)> = None;
+    let mut pieces: Vec<(i64, i64)> = Vec::with_capacity(vals.len());
+    for v in vals {
+        let AbsVal::Partial {
+            term,
+            start,
+            end,
+            total,
+            axis,
+        } = v
+        else {
+            return None;
+        };
+        match key {
+            None => key = Some((*term, *axis, *total)),
+            Some(k) if k == (*term, *axis, *total) => {}
+            Some(_) => return None,
+        }
+        pieces.push((*start, *end));
+    }
+    let (term, axis, total) = key?;
+    pieces.sort_unstable();
+    let mut cur = pieces[0];
+    for &(s, e) in &pieces[1..] {
+        if s != cur.1 {
+            return None;
+        }
+        cur.1 = e;
+    }
+    Some(AbsVal::partial(term, cur.0, cur.1, total, axis))
+}
+
+fn sum_dim(table: &mut TermTable, op: &Op, v: &AbsVal, dim: usize, keepdim: bool) -> AbsVal {
+    match v {
+        AbsVal::Window {
+            term,
+            dim: wdim,
+            full,
+            segs,
+        } if *wdim == dim => {
+            // Reducing over the windowed dimension: pads contribute zero to
+            // the sum, so only the pieces matter; a contiguous piece range
+            // makes this a partial sum of the logical reduction.
+            match contiguous_pieces(segs) {
+                Some((s, e)) => match op_term(table, op, vec![*term]) {
+                    Some(t) => AbsVal::partial(t, s, e, *full, dim),
+                    None => AbsVal::Unknown,
+                },
+                None => AbsVal::Unknown,
+            }
+        }
+        AbsVal::Window {
+            term,
+            dim: wdim,
+            full,
+            segs,
+        } => {
+            // Reducing another dimension: an all-zero (pad) slab sums to
+            // zero, so the window survives with its dim index adjusted.
+            let nd = if keepdim || dim > *wdim {
+                *wdim
+            } else {
+                *wdim - 1
+            };
+            match op_term(table, op, vec![*term]) {
+                Some(t) => AbsVal::window(t, nd, *full, segs.clone()),
+                None => AbsVal::Unknown,
+            }
+        }
+        _ => linear_only(table, op, v),
+    }
+}
+
+fn mean_dim(table: &mut TermTable, op: &Op, v: &AbsVal, dim: usize) -> AbsVal {
+    match v {
+        // A mean over the windowed dimension divides by the wrong count;
+        // over another dimension the window survives (mean of zeros = 0).
+        AbsVal::Window { dim: wdim, .. } if *wdim == dim => AbsVal::Unknown,
+        AbsVal::Window {
+            term,
+            dim: wdim,
+            full,
+            segs,
+        } => {
+            let keepdim = matches!(op, Op::MeanDim { keepdim: true, .. });
+            let nd = if keepdim || dim > *wdim {
+                *wdim
+            } else {
+                *wdim - 1
+            };
+            match op_term(table, op, vec![*term]) {
+                Some(t) => AbsVal::window(t, nd, *full, segs.clone()),
+                None => AbsVal::Unknown,
+            }
+        }
+        _ => linear_only(table, op, v),
+    }
+}
+
+fn sum_all(table: &mut TermTable, op: &Op, v: &AbsVal) -> AbsVal {
+    match v {
+        AbsVal::Window {
+            term,
+            dim,
+            full,
+            segs,
+        } => match contiguous_pieces(segs) {
+            Some((s, e)) => match op_term(table, op, vec![*term]) {
+                Some(t) => AbsVal::partial(t, s, e, *full, *dim),
+                None => AbsVal::Unknown,
+            },
+            None => AbsVal::Unknown,
+        },
+        _ => linear_only(table, op, v),
+    }
+}
+
+/// Rep passes through; Partial passes through when the op is linear;
+/// everything else widens.
+fn linear_only(table: &mut TermTable, op: &Op, v: &AbsVal) -> AbsVal {
+    match v {
+        AbsVal::Rep(t) => match op_term(table, op, vec![*t]) {
+            Some(t2) => AbsVal::Rep(t2),
+            None => AbsVal::Unknown,
+        },
+        AbsVal::Partial {
+            term,
+            start,
+            end,
+            total,
+            axis,
+        } if op.is_linear_unary() => match op_term(table, op, vec![*term]) {
+            Some(t2) => AbsVal::partial(t2, *start, *end, *total, *axis),
+            None => AbsVal::Unknown,
+        },
+        _ => AbsVal::Unknown,
+    }
+}
+
+/// Rep in, Rep out; everything else widens.
+fn rep_only(table: &mut TermTable, op: &Op, v: &AbsVal) -> AbsVal {
+    match v {
+        AbsVal::Rep(t) => match op_term(table, op, vec![*t]) {
+            Some(t2) => AbsVal::Rep(t2),
+            None => AbsVal::Unknown,
+        },
+        _ => AbsVal::Unknown,
+    }
+}
+
+fn rep_pair(table: &mut TermTable, op: &Op, vals: &[AbsVal]) -> AbsVal {
+    match (&vals[0], &vals[1]) {
+        (AbsVal::Rep(a), AbsVal::Rep(b)) => match op_term(table, op, vec![*a, *b]) {
+            Some(t) => AbsVal::Rep(t),
+            None => AbsVal::Unknown,
+        },
+        _ => AbsVal::Unknown,
+    }
+}
+
+fn softmax(table: &mut TermTable, op: &Op, v: &AbsVal, dim: usize) -> AbsVal {
+    match v {
+        AbsVal::Rep(t) => match op_term(table, op, vec![*t]) {
+            Some(t2) => AbsVal::Rep(t2),
+            None => AbsVal::Unknown,
+        },
+        AbsVal::Window {
+            term,
+            dim: wdim,
+            full,
+            segs,
+        } if *wdim != dim && !layout::has_pad(segs) => {
+            // Softmax over a zero (pad) row is uniform, not zero, so pads
+            // do not survive; slices along another dim commute with it.
+            match op_term(table, op, vec![*term]) {
+                Some(t) => AbsVal::window(t, *wdim, *full, segs.clone()),
+                None => AbsVal::Unknown,
+            }
+        }
+        _ => AbsVal::Unknown,
+    }
+}
+
+fn permute_like(
+    table: &mut TermTable,
+    op: &Op,
+    v: &AbsVal,
+    map: impl Fn(usize) -> usize,
+) -> AbsVal {
+    match v {
+        AbsVal::Window {
+            term,
+            dim,
+            full,
+            segs,
+        } => {
+            let nd = map(*dim);
+            if nd == usize::MAX {
+                return AbsVal::Unknown;
+            }
+            match op_term(table, op, vec![*term]) {
+                Some(t) => AbsVal::window(t, nd, *full, segs.clone()),
+                None => AbsVal::Unknown,
+            }
+        }
+        AbsVal::Partial {
+            term,
+            start,
+            end,
+            total,
+            axis,
+        } => {
+            let na = if *axis == CONTRACTION_AXIS {
+                CONTRACTION_AXIS
+            } else {
+                map(*axis)
+            };
+            match op_term(table, op, vec![*term]) {
+                Some(t) => AbsVal::partial(t, *start, *end, *total, na),
+                None => AbsVal::Unknown,
+            }
+        }
+        _ => rep_only(table, op, v),
+    }
+}
+
+fn slice(
+    table: &mut TermTable,
+    op: &Op,
+    v: &AbsVal,
+    in_shape: &Shape,
+    dim: usize,
+    start: Option<i64>,
+    end: Option<i64>,
+) -> Transfer {
+    let (Some(s), Some(e)) = (start, end) else {
+        return Ok(AbsVal::Unknown);
+    };
+    match v {
+        AbsVal::Rep(t) => {
+            let Some(full) = extent(in_shape, dim) else {
+                return Ok(AbsVal::Unknown);
+            };
+            Ok(AbsVal::window(
+                *t,
+                dim,
+                full,
+                vec![Seg::Piece { start: s, end: e }],
+            ))
+        }
+        AbsVal::Window {
+            term,
+            dim: wdim,
+            full,
+            segs,
+        } if *wdim == dim => {
+            // Walk the physical layout, intersecting with [s, e).
+            let mut out: Vec<Seg> = Vec::new();
+            let mut p = 0i64;
+            for seg in segs {
+                let len = seg.len();
+                let lo = s.max(p);
+                let hi = e.min(p + len);
+                if lo < hi {
+                    out.push(match seg {
+                        Seg::Pad(_) => Seg::Pad(hi - lo),
+                        Seg::Piece { start: ps, .. } => Seg::Piece {
+                            start: ps + (lo - p),
+                            end: ps + (hi - p),
+                        },
+                    });
+                }
+                p += len;
+            }
+            let has_data = out.iter().any(|x| !x.is_pad());
+            let has_pad = out.iter().any(Seg::is_pad);
+            if has_data && has_pad {
+                return Err(ShardErr::new(
+                    crate::codes::SLICE_STRADDLES_PAD,
+                    format!(
+                        "slice [{s},{e}) along dim {dim} straddles a padding \
+                         boundary of window {} — the result mixes padding \
+                         zeros with data",
+                        layout::render_segs(segs)
+                    ),
+                )
+                .suggest(
+                    "adjust the slice bounds to skip the padded region \
+                     (account for padding inserted upstream)",
+                ));
+            }
+            if !has_data {
+                return Ok(AbsVal::Unknown);
+            }
+            Ok(AbsVal::window(*term, dim, *full, out))
+        }
+        AbsVal::Window {
+            term,
+            dim: wdim,
+            full,
+            segs,
+        } => {
+            // Slicing another dimension commutes with the window (pads stay
+            // zero under slicing).
+            Ok(match op_term(table, op, vec![*term]) {
+                Some(t) => AbsVal::window(t, *wdim, *full, segs.clone()),
+                None => AbsVal::Unknown,
+            })
+        }
+        _ => Ok(linear_only(table, op, v)),
+    }
+}
+
+fn pad(
+    table: &mut TermTable,
+    op: &Op,
+    v: &AbsVal,
+    in_shape: &Shape,
+    dim: usize,
+    before: Option<i64>,
+    after: Option<i64>,
+) -> AbsVal {
+    let (Some(b), Some(a)) = (before, after) else {
+        return AbsVal::Unknown;
+    };
+    match v {
+        AbsVal::Rep(t) => {
+            let Some(full) = extent(in_shape, dim) else {
+                return AbsVal::Unknown;
+            };
+            AbsVal::window(
+                *t,
+                dim,
+                full,
+                vec![
+                    Seg::Pad(b),
+                    Seg::Piece {
+                        start: 0,
+                        end: full,
+                    },
+                    Seg::Pad(a),
+                ],
+            )
+        }
+        AbsVal::Window {
+            term,
+            dim: wdim,
+            full,
+            segs,
+        } if *wdim == dim => {
+            let mut out = vec![Seg::Pad(b)];
+            out.extend(segs.iter().copied());
+            out.push(Seg::Pad(a));
+            AbsVal::window(*term, dim, *full, out)
+        }
+        AbsVal::Window {
+            term,
+            dim: wdim,
+            full,
+            segs,
+        } => match op_term(table, op, vec![*term]) {
+            Some(t) => AbsVal::window(t, *wdim, *full, segs.clone()),
+            None => AbsVal::Unknown,
+        },
+        _ => linear_only(table, op, v),
+    }
+}
+
+/// Shared transfer for `concat` and `all_gather` (a gather *is* a concat of
+/// the per-rank operands along `dim`).
+fn concat(table: &mut TermTable, vals: &[AbsVal], in_shapes: &[&Shape], dim: usize) -> AbsVal {
+    if vals
+        .iter()
+        .any(|v| matches!(v, AbsVal::Unknown | AbsVal::Partial { .. }))
+    {
+        return AbsVal::Unknown;
+    }
+    // All replicated: the result is the logical concatenation term.
+    if vals.iter().all(|v| matches!(v, AbsVal::Rep(_))) {
+        let terms: Vec<TermId> = vals.iter().filter_map(AbsVal::term).collect();
+        return AbsVal::Rep(table.fold_concat(&terms, dim));
+    }
+    // Gather along the windowed dimension: same term, same full extent;
+    // replicated operands whose extent equals the full extent contribute a
+    // whole-tensor piece. Out-of-order or duplicated gathers simply stay
+    // windows.
+    let first_term = vals.iter().find_map(|v| match v {
+        AbsVal::Window { term, dim: d, .. } if *d == dim => Some(*term),
+        _ => None,
+    });
+    if let Some(t) = first_term {
+        let full = vals.iter().find_map(|v| match v {
+            AbsVal::Window {
+                dim: d, full, term, ..
+            } if *d == dim && *term == t => Some(*full),
+            _ => None,
+        });
+        if let Some(full) = full {
+            let mut segs: Vec<Seg> = Vec::new();
+            let mut ok = true;
+            for (i, v) in vals.iter().enumerate() {
+                match v {
+                    AbsVal::Window {
+                        term,
+                        dim: d,
+                        full: f,
+                        segs: s,
+                    } if *term == t && *d == dim && *f == full => segs.extend(s.iter().copied()),
+                    AbsVal::Rep(rt) if *rt == t && extent(in_shapes[i], dim) == Some(full) => segs
+                        .push(Seg::Piece {
+                            start: 0,
+                            end: full,
+                        }),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                return AbsVal::window(t, dim, full, segs);
+            }
+        }
+    }
+    // Concat along a *different* dimension of identically-windowed tensors:
+    // the window distributes over the concatenation.
+    let mut key: Option<(usize, i64, Vec<Seg>)> = None;
+    let mut terms: Vec<TermId> = Vec::new();
+    for v in vals {
+        match v {
+            AbsVal::Window {
+                term,
+                dim: wdim,
+                full,
+                segs,
+            } if *wdim != dim => {
+                match &key {
+                    None => key = Some((*wdim, *full, segs.clone())),
+                    Some((kd, kf, ks)) if *kd == *wdim && *kf == *full && ks == segs => {}
+                    _ => return AbsVal::Unknown,
+                }
+                terms.push(*term);
+            }
+            _ => return AbsVal::Unknown,
+        }
+    }
+    match key {
+        Some((wdim, full, segs)) => {
+            let t = table.fold_concat(&terms, dim);
+            AbsVal::window(t, wdim, full, segs)
+        }
+        None => AbsVal::Unknown,
+    }
+}
+
+/// The reduced value of an all-reduce's operands (also the virtual first
+/// stage of reduce-scatter). Errors when a partial-sum group provably fails
+/// to tile its range.
+fn reduced_value(table: &mut TermTable, gd: &Graph, node: &Node, vals: &[AbsVal]) -> Transfer {
+    if vals.iter().any(|v| matches!(v, AbsVal::Unknown)) {
+        return Ok(AbsVal::Unknown);
+    }
+    if vals.iter().all(|v| matches!(v, AbsVal::Rep(_))) {
+        let terms: Vec<TermId> = vals.iter().filter_map(AbsVal::term).collect();
+        return Ok(AbsVal::Rep(table.fold_add(&terms)));
+    }
+    if vals.iter().all(|v| matches!(v, AbsVal::Partial { .. })) {
+        let mut pieces: Vec<(i64, i64)> = Vec::new();
+        let mut group: Option<(TermId, usize, i64)> = None;
+        for v in vals {
+            let AbsVal::Partial {
+                term,
+                start,
+                end,
+                total,
+                axis,
+            } = v
+            else {
+                unreachable!()
+            };
+            match &group {
+                None => group = Some((*term, *axis, *total)),
+                Some((t, a, tot)) if t == term && a == axis && tot == total => {}
+                // Partials of different quantities: conservatively unknown
+                // (summing partials of A and of B is a legal sum of A+B).
+                _ => return Ok(AbsVal::Unknown),
+            }
+            pieces.push((*start, *end));
+        }
+        let (term, _, total) = group.expect("at least one operand");
+        pieces.sort_unstable();
+        let mut cursor = 0i64;
+        for &(s, e) in &pieces {
+            if s != cursor {
+                let names: Vec<&str> = node
+                    .inputs
+                    .iter()
+                    .map(|&t| gd.tensor(t).name.as_str())
+                    .collect();
+                let kind = if s < cursor { "overlap" } else { "gap" };
+                return Err(ShardErr::new(
+                    crate::codes::PARTIAL_TILE,
+                    format!(
+                        "{} combines partial sums of {} whose pieces {} do \
+                         not tile [0,{total}): {kind} at {}",
+                        node.op.name(),
+                        table.render(term),
+                        pieces
+                            .iter()
+                            .map(|(s, e)| format!("[{s},{e})"))
+                            .collect::<Vec<_>>()
+                            .join("+"),
+                        cursor.min(s),
+                    ),
+                )
+                .suggest(format!(
+                    "each rank must contribute a distinct addend covering \
+                     the whole range (operands: {})",
+                    names.join(", ")
+                )));
+            }
+            cursor = e;
+        }
+        if cursor != total {
+            return Err(ShardErr::new(
+                crate::codes::PARTIAL_TILE,
+                format!(
+                    "{} combines partial sums of {} covering only [0,{cursor}) \
+                     of [0,{total})",
+                    node.op.name(),
+                    table.render(term),
+                ),
+            ));
+        }
+        return Ok(AbsVal::Rep(term));
+    }
+    Ok(AbsVal::Unknown)
+}
+
+fn all_reduce(table: &mut TermTable, gd: &Graph, node: &Node, vals: &[AbsVal]) -> Transfer {
+    reduced_value(table, gd, node, vals)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reduce_scatter(
+    table: &mut TermTable,
+    gd: &Graph,
+    node: &Node,
+    vals: &[AbsVal],
+    dim: usize,
+    rank: usize,
+    world: usize,
+    out_shape: &Shape,
+) -> Transfer {
+    let summed = reduced_value(table, gd, node, vals)?;
+    let AbsVal::Rep(t) = summed else {
+        return Ok(AbsVal::Unknown);
+    };
+    let Some(chunk) = extent(out_shape, dim) else {
+        return Ok(AbsVal::Unknown);
+    };
+    let full = chunk * world as i64;
+    let start = chunk * rank as i64;
+    Ok(AbsVal::window(
+        t,
+        dim,
+        full,
+        vec![Seg::Piece {
+            start,
+            end: start + chunk,
+        }],
+    ))
+}
+
+fn matmul(
+    table: &mut TermTable,
+    a: &AbsVal,
+    b: &AbsVal,
+    sa: &Shape,
+    sb: &Shape,
+    out_shape: &Shape,
+) -> Transfer {
+    let (ra, rb, ro) = (sa.rank(), sb.rank(), out_shape.rank());
+    // Output dim of a window on operand A/B; None = the contraction dim.
+    let a_out = |d: usize| -> Option<usize> {
+        if d + 1 == ra {
+            None
+        } else if d + 2 == ra {
+            Some(ro - 2)
+        } else {
+            Some(d + (ro - ra))
+        }
+    };
+    let b_out = |d: usize| -> Option<usize> {
+        if d + 2 == rb {
+            None
+        } else if d + 1 == rb {
+            Some(ro - 1)
+        } else {
+            Some(d + (ro - rb))
+        }
+    };
+    match (a, b) {
+        (AbsVal::Unknown, _) | (_, AbsVal::Unknown) => Ok(AbsVal::Unknown),
+        // An unreduced partial flowing into a second matmul together with a
+        // windowed operand: the contraction consumes an incomplete sum
+        // (bug 7's shape-preserving confusion).
+        (AbsVal::Partial { term, .. }, AbsVal::Window { .. })
+        | (AbsVal::Window { .. }, AbsVal::Partial { term, .. }) => Err(ShardErr::new(
+            crate::codes::PARTIAL_CONSUMED,
+            format!(
+                "matmul consumes an unreduced partial sum of {} together \
+                 with a sharded operand",
+                table.render(*term)
+            ),
+        )
+        .suggest("insert an all_reduce before the matmul to complete the sum")),
+        (AbsVal::Partial { .. }, AbsVal::Partial { .. }) => Ok(AbsVal::Unknown),
+        (
+            AbsVal::Partial {
+                term,
+                start,
+                end,
+                total,
+                axis,
+            },
+            AbsVal::Rep(tb),
+        ) => {
+            let t = table.op("matmul", vec![*term, *tb], Vec::new());
+            Ok(AbsVal::partial(t, *start, *end, *total, *axis))
+        }
+        (
+            AbsVal::Rep(ta),
+            AbsVal::Partial {
+                term,
+                start,
+                end,
+                total,
+                axis,
+            },
+        ) => {
+            let t = table.op("matmul", vec![*ta, *term], Vec::new());
+            Ok(AbsVal::partial(t, *start, *end, *total, *axis))
+        }
+        (AbsVal::Rep(ta), AbsVal::Rep(tb)) => {
+            Ok(AbsVal::Rep(table.op("matmul", vec![*ta, *tb], Vec::new())))
+        }
+        (
+            AbsVal::Window {
+                term: ta,
+                dim,
+                full,
+                segs,
+            },
+            AbsVal::Rep(tb),
+        ) => Ok(match a_out(*dim) {
+            // Rows/batch of A shard the output; zero rows stay zero.
+            Some(od) => {
+                let t = table.op("matmul", vec![*ta, *tb], Vec::new());
+                AbsVal::window(t, od, *full, segs.clone())
+            }
+            None => AbsVal::Unknown,
+        }),
+        (
+            AbsVal::Rep(ta),
+            AbsVal::Window {
+                term: tb,
+                dim,
+                full,
+                segs,
+            },
+        ) => Ok(match b_out(*dim) {
+            Some(od) => {
+                let t = table.op("matmul", vec![*ta, *tb], Vec::new());
+                AbsVal::window(t, od, *full, segs.clone())
+            }
+            None => AbsVal::Unknown,
+        }),
+        (
+            AbsVal::Window {
+                term: ta,
+                dim: da,
+                full: fa,
+                segs: ga,
+            },
+            AbsVal::Window {
+                term: tb,
+                dim: db,
+                full: fb,
+                segs: gb,
+            },
+        ) => match (a_out(*da), b_out(*db)) {
+            (None, None) => {
+                // Both operands sharded along the contraction: each rank
+                // computes a partial sum over its slice of K.
+                match (layout::pure_piece(ga), layout::pure_piece(gb)) {
+                    (Some((s1, e1)), Some((s2, e2))) if s1 == s2 && e1 == e2 && fa == fb => {
+                        let t = table.op("matmul", vec![*ta, *tb], Vec::new());
+                        Ok(AbsVal::partial(t, s1, e1, *fa, CONTRACTION_AXIS))
+                    }
+                    _ => Ok(AbsVal::Unknown),
+                }
+            }
+            (Some(oa), Some(ob)) if oa == ob && fa == fb && ga == gb => {
+                // Identically-windowed batch dimensions.
+                let t = table.op("matmul", vec![*ta, *tb], Vec::new());
+                Ok(AbsVal::window(t, oa, *fa, ga.clone()))
+            }
+            _ => Ok(AbsVal::Unknown),
+        },
+    }
+}
+
+fn embedding(table: &mut TermTable, w: &AbsVal, ids: &AbsVal, out_shape: &Shape) -> AbsVal {
+    match (w, ids) {
+        (AbsVal::Rep(tw), AbsVal::Rep(ti)) => {
+            AbsVal::Rep(table.op("embedding", vec![*tw, *ti], Vec::new()))
+        }
+        (
+            AbsVal::Rep(tw),
+            AbsVal::Window {
+                term,
+                dim,
+                full,
+                segs,
+            },
+        ) if !layout::has_pad(segs) => {
+            // A pad in the ids would look up row 0, which is data; only
+            // pure slices of the id tensor slice the lookup result.
+            let t = table.op("embedding", vec![*tw, *term], Vec::new());
+            AbsVal::window(t, *dim, *full, segs.clone())
+        }
+        (
+            AbsVal::Window {
+                term,
+                dim,
+                full,
+                segs,
+            },
+            AbsVal::Rep(ti),
+        ) if *dim == 1 && !layout::has_pad(segs) => {
+            // Hidden-sharded embedding table: the lookup is sharded along
+            // the last output dimension.
+            let t = table.op("embedding", vec![*term, *ti], Vec::new());
+            AbsVal::window(t, out_shape.rank() - 1, *full, segs.clone())
+        }
+        _ => AbsVal::Unknown,
+    }
+}
+
+fn embedding_grad(table: &mut TermTable, ids: &AbsVal, grad: &AbsVal, vocab: usize) -> AbsVal {
+    match (ids, grad) {
+        (AbsVal::Rep(ti), AbsVal::Rep(tg)) => {
+            AbsVal::Rep(table.op("embedding_grad", vec![*ti, *tg], vec![vocab as i64]))
+        }
+        (
+            AbsVal::Window {
+                term: ti,
+                dim: di,
+                full: fi,
+                segs: si,
+            },
+            AbsVal::Window {
+                term: tg,
+                dim: dg,
+                full: fg,
+                segs: sg,
+            },
+        ) if di == dg && fi == fg && si == sg => {
+            // Scatter-add over an aligned slice of the positions is a
+            // partial sum of the full gradient. Aligned pads are harmless:
+            // id 0 receives a zero gradient row.
+            match contiguous_pieces(si) {
+                Some((s, e)) => {
+                    let t = table.op("embedding_grad", vec![*ti, *tg], vec![vocab as i64]);
+                    AbsVal::partial(t, s, e, *fi, *di)
+                }
+                None => AbsVal::Unknown,
+            }
+        }
+        _ => AbsVal::Unknown,
+    }
+}
+
+/// LayerNorm / RMSNorm: normalizes the last dimension, so only windows on
+/// *other* dimensions (and with no pads — a normalized zero row is not
+/// zero) commute with it. Weight/bias must be replicated.
+fn norm(table: &mut TermTable, op: &Op, vals: &[AbsVal], x_shape: &Shape) -> AbsVal {
+    let params_rep = vals[1..].iter().all(|v| matches!(v, AbsVal::Rep(_)));
+    if !params_rep {
+        return AbsVal::Unknown;
+    }
+    let param_terms: Vec<TermId> = vals[1..].iter().filter_map(AbsVal::term).collect();
+    match &vals[0] {
+        AbsVal::Rep(tx) => {
+            let mut children = vec![*tx];
+            children.extend(param_terms);
+            AbsVal::Rep(table.op(op.name(), children, Vec::new()))
+        }
+        AbsVal::Window {
+            term,
+            dim,
+            full,
+            segs,
+        } if *dim + 1 != x_shape.rank() && !layout::has_pad(segs) => {
+            let mut children = vec![*term];
+            children.extend(param_terms);
+            let t = table.op(op.name(), children, Vec::new());
+            AbsVal::window(t, *dim, *full, segs.clone())
+        }
+        _ => AbsVal::Unknown,
+    }
+}
+
+fn rope(table: &mut TermTable, vals: &[AbsVal], in_shapes: &[&Shape]) -> Transfer {
+    let rx = in_shapes[0].rank();
+    if vals.iter().all(|v| matches!(v, AbsVal::Rep(_))) {
+        let terms: Vec<TermId> = vals.iter().filter_map(AbsVal::term).collect();
+        return Ok(AbsVal::Rep(table.op("rope", terms, Vec::new())));
+    }
+    // Right-align cos/sin dims with x dims.
+    let mut windows: Vec<(usize, usize, i64, Vec<Seg>)> = Vec::new(); // (operand, x-dim, full, segs)
+    let mut terms: Vec<TermId> = Vec::with_capacity(3);
+    for (i, v) in vals.iter().enumerate() {
+        match v {
+            AbsVal::Unknown | AbsVal::Partial { .. } => return Ok(AbsVal::Unknown),
+            AbsVal::Rep(t) => terms.push(*t),
+            AbsVal::Window {
+                term,
+                dim,
+                full,
+                segs,
+            } => {
+                let od = dim + (rx - in_shapes[i].rank());
+                windows.push((i, od, *full, segs.clone()));
+                terms.push(*term);
+            }
+        }
+    }
+    let (_, od, full, segs) = windows.first().cloned().expect("non-rep case has a window");
+    if windows.iter().any(|(_, d, f, ..)| *d != od || *f != full) {
+        return Ok(AbsVal::Unknown);
+    }
+    if od >= rx - 2 {
+        // Sequence or hidden dimension: the rotation pairs x with the
+        // cos/sin row for the *same* logical position, so every operand
+        // must carry the same window.
+        if windows.len() != vals.len() || windows.iter().any(|(_, _, _, s)| *s != segs) {
+            let detail = windows
+                .iter()
+                .map(|(i, _, _, s)| format!("input {}: {}", i, layout::render_segs(s)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            let reps = vals.len() - windows.len();
+            let rep_note = if reps > 0 {
+                format!("; {reps} operand(s) replicated")
+            } else {
+                String::new()
+            };
+            return Err(ShardErr::new(
+                crate::codes::WINDOW_MISALIGNED,
+                format!(
+                    "rope combines mismatched slices along dim {od}: each \
+                     rank must apply the cos/sin rows of its own shard \
+                     ({detail}{rep_note})"
+                ),
+            )
+            .suggest(
+                "slice the rotary tables with this rank's offset so they \
+                 align with the activation shard",
+            ));
+        }
+        if od == rx - 1 {
+            // Hidden shard: the rotate-half pairing needs an even piece.
+            match layout::pure_piece(&segs) {
+                Some((s, e)) if (e - s) % 2 == 0 => {}
+                _ => return Ok(AbsVal::Unknown),
+            }
+        }
+    } else {
+        // Batch window on x; cos/sin have no batch dim and must be windows
+        // of nothing — i.e. they must be replicated.
+        if windows.len() != 1 || windows[0].0 != 0 {
+            return Ok(AbsVal::Unknown);
+        }
+    }
+    let t = table.op("rope", terms, Vec::new());
+    Ok(AbsVal::window(t, od, full, segs))
+}
+
+fn attention(
+    table: &mut TermTable,
+    vals: &[AbsVal],
+    in_shapes: &[&Shape],
+    heads: usize,
+    causal: bool,
+) -> Transfer {
+    let rank = in_shapes[0].rank();
+    if vals.iter().all(|v| matches!(v, AbsVal::Rep(_))) {
+        let terms: Vec<TermId> = vals.iter().filter_map(AbsVal::term).collect();
+        return Ok(AbsVal::Rep(table.op(
+            "attention",
+            terms,
+            vec![heads as i64, causal as i64],
+        )));
+    }
+    let mut windows: Vec<(usize, i64, Vec<Seg>, TermId)> = Vec::new();
+    for v in vals {
+        match v {
+            AbsVal::Window {
+                term,
+                dim,
+                full,
+                segs,
+            } => windows.push((*dim, *full, segs.clone(), *term)),
+            _ => return Ok(AbsVal::Unknown),
+        }
+    }
+    let (dim, full, segs, _) = windows[0].clone();
+    if windows.iter().any(|(d, f, ..)| *d != dim || *f != full) {
+        return Ok(AbsVal::Unknown);
+    }
+    if dim + 1 == rank {
+        // Head-sharded attention: q/k/v must carry the *same* head range.
+        if windows.iter().any(|(_, _, s, _)| *s != segs) {
+            let detail = windows
+                .iter()
+                .enumerate()
+                .map(|(i, (_, _, s, _))| format!("input {}: {}", i, layout::render_segs(s)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(ShardErr::new(
+                crate::codes::WINDOW_MISALIGNED,
+                format!(
+                    "attention combines q/k/v shards covering different \
+                     head ranges along dim {dim} ({detail})"
+                ),
+            )
+            .suggest("shard q, k and v with the same per-rank head range"));
+        }
+        let Some((s, e)) = layout::pure_piece(&segs) else {
+            return Ok(AbsVal::Unknown);
+        };
+        let m = heads as i64;
+        if (e - s) % m != 0 {
+            return Ok(AbsVal::Unknown);
+        }
+        let head_size = (e - s) / m;
+        if head_size == 0 || s % head_size != 0 || full % head_size != 0 {
+            return Ok(AbsVal::Unknown);
+        }
+        let logical_heads = full / head_size;
+        let terms: Vec<TermId> = vals.iter().filter_map(AbsVal::term).collect();
+        let t = table.op("attention", terms, vec![logical_heads, causal as i64]);
+        Ok(AbsVal::window(t, dim, full, segs))
+    } else if dim + 2 < rank {
+        // Batch windows: attention is independent per batch element; zero
+        // batch slabs stay zero.
+        if windows.iter().any(|(_, _, s, _)| *s != segs) {
+            return Ok(AbsVal::Unknown);
+        }
+        let terms: Vec<TermId> = vals.iter().filter_map(AbsVal::term).collect();
+        let t = table.op("attention", terms, vec![heads as i64, causal as i64]);
+        Ok(AbsVal::window(t, dim, full, segs))
+    } else {
+        // Sequence-sharded attention does not decompose (causal mixing).
+        Ok(AbsVal::Unknown)
+    }
+}
+
+/// Pads dropped, remaining pieces coalesced; `Some((s, e))` when they form
+/// one contiguous range.
+fn contiguous_pieces(segs: &[Seg]) -> Option<(i64, i64)> {
+    let pieces: Vec<Seg> = segs.iter().copied().filter(|s| !s.is_pad()).collect();
+    layout::pure_piece(&layout::coalesce(pieces))
+}

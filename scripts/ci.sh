@@ -10,6 +10,15 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> model-zoo shard sweep (entangle shard over exported strategies)"
+cargo run --release -q -p entangle-bench --bin export_zoo -- examples/graphs
+for gd in examples/graphs/*.gd.json; do
+  base="${gd%.gd.json}"
+  ./target/release/entangle shard "$gd" --gs "$base.gs.json" --maps "$base.maps" >/dev/null \
+    || { echo "shard sweep FAILED on $base"; exit 1; }
+done
+echo "    7 workloads clean"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
