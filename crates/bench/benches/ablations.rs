@@ -12,20 +12,13 @@ fn bench_ablations(c: &mut Criterion) {
     let ri = w.dist.relation(&w.gs).expect("relation builds");
 
     let configs: Vec<(&str, CheckOptions)> = vec![
-        ("shard_hinted", CheckOptions::default()),
-        (
-            "frontier_iterative",
-            CheckOptions {
-                shard_hints: false,
-                ..CheckOptions::default()
-            },
-        ),
+        ("shard_hinted", entangle_bench::hinted_opts()),
+        ("frontier_iterative", entangle_bench::saturation_opts()),
         (
             "no_frontier",
             CheckOptions {
                 frontier: false,
-                shard_hints: false,
-                ..CheckOptions::default()
+                ..entangle_bench::saturation_opts()
             },
         ),
         (
@@ -33,17 +26,17 @@ fn bench_ablations(c: &mut Criterion) {
             CheckOptions {
                 frontier: false,
                 fresh_egraph_per_op: false,
-                shard_hints: false,
-                ..CheckOptions::default()
+                ..entangle_bench::saturation_opts()
             },
         ),
         (
             "prune_to_1",
             CheckOptions {
                 max_mappings: 1,
-                ..CheckOptions::default()
+                ..entangle_bench::hinted_opts()
             },
         ),
+        ("certified", CheckOptions::default()),
     ];
     for (name, opts) in configs {
         group.bench_function(name, |b| {

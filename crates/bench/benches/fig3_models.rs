@@ -2,9 +2,8 @@
 //! (parallelism 2, one layer).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use entangle::CheckOptions;
 use entangle_bench::{
-    gpt_workload, llama_workload, moe_workload, qwen2_workload, regression_workload,
+    gpt_workload, hinted_opts, llama_workload, moe_workload, qwen2_workload, regression_workload,
 };
 
 fn bench_models(c: &mut Criterion) {
@@ -21,7 +20,7 @@ fn bench_models(c: &mut Criterion) {
         let ri = w.dist.relation(&w.gs).expect("relation builds");
         group.bench_function(&w.name, |b| {
             b.iter(|| {
-                entangle::check_refinement(&w.gs, &w.dist.graph, &ri, &CheckOptions::default())
+                entangle::check_refinement(&w.gs, &w.dist.graph, &ri, &hinted_opts())
                     .expect("verifies")
             })
         });

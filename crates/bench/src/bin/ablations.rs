@@ -45,7 +45,7 @@ fn main() {
     );
     run(
         "  + shard hints (this work)",
-        &CheckOptions::default(),
+        &entangle_bench::hinted_opts(),
         &mut rows,
     );
     run(
@@ -77,7 +77,7 @@ fn main() {
         "aggressive pruning (keep 1)",
         &CheckOptions {
             max_mappings: 1,
-            ..CheckOptions::default()
+            ..entangle_bench::hinted_opts()
         },
         &mut rows,
     );
@@ -102,7 +102,7 @@ fn main() {
     ] {
         let opts = CheckOptions {
             rewrites,
-            ..CheckOptions::default()
+            ..entangle_bench::hinted_opts()
         };
         let ri = w8.dist.relation(&w8.gs).expect("relation builds");
         let start = std::time::Instant::now();

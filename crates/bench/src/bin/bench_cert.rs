@@ -1,0 +1,105 @@
+//! Certification-overhead benchmark: `check_refinement` with and without
+//! `CheckOptions::certify` across the model zoo, plus the cost of the
+//! trusted kernel re-checking the extracted certificate on its own.
+//!
+//! Writes `results/BENCH_cert.json` (stable field order, no serde) and
+//! prints the comparison table. Expected shape: certificate extraction and
+//! kernel validation add a bounded constant factor on top of saturation —
+//! the price of not trusting the e-graph engine.
+
+use std::time::{Duration, Instant};
+
+use entangle::CheckOptions;
+use entangle_bench::{figure3_suite, print_table, saturation_opts, secs, Workload};
+use entangle_cert::Certificate;
+use entangle_lemmas::{registry, rewrites_of};
+use entangle_symbolic::SymCtx;
+
+/// Best-of-N wall clock for one configuration, plus the last certificate.
+fn time_check(w: &Workload, opts: &CheckOptions, reps: usize) -> (Duration, Option<Certificate>) {
+    let mut best = Duration::MAX;
+    let mut cert = None;
+    for _ in 0..reps {
+        let (outcome, elapsed) = w.check(opts);
+        best = best.min(elapsed);
+        cert = outcome.certificate;
+    }
+    (best, cert)
+}
+
+/// Best-of-N wall clock for the kernel alone re-checking `cert`.
+fn time_kernel(w: &Workload, cert: &Certificate, reps: usize) -> Duration {
+    let rewrites = rewrites_of(&registry());
+    let ctx = SymCtx::new();
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        entangle_cert::verify(cert, &w.gs, &w.dist.graph, &rewrites, &ctx)
+            .unwrap_or_else(|e| panic!("{} certificate rejected: {e}", w.name));
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let reps = 3;
+    println!("Certification benchmark ({reps} reps, best-of):\n");
+
+    let certified_opts = CheckOptions {
+        certify: true,
+        ..saturation_opts()
+    };
+
+    let mut rows = Vec::new();
+    let mut json_cases = Vec::new();
+    for w in figure3_suite() {
+        let (t_base, _) = time_check(&w, &saturation_opts(), reps);
+        let (t_cert, cert) = time_check(&w, &certified_opts, reps);
+        let cert = cert.expect("certify mode emits a certificate");
+        let t_kernel = time_kernel(&w, &cert, reps);
+        let overhead = t_cert.as_secs_f64() / t_base.as_secs_f64().max(1e-9);
+        let mappings = cert.mappings.len();
+        let steps = cert.total_steps();
+        rows.push(vec![
+            w.name.clone(),
+            secs(t_base),
+            secs(t_cert),
+            format!("{overhead:.2}x"),
+            secs(t_kernel),
+            format!("{mappings}"),
+            format!("{steps}"),
+        ]);
+        json_cases.push(format!(
+            "{{\"name\":{},\"baseline_ms\":{:.3},\"certified_ms\":{:.3},\
+             \"overhead\":{:.3},\"kernel_ms\":{:.3},\"mappings\":{},\"proof_steps\":{}}}",
+            entangle_lint::json_str(&w.name),
+            t_base.as_secs_f64() * 1e3,
+            t_cert.as_secs_f64() * 1e3,
+            overhead,
+            t_kernel.as_secs_f64() * 1e3,
+            mappings,
+            steps,
+        ));
+    }
+
+    print_table(
+        &[
+            "workload",
+            "baseline",
+            "certified",
+            "overhead",
+            "kernel",
+            "mappings",
+            "steps",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\"bench\":\"cert\",\"reps\":{reps},\"cases\":[{}]}}\n",
+        json_cases.join(",")
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_cert.json", &json).expect("write BENCH_cert.json");
+    println!("\nwrote results/BENCH_cert.json");
+}

@@ -11,7 +11,7 @@
 use std::time::{Duration, Instant};
 
 use entangle::{check_refinement, CheckOptions, CheckOutcome};
-use entangle_bench::{bench_config, print_table, saturation_opts, secs};
+use entangle_bench::{bench_config, hinted_opts, print_table, saturation_opts, secs};
 use entangle_models::{gpt, llama3, moe, qwen2, Arch, ModelConfig, MoeConfig};
 use entangle_parallel::{parallelize, parallelize_moe, Distributed, Strategy};
 
@@ -76,8 +76,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut json_cases = Vec::new();
     for case in zoo(&cfg) {
-        let (t_hints, with_hints) =
-            time_check(&case.gs, &case.dist, &CheckOptions::default(), reps);
+        let (t_hints, with_hints) = time_check(&case.gs, &case.dist, &hinted_opts(), reps);
         let (t_plain, _) = time_check(&case.gs, &case.dist, &saturation_opts(), reps);
         let hinted_ops = with_hints.op_reports.iter().filter(|r| r.hinted).count();
         let total_ops = with_hints.op_reports.len();

@@ -199,10 +199,23 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 
 /// Options measuring the *saturation* pipeline alone (Listings 1-3):
 /// shard hints would skip saturation for operators the propagation pass can
-/// prove, which is exactly what the figure benchmarks are timing.
+/// prove, and certificate extraction + kernel re-checking adds work after
+/// saturation finishes — both are exactly what the figure benchmarks are
+/// *not* timing. `bench_cert` measures the certification overhead.
 pub fn saturation_opts() -> CheckOptions {
     CheckOptions {
         shard_hints: false,
+        certify: false,
+        ..CheckOptions::default()
+    }
+}
+
+/// Options for timing the hinted pipeline: certification is off because
+/// certify-mode drops shard hints (hinted mappings carry no derivation the
+/// kernel could re-check), which would turn the comparison into a no-op.
+pub fn hinted_opts() -> CheckOptions {
+    CheckOptions {
+        certify: false,
         ..CheckOptions::default()
     }
 }

@@ -1,0 +1,365 @@
+//! JSON interchange for certificates, built on `entangle-ir`'s
+//! dependency-free [`Json`] codec.
+//!
+//! Terms are encoded structurally rather than as s-expressions, because
+//! synthetic canonicalization leaves (`~ones[2, 3]`) contain characters an
+//! s-expression reader cannot round-trip: a string is an atom (leaf
+//! operator), a number is an integer scalar, and an array `[head, args..]`
+//! is an operator application. Symbolic-scalar slots ([`ENode::Sym`])
+//! cannot appear in certified expressions (the model zoo is fully
+//! concrete) and are refused at emit time.
+//!
+//! The top-level object is versioned:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "gs": "...", "gd": "...",
+//!   "inputs":   [{"tensor": "x", "exprs": [TERM, ...]}, ...],
+//!   "mappings": [{"tensor": "y", "operator": "n0",
+//!                 "inputs": [TERM, ...], "expr": TERM,
+//!                 "proof": [STEP, ...]}, ...],
+//!   "outputs":  [{"tensor": "y", "expr": TERM}, ...]
+//! }
+//! ```
+//!
+//! with steps tagged by `"kind"`: `"rule"` (name, forward, subst, before,
+//! after), `"congruence"` (before, after, children — one sub-proof per
+//! argument), or `"given"` (fact, before, after).
+
+use entangle_egraph::{ENode, Id, Proof, ProofStep, RecExpr};
+use entangle_ir::json::{parse, to_string_pretty, Json};
+
+use crate::cert::{CertError, Certificate, MappingCert};
+
+/// Serializes a certificate to pretty-printed JSON.
+///
+/// # Errors
+///
+/// [`CertError::Malformed`] if a term contains a symbolic scalar slot,
+/// which the interchange format cannot represent.
+pub fn to_json(cert: &Certificate) -> Result<String, CertError> {
+    let inputs = cert
+        .inputs
+        .iter()
+        .map(|(name, exprs)| {
+            let es = exprs.iter().map(term_to_json).collect::<Result<_, _>>()?;
+            Ok(Json::Obj(vec![
+                ("tensor".to_owned(), Json::Str(name.clone())),
+                ("exprs".to_owned(), Json::Arr(es)),
+            ]))
+        })
+        .collect::<Result<Vec<_>, CertError>>()?;
+    let mappings = cert
+        .mappings
+        .iter()
+        .map(mapping_to_json)
+        .collect::<Result<Vec<_>, CertError>>()?;
+    let outputs = cert
+        .outputs
+        .iter()
+        .map(|(name, e)| {
+            Ok(Json::Obj(vec![
+                ("tensor".to_owned(), Json::Str(name.clone())),
+                ("expr".to_owned(), term_to_json(e)?),
+            ]))
+        })
+        .collect::<Result<Vec<_>, CertError>>()?;
+    let doc = Json::Obj(vec![
+        ("version".to_owned(), Json::Int(1)),
+        ("gs".to_owned(), Json::Str(cert.gs.clone())),
+        ("gd".to_owned(), Json::Str(cert.gd.clone())),
+        ("inputs".to_owned(), Json::Arr(inputs)),
+        ("mappings".to_owned(), Json::Arr(mappings)),
+        ("outputs".to_owned(), Json::Arr(outputs)),
+    ]);
+    Ok(to_string_pretty(&doc))
+}
+
+/// Parses a certificate from its JSON interchange form.
+///
+/// # Errors
+///
+/// [`CertError::Malformed`] on any structural problem (this is the only
+/// error path — semantic validation is [`crate::verify`]'s job).
+pub fn from_json(text: &str) -> Result<Certificate, CertError> {
+    let doc = parse(text).map_err(CertError::Malformed)?;
+    match doc.get("version") {
+        Some(Json::Int(1)) => {}
+        Some(v) => {
+            return Err(CertError::Malformed(format!(
+                "unsupported certificate version {v:?}"
+            )))
+        }
+        None => return Err(CertError::Malformed("missing version field".to_owned())),
+    }
+    let gs = str_field(&doc, "gs")?;
+    let gd = str_field(&doc, "gd")?;
+    let inputs = arr_field(&doc, "inputs")?
+        .iter()
+        .map(|entry| {
+            let name = str_field(entry, "tensor")?;
+            let exprs = arr_field(entry, "exprs")?
+                .iter()
+                .map(term_from_json)
+                .collect::<Result<_, _>>()?;
+            Ok((name, exprs))
+        })
+        .collect::<Result<Vec<_>, CertError>>()?;
+    let mappings = arr_field(&doc, "mappings")?
+        .iter()
+        .map(mapping_from_json)
+        .collect::<Result<Vec<_>, CertError>>()?;
+    let outputs = arr_field(&doc, "outputs")?
+        .iter()
+        .map(|entry| {
+            let name = str_field(entry, "tensor")?;
+            let expr = term_from_json(req(entry, "expr")?)?;
+            Ok((name, expr))
+        })
+        .collect::<Result<Vec<_>, CertError>>()?;
+    Ok(Certificate {
+        gs,
+        gd,
+        inputs,
+        mappings,
+        outputs,
+    })
+}
+
+fn mapping_to_json(mc: &MappingCert) -> Result<Json, CertError> {
+    let inputs = mc
+        .inputs
+        .iter()
+        .map(term_to_json)
+        .collect::<Result<_, _>>()?;
+    Ok(Json::Obj(vec![
+        ("tensor".to_owned(), Json::Str(mc.tensor.clone())),
+        ("operator".to_owned(), Json::Str(mc.operator.clone())),
+        ("inputs".to_owned(), Json::Arr(inputs)),
+        ("expr".to_owned(), term_to_json(&mc.expr)?),
+        ("proof".to_owned(), proof_to_json(&mc.proof)?),
+    ]))
+}
+
+fn mapping_from_json(v: &Json) -> Result<MappingCert, CertError> {
+    Ok(MappingCert {
+        tensor: str_field(v, "tensor")?,
+        operator: str_field(v, "operator")?,
+        inputs: arr_field(v, "inputs")?
+            .iter()
+            .map(term_from_json)
+            .collect::<Result<_, _>>()?,
+        expr: term_from_json(req(v, "expr")?)?,
+        proof: proof_from_json(req(v, "proof")?)?,
+    })
+}
+
+fn proof_to_json(proof: &Proof) -> Result<Json, CertError> {
+    let steps = proof
+        .steps
+        .iter()
+        .map(step_to_json)
+        .collect::<Result<_, _>>()?;
+    Ok(Json::Arr(steps))
+}
+
+fn proof_from_json(v: &Json) -> Result<Proof, CertError> {
+    let Json::Arr(items) = v else {
+        return Err(CertError::Malformed(format!(
+            "proof must be an array, found {}",
+            v.kind()
+        )));
+    };
+    let steps = items.iter().map(step_from_json).collect::<Result<_, _>>()?;
+    Ok(Proof { steps })
+}
+
+fn step_to_json(step: &ProofStep) -> Result<Json, CertError> {
+    match step {
+        ProofStep::Rule {
+            name,
+            forward,
+            subst,
+            before,
+            after,
+        } => {
+            let bindings = subst
+                .iter()
+                .map(|(var, term)| {
+                    Ok(Json::Obj(vec![
+                        ("var".to_owned(), Json::Str(var.clone())),
+                        ("term".to_owned(), term_to_json(term)?),
+                    ]))
+                })
+                .collect::<Result<_, CertError>>()?;
+            Ok(Json::Obj(vec![
+                ("kind".to_owned(), Json::Str("rule".to_owned())),
+                ("name".to_owned(), Json::Str(name.clone())),
+                ("forward".to_owned(), Json::Bool(*forward)),
+                ("subst".to_owned(), Json::Arr(bindings)),
+                ("before".to_owned(), term_to_json(before)?),
+                ("after".to_owned(), term_to_json(after)?),
+            ]))
+        }
+        ProofStep::Congruence {
+            before,
+            after,
+            children,
+        } => {
+            let kids = children
+                .iter()
+                .map(proof_to_json)
+                .collect::<Result<_, _>>()?;
+            Ok(Json::Obj(vec![
+                ("kind".to_owned(), Json::Str("congruence".to_owned())),
+                ("before".to_owned(), term_to_json(before)?),
+                ("after".to_owned(), term_to_json(after)?),
+                ("children".to_owned(), Json::Arr(kids)),
+            ]))
+        }
+        ProofStep::Given {
+            fact,
+            before,
+            after,
+        } => Ok(Json::Obj(vec![
+            ("kind".to_owned(), Json::Str("given".to_owned())),
+            ("fact".to_owned(), Json::Str(fact.clone())),
+            ("before".to_owned(), term_to_json(before)?),
+            ("after".to_owned(), term_to_json(after)?),
+        ])),
+    }
+}
+
+fn step_from_json(v: &Json) -> Result<ProofStep, CertError> {
+    match req(v, "kind")? {
+        Json::Str(k) if k == "rule" => {
+            let subst = arr_field(v, "subst")?
+                .iter()
+                .map(|b| {
+                    let var = str_field(b, "var")?;
+                    let term = term_from_json(req(b, "term")?)?;
+                    Ok((var, term))
+                })
+                .collect::<Result<_, CertError>>()?;
+            let forward = match req(v, "forward")? {
+                Json::Bool(b) => *b,
+                other => {
+                    return Err(CertError::Malformed(format!(
+                        "forward must be a bool, found {}",
+                        other.kind()
+                    )))
+                }
+            };
+            Ok(ProofStep::Rule {
+                name: str_field(v, "name")?,
+                forward,
+                subst,
+                before: term_from_json(req(v, "before")?)?,
+                after: term_from_json(req(v, "after")?)?,
+            })
+        }
+        Json::Str(k) if k == "congruence" => {
+            let children = arr_field(v, "children")?
+                .iter()
+                .map(proof_from_json)
+                .collect::<Result<_, _>>()?;
+            Ok(ProofStep::Congruence {
+                before: term_from_json(req(v, "before")?)?,
+                after: term_from_json(req(v, "after")?)?,
+                children,
+            })
+        }
+        Json::Str(k) if k == "given" => Ok(ProofStep::Given {
+            fact: str_field(v, "fact")?,
+            before: term_from_json(req(v, "before")?)?,
+            after: term_from_json(req(v, "after")?)?,
+        }),
+        other => Err(CertError::Malformed(format!(
+            "unknown proof step kind {other:?}"
+        ))),
+    }
+}
+
+/// Encodes a term structurally: leaves as strings, integers as numbers,
+/// applications as `[head, args...]` arrays.
+fn term_to_json(expr: &RecExpr) -> Result<Json, CertError> {
+    subterm_to_json(expr, expr.root_id())
+}
+
+fn subterm_to_json(expr: &RecExpr, at: Id) -> Result<Json, CertError> {
+    match expr.node(at) {
+        ENode::Int(i) => Ok(Json::Int(*i)),
+        ENode::Sym(e) => Err(CertError::Malformed(format!(
+            "symbolic scalar {e} cannot be serialized; certificates require concrete shapes"
+        ))),
+        ENode::Op(sym, ch) if ch.is_empty() => Ok(Json::Str(sym.as_str().to_owned())),
+        ENode::Op(sym, ch) => {
+            let mut items = Vec::with_capacity(ch.len() + 1);
+            items.push(Json::Str(sym.as_str().to_owned()));
+            for &c in ch {
+                items.push(subterm_to_json(expr, c)?);
+            }
+            Ok(Json::Arr(items))
+        }
+    }
+}
+
+fn term_from_json(v: &Json) -> Result<RecExpr, CertError> {
+    let mut expr = RecExpr::default();
+    subterm_from_json(v, &mut expr)?;
+    Ok(expr)
+}
+
+fn subterm_from_json(v: &Json, expr: &mut RecExpr) -> Result<Id, CertError> {
+    match v {
+        Json::Int(i) => Ok(expr.add(ENode::Int(*i))),
+        Json::Str(s) => Ok(expr.add(ENode::leaf(s))),
+        Json::Arr(items) => {
+            let Some(Json::Str(head)) = items.first() else {
+                return Err(CertError::Malformed(
+                    "term application must start with an operator string".to_owned(),
+                ));
+            };
+            if items.len() < 2 {
+                return Err(CertError::Malformed(format!(
+                    "term application of {head} has no arguments; encode leaves as strings"
+                )));
+            }
+            let children = items[1..]
+                .iter()
+                .map(|c| subterm_from_json(c, expr))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(expr.add(ENode::op(head, children)))
+        }
+        other => Err(CertError::Malformed(format!(
+            "terms are strings, numbers or arrays, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, CertError> {
+    v.get(key)
+        .ok_or_else(|| CertError::Malformed(format!("missing field {key}")))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, CertError> {
+    match req(v, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        other => Err(CertError::Malformed(format!(
+            "field {key} must be a string, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn arr_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], CertError> {
+    match req(v, key)? {
+        Json::Arr(items) => Ok(items),
+        other => Err(CertError::Malformed(format!(
+            "field {key} must be an array, found {}",
+            other.kind()
+        ))),
+    }
+}

@@ -1,0 +1,37 @@
+//! Proof-carrying refinement: rewrite certificates and the trusted kernel
+//! that re-checks them.
+//!
+//! `check_refinement`'s verdict rests on ~4k lines of from-scratch e-graph
+//! engine. Translation-validation style checkers re-establish trust by
+//! making the *search* untrusted and re-checking its output with a small,
+//! independent kernel — the approach of production graph verifiers and
+//! GPUVerify-style equivalence checkers. This crate is that kernel for
+//! ENTANGLE:
+//!
+//! - [`Certificate`]: everything the checker claimed — the input relation
+//!   `R_i` it started from, one [`MappingCert`] per derived mapping (with a
+//!   step-by-step [`Proof`] extracted from the saturation e-graph), and the
+//!   output relation `R_o` it returned.
+//! - [`verify`]: the trusted kernel. No union-find, no hash-consing during
+//!   validation — each proof step is checked by *term* matching,
+//!   substitution and per-step shape/dtype re-inference; symbolic side
+//!   conditions are discharged through `entangle-symbolic`. Only registered
+//!   lemmas, `G_d` operator definitions and already-accepted mappings may
+//!   justify a step.
+//! - [`to_json`] / [`from_json`]: a JSON interchange format so certificates
+//!   can be shipped and audited out-of-process (`entangle certify`).
+//!
+//! The trusted computing base deliberately excludes the saturation engine:
+//! see DESIGN.md ("Certificates and the trusted kernel") for the exact
+//! boundary.
+
+mod cert;
+mod json;
+mod kernel;
+
+#[cfg(test)]
+mod tests;
+
+pub use cert::{exprs_eq, term_eq, CertError, Certificate, MappingCert};
+pub use json::{from_json, to_json};
+pub use kernel::verify;

@@ -1,0 +1,256 @@
+//! Unit tests: a hand-built refinement with a complete certificate, the
+//! kernel's rejection behavior, and the JSON round-trip.
+
+use entangle_egraph::{Proof, ProofStep, RecExpr};
+use entangle_ir::{DType, Graph, GraphBuilder, Op};
+use entangle_lemmas::{registry, rewrites_of, TensorAnalysis};
+use entangle_symbolic::SymCtx;
+
+use crate::cert::{exprs_eq, CertError, Certificate, MappingCert};
+use crate::json::{from_json, to_json};
+use crate::kernel::verify;
+
+fn e(s: &str) -> RecExpr {
+    s.parse().expect("parses")
+}
+
+/// `G_s`: y = relu(x) over a [4, 4] input.
+fn gs() -> Graph {
+    let mut b = GraphBuilder::new("gs");
+    let x = b.input("x", &[4, 4], DType::F32);
+    let y = b.apply("y", Op::Relu, &[x]).expect("infers");
+    b.mark_output(y);
+    b.finish().expect("valid")
+}
+
+/// `G_d`: the same computation row-sharded over two workers.
+fn gd() -> Graph {
+    let mut b = GraphBuilder::new("gd");
+    let x0 = b.input("x0", &[2, 4], DType::F32);
+    let x1 = b.input("x1", &[2, 4], DType::F32);
+    let y0 = b.apply("y0", Op::Relu, &[x0]).expect("infers");
+    let y1 = b.apply("y1", Op::Relu, &[x1]).expect("infers");
+    b.mark_output(y0);
+    b.mark_output(y1);
+    b.finish().expect("valid")
+}
+
+fn lemmas() -> Vec<entangle_egraph::Rewrite<TensorAnalysis>> {
+    rewrites_of(&registry())
+}
+
+/// A complete, correct certificate for the row-sharded relu refinement:
+///
+/// ```text
+/// relu(concat(x0, x1, 0))           -- encoding of y over R_i
+///   ≡ concat(relu(x0), relu(x1), 0) -- lemma relu-of-concat
+///   ≡ concat(y0, y1, 0)             -- congruence + G_d definitions
+/// ```
+fn good_certificate() -> Certificate {
+    let proof = Proof {
+        steps: vec![
+            ProofStep::Rule {
+                name: "relu-of-concat".to_owned(),
+                forward: true,
+                subst: vec![
+                    ("a".to_owned(), e("x0")),
+                    ("b".to_owned(), e("x1")),
+                    ("d".to_owned(), e("0")),
+                ],
+                before: e("(relu (concat x0 x1 0))"),
+                after: e("(concat (relu x0) (relu x1) 0)"),
+            },
+            ProofStep::Congruence {
+                before: e("(concat (relu x0) (relu x1) 0)"),
+                after: e("(concat y0 y1 0)"),
+                children: vec![
+                    Proof {
+                        steps: vec![ProofStep::Given {
+                            fact: "G_d definition of y0".to_owned(),
+                            before: e("(relu x0)"),
+                            after: e("y0"),
+                        }],
+                    },
+                    Proof {
+                        steps: vec![ProofStep::Given {
+                            fact: "G_d definition of y1".to_owned(),
+                            before: e("(relu x1)"),
+                            after: e("y1"),
+                        }],
+                    },
+                    Proof::default(),
+                ],
+            },
+        ],
+    };
+    Certificate {
+        gs: "gs".to_owned(),
+        gd: "gd".to_owned(),
+        inputs: vec![("x".to_owned(), vec![e("(concat x0 x1 0)")])],
+        mappings: vec![MappingCert {
+            tensor: "y".to_owned(),
+            operator: "y".to_owned(),
+            inputs: vec![e("(concat x0 x1 0)")],
+            expr: e("(concat y0 y1 0)"),
+            proof,
+        }],
+        outputs: vec![("y".to_owned(), e("(concat y0 y1 0)"))],
+    }
+}
+
+fn check(cert: &Certificate) -> Result<(), CertError> {
+    verify(cert, &gs(), &gd(), &lemmas(), &SymCtx::default())
+}
+
+#[test]
+fn accepts_a_correct_certificate() {
+    check(&good_certificate()).expect("kernel accepts the hand-built proof");
+}
+
+#[test]
+fn rejects_a_wrong_lemma_name() {
+    let mut cert = good_certificate();
+    let ProofStep::Rule { name, .. } = &mut cert.mappings[0].proof.steps[0] else {
+        panic!("first step is a rule");
+    };
+    *name = "sigmoid-of-concat".to_owned();
+    let err = check(&cert).expect_err("wrong lemma must be rejected");
+    assert!(matches!(err, CertError::Rejected { .. }), "{err}");
+}
+
+#[test]
+fn rejects_a_nonexistent_lemma() {
+    let mut cert = good_certificate();
+    let ProofStep::Rule { name, .. } = &mut cert.mappings[0].proof.steps[0] else {
+        panic!("first step is a rule");
+    };
+    *name = "no-such-lemma".to_owned();
+    let err = check(&cert).expect_err("unknown lemma must be rejected");
+    assert!(err.to_string().contains("unknown lemma"), "{err}");
+}
+
+#[test]
+fn rejects_a_corrupted_substitution() {
+    let mut cert = good_certificate();
+    let ProofStep::Rule { subst, .. } = &mut cert.mappings[0].proof.steps[0] else {
+        panic!("first step is a rule");
+    };
+    subst[0].1 = e("x1");
+    let err = check(&cert).expect_err("corrupted substitution must be rejected");
+    assert!(err.to_string().contains("substitution"), "{err}");
+}
+
+#[test]
+fn rejects_a_truncated_chain() {
+    let mut cert = good_certificate();
+    cert.mappings[0].proof.steps.pop();
+    let err = check(&cert).expect_err("truncated proof must be rejected");
+    assert!(err.to_string().contains("does not reach"), "{err}");
+}
+
+#[test]
+fn rejects_a_forged_given_fact() {
+    let mut cert = good_certificate();
+    cert.mappings[0].proof = Proof {
+        steps: vec![ProofStep::Given {
+            fact: "trust me".to_owned(),
+            before: e("(relu (concat x0 x1 0))"),
+            after: e("(concat y0 y1 0)"),
+        }],
+    };
+    let err = check(&cert).expect_err("unrecognized facts must be rejected");
+    assert!(err.to_string().contains("unrecognized given fact"), "{err}");
+}
+
+#[test]
+fn rejects_an_output_over_gd_inputs() {
+    let mut cert = good_certificate();
+    // Sneak a mapping of y over G_d *inputs* in through R_i (shapes line
+    // up, so it is accepted as an axiom), then claim it as the output: the
+    // kernel still rejects it, because R_o may only use G_d output tensors.
+    cert.inputs
+        .push(("y".to_owned(), vec![e("(concat x0 x1 0)")]));
+    cert.outputs[0].1 = e("(concat x0 x1 0)");
+    let err = check(&cert).expect_err("R_o over G_d inputs must be rejected");
+    assert!(err.to_string().contains("non-output G_d tensor"), "{err}");
+}
+
+#[test]
+fn rejects_an_unproven_output_mapping() {
+    let mut cert = good_certificate();
+    cert.outputs[0].1 = e("(concat y1 y0 0)");
+    let err = check(&cert).expect_err("unproven output mapping must be rejected");
+    assert!(err.to_string().contains("never accepted"), "{err}");
+}
+
+#[test]
+fn rejects_a_missing_output_mapping() {
+    let mut cert = good_certificate();
+    cert.outputs.clear();
+    let err = check(&cert).expect_err("uncovered G_s output must be rejected");
+    assert!(err.to_string().contains("no mapping"), "{err}");
+}
+
+#[test]
+fn rejects_an_unaccepted_mapping_input() {
+    let mut cert = good_certificate();
+    cert.mappings[0].inputs[0] = e("(concat x1 x0 0)");
+    let err = check(&cert).expect_err("unaccepted input mapping must be rejected");
+    assert!(err.to_string().contains("unaccepted"), "{err}");
+}
+
+#[test]
+fn empty_proof_requires_identical_terms() {
+    let mut cert = good_certificate();
+    cert.mappings[0].proof = Proof::default();
+    let err = check(&cert).expect_err("reflexivity cannot bridge distinct terms");
+    assert!(err.to_string().contains("empty proof"), "{err}");
+}
+
+#[test]
+fn term_eq_is_layout_insensitive() {
+    // The same term with and without shared subterm slots.
+    let shared = e("(add (relu x0) (relu x0))");
+    let mut expanded = RecExpr::default();
+    let a = {
+        let x = expanded.add(entangle_egraph::ENode::leaf("x0"));
+        expanded.add(entangle_egraph::ENode::op("relu", vec![x]))
+    };
+    let b = {
+        let x = expanded.add(entangle_egraph::ENode::leaf("x0"));
+        expanded.add(entangle_egraph::ENode::op("relu", vec![x]))
+    };
+    expanded.add(entangle_egraph::ENode::op("add", vec![a, b]));
+    assert!(exprs_eq(&shared, &expanded));
+    assert!(!exprs_eq(&shared, &e("(add (relu x0) (relu x1))")));
+}
+
+#[test]
+fn json_round_trips_bytewise() {
+    let cert = good_certificate();
+    let text = to_json(&cert).expect("serializes");
+    let back = from_json(&text).expect("parses");
+    assert_eq!(back, cert);
+    let again = to_json(&back).expect("serializes");
+    assert_eq!(text, again, "serialization is byte-stable");
+}
+
+#[test]
+fn json_rejects_bad_documents() {
+    assert!(from_json("not json").is_err());
+    assert!(from_json("{}").is_err(), "missing version");
+    assert!(
+        from_json(
+            r#"{"version": 2, "gs": "a", "gd": "b", "inputs": [], "mappings": [], "outputs": []}"#
+        )
+        .is_err(),
+        "unknown version"
+    );
+}
+
+#[test]
+fn verified_json_round_trip() {
+    let text = to_json(&good_certificate()).expect("serializes");
+    let back = from_json(&text).expect("parses");
+    check(&back).expect("re-parsed certificate still verifies");
+}

@@ -5,16 +5,19 @@
 //! TorchDynamo exporter, an HLO translator — can reach the checker):
 //!
 //! ```text
-//! entangle check  <gs.json> <gd.json> --map 'A=(concat A1 A2 1)' [--map ...]
-//! entangle check  <gs.json> <gd.json> --maps relations.txt
-//! entangle expect <gs.json> <gd.json> --maps relations.txt --fs F --fd '(concat F1 F2 0)'
-//! entangle lint   <graph.json>
-//! entangle info   <graph.json>
+//! entangle check   <gs.json> <gd.json> --map 'A=(concat A1 A2 1)' [--map ...]
+//! entangle check   <gs.json> <gd.json> --maps relations.txt
+//! entangle certify <gs.json> <gd.json> --maps relations.txt --emit cert.json
+//! entangle certify <gs.json> <gd.json> --check cert.json
+//! entangle expect  <gs.json> <gd.json> --maps relations.txt --fs F --fd '(concat F1 F2 0)'
+//! entangle lint    <graph.json>
+//! entangle info    <graph.json>
 //! ```
 //!
 //! A maps file holds one `gs_tensor = s-expression` mapping per line
 //! (`#`-prefixed lines are comments). Exit code 0 = verified, 1 = bug
-//! found, 2 = usage/input error, 3 = static lint errors.
+//! found, 2 = usage/input error, 3 = static lint errors, 4 = certificate
+//! rejected by the trusted kernel.
 
 use std::fmt;
 use std::fs;
@@ -33,6 +36,22 @@ pub enum Command {
         gd: String,
         /// `name=expr` input mappings.
         maps: Vec<(String, String)>,
+    },
+    /// Proof-carrying refinement check: run the certified check and emit
+    /// the kernel-accepted certificate, or re-check a saved one.
+    Certify {
+        /// Path to the sequential graph JSON.
+        gs: String,
+        /// Path to the distributed graph JSON.
+        gd: String,
+        /// `name=expr` input mappings (generation mode).
+        maps: Vec<(String, String)>,
+        /// Write the certificate JSON to this file after verification.
+        emit: Option<String>,
+        /// Re-check a saved certificate file instead of generating one.
+        check: Option<String>,
+        /// Print the certificate JSON to stdout.
+        json: bool,
     },
     /// §4.4 expectation check.
     Expect {
@@ -94,11 +113,14 @@ pub const USAGE: &str = "\
 entangle — static refinement checking for distributed ML models
 
 USAGE:
-  entangle check  <gs.json> <gd.json> (--map 'name=(expr)')* [--maps FILE]
-  entangle expect <gs.json> <gd.json> [--map ...|--maps FILE] --fs EXPR --fd EXPR
-  entangle lint   <graph.json> [--json]
-  entangle shard  <gd.json> [--gs <gs.json>] [--map ...|--maps FILE] [--json]
-  entangle info   <graph.json> [--dot]
+  entangle check   <gs.json> <gd.json> (--map 'name=(expr)')* [--maps FILE]
+  entangle certify <gs.json> <gd.json> [--map ...|--maps FILE]
+                   [--emit FILE] [--json]
+  entangle certify <gs.json> <gd.json> --check FILE
+  entangle expect  <gs.json> <gd.json> [--map ...|--maps FILE] --fs EXPR --fd EXPR
+  entangle lint    <graph.json> [--json]
+  entangle shard   <gd.json> [--gs <gs.json>] [--map ...|--maps FILE] [--json]
+  entangle info    <graph.json> [--dot]
   entangle help
 
 Mappings relate each G_s input tensor to an s-expression over G_d tensor
@@ -114,8 +136,14 @@ shard runs the abstract sharding-propagation analysis (SH## codes): with
 cross-rank consistency, and prints the relation hints it can prove;
 without, it reports the per-tensor layout structure of the graph alone.
 
+certify runs the proof-carrying check: the saturation engine's derivation
+is extracted as a rewrite certificate and re-validated by the independent
+trusted kernel before success is reported. --emit/--json export the
+certificate; --check re-validates a previously exported certificate file
+against the graphs without rerunning saturation.
+
 EXIT CODES:  0 verified   1 refinement/expectation failed   2 usage error
-             3 static lint errors";
+             3 static lint errors   4 certificate rejected";
 
 /// Parses argv (without the program name).
 ///
@@ -191,6 +219,69 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Some(other) => return Err(CliError(format!("info: unknown flag {other}"))),
             };
             Ok(Command::Info { graph, dot })
+        }
+        "certify" => {
+            let gs = it
+                .next()
+                .ok_or_else(|| CliError("certify: missing <gs.json>".into()))?
+                .clone();
+            let gd = it
+                .next()
+                .ok_or_else(|| CliError("certify: missing <gd.json>".into()))?
+                .clone();
+            let mut maps = Vec::new();
+            let mut emit = None;
+            let mut check = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--map" => {
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| CliError("--map needs name=expr".into()))?;
+                        maps.push(parse_map_spec(spec)?);
+                    }
+                    "--maps" => {
+                        let path = it
+                            .next()
+                            .ok_or_else(|| CliError("--maps needs a file path".into()))?;
+                        let text = fs::read_to_string(path)
+                            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+                        maps.extend(parse_maps_file(&text)?);
+                    }
+                    "--emit" => {
+                        emit = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--emit needs a file path".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--check" => {
+                        check = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--check needs a file path".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--json" => json = true,
+                    other => return Err(CliError(format!("certify: unknown flag {other}"))),
+                }
+            }
+            if check.is_some() && (emit.is_some() || !maps.is_empty()) {
+                return Err(CliError(
+                    "certify: --check re-validates a saved certificate; it takes no \
+                     --map/--maps/--emit"
+                        .into(),
+                ));
+            }
+            Ok(Command::Certify {
+                gs,
+                gd,
+                maps,
+                emit,
+                check,
+                json,
+            })
         }
         "check" | "expect" => {
             let gs = it
@@ -420,6 +511,102 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
                 Err(e @ entangle::RefinementError::Lint { .. }) => {
                     println!("{e}");
                     Ok(3)
+                }
+                Err(e @ entangle::RefinementError::CertRejected { .. }) => {
+                    println!("Certificate REJECTED:\n{e}");
+                    Ok(4)
+                }
+                Err(e) => {
+                    println!("Refinement FAILED:\n{e}");
+                    Ok(1)
+                }
+            }
+        }
+        Command::Certify {
+            gs,
+            gd,
+            maps,
+            emit,
+            check,
+            json,
+        } => {
+            let gs = load_graph(gs)?;
+            let gd = load_graph(gd)?;
+
+            // Re-check mode: validate a saved certificate with the trusted
+            // kernel alone — no relation building, no saturation.
+            if let Some(path) = check {
+                let text = fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+                let cert = match entangle_cert::from_json(&text) {
+                    Ok(cert) => cert,
+                    Err(e) => {
+                        println!("Certificate REJECTED:\n{e}");
+                        return Ok(4);
+                    }
+                };
+                let lemmas = entangle_lemmas::rewrites_of(&entangle_lemmas::registry());
+                return match entangle_cert::verify(
+                    &cert,
+                    &gs,
+                    &gd,
+                    &lemmas,
+                    &entangle_symbolic::SymCtx::new(),
+                ) {
+                    Ok(()) => {
+                        println!(
+                            "Certificate verified: {} mappings, {} proof steps.",
+                            cert.mappings.len(),
+                            cert.total_steps()
+                        );
+                        Ok(0)
+                    }
+                    Err(e) => {
+                        println!("Certificate REJECTED:\n{e}");
+                        Ok(4)
+                    }
+                };
+            }
+
+            let ri = build_relation(&gs, &gd, maps)?;
+            let opts = CheckOptions {
+                certify: true,
+                ..CheckOptions::default()
+            };
+            match check_refinement(&gs, &gd, &ri, &opts) {
+                Ok(outcome) => {
+                    let cert = outcome
+                        .certificate
+                        .as_ref()
+                        .expect("certify mode always produces a certificate");
+                    let text = entangle_cert::to_json(cert)
+                        .map_err(|e| CliError(format!("cannot serialize certificate: {e}")))?;
+                    if let Some(path) = emit {
+                        fs::write(path, &text)
+                            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+                    }
+                    if *json {
+                        println!("{text}");
+                    } else {
+                        println!(
+                            "Refinement certified for {}: {} mappings, {} proof steps \
+                             (kernel accepted).",
+                            gd.name(),
+                            cert.mappings.len(),
+                            cert.total_steps()
+                        );
+                        println!("\nOutput relation:");
+                        print!("{}", outcome.output_relation.display(&gs));
+                    }
+                    Ok(0)
+                }
+                Err(e @ entangle::RefinementError::Lint { .. }) => {
+                    println!("{e}");
+                    Ok(3)
+                }
+                Err(e @ entangle::RefinementError::CertRejected { .. }) => {
+                    println!("Certificate REJECTED:\n{e}");
+                    Ok(4)
                 }
                 Err(e) => {
                     println!("Refinement FAILED:\n{e}");

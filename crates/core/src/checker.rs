@@ -4,7 +4,10 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use entangle_egraph::{EGraph, ENode, Extractor, Id, RecExpr, Rewrite, Runner};
+use entangle_cert::{CertError, Certificate, MappingCert};
+use entangle_egraph::{
+    EGraph, ENode, Extractor, Id, Justification, Proof, RecExpr, Rewrite, Runner,
+};
 use entangle_ir::{Graph, Node, NodeId, TensorId};
 use entangle_lemmas::{registry, rewrites_of, TensorAnalysis};
 use entangle_symbolic::SymCtx;
@@ -50,6 +53,17 @@ pub struct CheckOptions {
     /// skip per-operator saturation. Turning this off reproduces the pure
     /// Listing 1–3 pipeline (ablation).
     pub shard_hints: bool,
+    /// Proof-carrying refinement (on by default): extract a rewrite
+    /// [`Certificate`] from the saturation e-graph and re-check it with the
+    /// `entangle-cert` trusted kernel before reporting success. A rejected
+    /// certificate fails the check with [`RefinementError::CertRejected`] —
+    /// the engine found a "proof" the independent kernel could not validate.
+    /// Certification disables the sharding-propagation *hints* (their
+    /// mappings enter the relation without a rewrite derivation, so nothing
+    /// downstream of them could be certified); the propagation pass itself
+    /// still runs for its fail-fast layout diagnostics. Turn off to measure
+    /// the uncertified engine (`bench_cert`'s baseline).
+    pub certify: bool,
 }
 
 impl Default for CheckOptions {
@@ -66,6 +80,7 @@ impl Default for CheckOptions {
             rewrites: None,
             lint: true,
             shard_hints: true,
+            certify: true,
         }
     }
 }
@@ -130,6 +145,11 @@ pub struct CheckOutcome {
     pub lemma_stats: LemmaStats,
     /// Per-operator reports, in processing order.
     pub op_reports: Vec<OpReport>,
+    /// The kernel-accepted rewrite certificate (`None` when
+    /// [`CheckOptions::certify`] is off). By construction this has already
+    /// passed `entangle_cert::verify`; it can be serialized with
+    /// `entangle_cert::to_json` and re-checked out-of-process.
+    pub certificate: Option<Certificate>,
 }
 
 /// Refinement failure: `G_d` does not (provably) refine `G_s`.
@@ -181,6 +201,15 @@ pub enum RefinementError {
         /// The clean mappings that exist but use `G_d` intermediates.
         intermediate_mappings: Vec<String>,
     },
+    /// The saturation engine claimed a refinement, but the extracted
+    /// certificate was refused by the `entangle-cert` trusted kernel. Under
+    /// the paper's assumptions this means an engine bug (or a corrupted
+    /// certificate when re-checking one from disk), never a mere
+    /// incompleteness: the engine said yes and could not prove it.
+    CertRejected {
+        /// The kernel's verdict.
+        error: CertError,
+    },
     /// No clean mapping exists for an operator's output (Listing 1 line 6).
     OperatorUnmapped {
         /// The failing operator's node name.
@@ -229,6 +258,12 @@ impl fmt::Display for RefinementError {
             }
             RefinementError::MissingInputMapping { tensor } => {
                 write!(f, "input relation has no mapping for G_s input {tensor:?}")
+            }
+            RefinementError::CertRejected { error } => {
+                write!(
+                    f,
+                    "the trusted kernel refused the refinement certificate: {error}"
+                )
             }
             RefinementError::OutputUnmapped {
                 tensor,
@@ -343,9 +378,17 @@ pub fn check_refinement(
     }
     // Abstract sharding propagation (entangle-shard): localize provable
     // layout violations before any e-graph exists, and harvest proven
-    // layouts as per-operator relation hints.
+    // layouts as per-operator relation hints. Certification keeps the
+    // fail-fast diagnostics but drops the hints: a hinted mapping enters
+    // the relation without a rewrite derivation, so neither it nor anything
+    // derived from it could be certified.
     let hinted: HashMap<TensorId, Vec<RecExpr>> = if opts.shard_hints {
-        shard_pass(gs, gd, ri, &opts.clean)?
+        let hints = shard_pass(gs, gd, ri, &opts.clean)?;
+        if opts.certify {
+            HashMap::new()
+        } else {
+            hints
+        }
     } else {
         HashMap::new()
     };
@@ -354,6 +397,17 @@ pub fn check_refinement(
         .rewrites
         .clone()
         .unwrap_or_else(|| rewrites_of(&registry()));
+
+    let mut certificate = opts.certify.then(|| Certificate {
+        gs: gs.name().to_owned(),
+        gd: gd.name().to_owned(),
+        inputs: ri
+            .iter()
+            .map(|(t, exprs)| (gs.tensor(t).name.clone(), exprs.to_vec()))
+            .collect(),
+        mappings: Vec::new(),
+        outputs: Vec::new(),
+    });
 
     let mut relation = ri.clone();
     let mut stats = LemmaStats::default();
@@ -411,6 +465,15 @@ pub fn check_refinement(
             continue;
         }
 
+        // The inputs' first mappings, in operator order: the saturation base
+        // term applies the operator to exactly these (see node_out_rel step
+        // 1), so they are what a mapping certificate must record.
+        let first_inputs: Vec<RecExpr> = node
+            .inputs
+            .iter()
+            .filter_map(|&t| relation.mappings(t).and_then(<[RecExpr]>::first).cloned())
+            .collect();
+
         let attempt = match &mut shared {
             Some(eg) => {
                 let m = node_out_rel(
@@ -447,7 +510,22 @@ pub fn check_refinement(
             }
             Err(e) => return Err(e),
         };
-        for expr in mappings {
+        for (expr, proof) in mappings {
+            if let Some(c) = &mut certificate {
+                let proof = proof.ok_or_else(|| RefinementError::CertRejected {
+                    error: CertError::Rejected {
+                        tensor: gs.tensor(node.output).name.clone(),
+                        reason: format!("the engine could not extract a rewrite chain for {expr}"),
+                    },
+                })?;
+                c.mappings.push(MappingCert {
+                    tensor: gs.tensor(node.output).name.clone(),
+                    operator: node.name.clone(),
+                    inputs: first_inputs.clone(),
+                    expr: expr.clone(),
+                    proof,
+                });
+            }
             relation.insert(node.output, expr);
         }
         for expr in hint_exprs {
@@ -495,11 +573,27 @@ pub fn check_refinement(
         }
     }
 
+    // Proof-carrying refinement: hand the assembled certificate to the
+    // independent trusted kernel. Only a kernel-accepted derivation counts
+    // as a verified refinement.
+    if let Some(c) = &mut certificate {
+        c.outputs = output_relation
+            .iter()
+            .flat_map(|(t, exprs)| {
+                let name = gs.tensor(t).name.clone();
+                exprs.iter().map(move |e| (name.clone(), e.clone()))
+            })
+            .collect();
+        entangle_cert::verify(c, gs, gd, &rewrites, &opts.sym_ctx)
+            .map_err(|error| RefinementError::CertRejected { error })?;
+    }
+
     Ok(CheckOutcome {
         output_relation,
         full_relation: relation,
         lemma_stats: stats,
         op_reports,
+        certificate,
     })
 }
 
@@ -562,6 +656,11 @@ fn fresh_egraph(gd: &Graph, opts: &CheckOptions) -> EGraph<TensorAnalysis> {
 
 /// Computes the clean output relation for one `G_s` operator (Listing 2,
 /// with the Listing 3 frontier when `frontier` is true).
+///
+/// Each returned mapping is paired with the rewrite [`Proof`] connecting it
+/// to the operator's encoded base term when [`CheckOptions::certify`] is on
+/// (`None` otherwise, and in the never-observed case where the explanation
+/// machinery finds no path — the caller turns that into a rejection).
 #[allow(clippy::too_many_arguments)]
 fn node_out_rel(
     gs: &Graph,
@@ -573,7 +672,7 @@ fn node_out_rel(
     stats: &mut LemmaStats,
     eg: &mut EGraph<TensorAnalysis>,
     frontier: bool,
-) -> Result<Vec<RecExpr>, RefinementError> {
+) -> Result<Vec<(RecExpr, Option<Proof>)>, RefinementError> {
     let fail = |relation: &Relation| RefinementError::OperatorUnmapped {
         operator: node.name.clone(),
         op: node.op.name().to_owned(),
@@ -607,21 +706,27 @@ fn node_out_rel(
         return Err(fail(relation));
     }
     let mut input_ids: Vec<Id> = Vec::with_capacity(per_input.len());
-    for exprs in &per_input {
+    for (&t, exprs) in node.inputs.iter().zip(&per_input) {
+        // The *first* mapping's id stays the representative (it is
+        // term-faithful, and the certificate records the first mappings as
+        // the operator's inputs); later mappings are unioned into it under
+        // a fact the trusted kernel can re-check against the accepted set.
         let mut rep: Option<Id> = None;
         for e in *exprs {
             let id = eg.add_expr(e);
-            rep = Some(match rep {
-                None => id,
-                Some(prev) => {
+            match rep {
+                None => rep = Some(id),
+                Some(first) => {
                     eg.union_with(
-                        prev,
+                        first,
                         id,
-                        entangle_egraph::Reason::Given("mappings of one tensor".to_owned()),
-                    )
-                    .0
+                        Justification::Given(format!(
+                            "mappings of G_s tensor {}",
+                            gs.tensor(t).name
+                        )),
+                    );
                 }
-            });
+            }
         }
         input_ids.push(rep.expect("non-empty mapping list"));
     }
@@ -707,7 +812,19 @@ fn node_out_rel(
     if variants.is_empty() {
         return Err(fail(relation));
     }
-    Ok(variants)
+    if !opts.certify {
+        return Ok(variants.into_iter().map(|e| (e, None)).collect());
+    }
+    // Proof extraction: re-adding a variant yields its term-faithful id, and
+    // the explanation forest connects it to the encoded base term.
+    Ok(variants
+        .into_iter()
+        .map(|expr| {
+            let vid = eg.add_expr(&expr);
+            let proof = eg.explain_equivalence(base, vid);
+            (expr, proof)
+        })
+        .collect())
 }
 
 /// Extracts up to `max` distinct clean expressions from a class, simplest

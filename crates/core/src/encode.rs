@@ -163,7 +163,7 @@ pub fn encode_node(eg: &mut EGraph<TensorAnalysis>, gd: &entangle_ir::Graph, nod
     let (root, _) = eg.union_with(
         out_leaf,
         app,
-        entangle_egraph::Reason::Given(format!("G_d definition of {}", node.name)),
+        entangle_egraph::Justification::Given(format!("G_d definition of {}", node.name)),
     );
     root
 }

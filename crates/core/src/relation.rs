@@ -1,6 +1,6 @@
 //! Relations: sets of (tensor, clean-expression) mappings (§3.2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use entangle_egraph::RecExpr;
@@ -15,9 +15,13 @@ use entangle_lemmas::{decode_op, Meta};
 ///
 /// Built through [`Relation::builder`], which validates each expression's
 /// shape against the `G_s` tensor it maps.
+///
+/// Entries are kept ordered by `G_s` tensor id (and mappings in insertion
+/// order), so iteration — and everything rendered from it, including the
+/// JSON certificate interchange — is deterministic and byte-stable.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
-    map: HashMap<TensorId, Vec<RecExpr>>,
+    map: BTreeMap<TensorId, Vec<RecExpr>>,
 }
 
 impl Relation {
@@ -63,7 +67,7 @@ impl Relation {
         self.map.is_empty()
     }
 
-    /// Iterates over `(tensor, expressions)` pairs.
+    /// Iterates over `(tensor, expressions)` pairs, ordered by tensor id.
     pub fn iter(&self) -> impl Iterator<Item = (TensorId, &[RecExpr])> {
         self.map.iter().map(|(t, e)| (*t, e.as_slice()))
     }
@@ -88,9 +92,7 @@ pub struct RelationDisplay<'a> {
 
 impl fmt::Display for RelationDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut entries: Vec<_> = self.rel.map.iter().collect();
-        entries.sort_by_key(|(t, _)| t.0);
-        for (t, exprs) in entries {
+        for (t, exprs) in &self.rel.map {
             let name = &self.gs.tensor(*t).name;
             for e in exprs {
                 writeln!(f, "  {name} -> {e}")?;

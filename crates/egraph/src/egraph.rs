@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use crate::explain::{ProofForest, Reason};
+use crate::explain::{Justification, Proof, ProofGraph, ProofStep};
 use crate::node::{ENode, RecExpr};
 use crate::symbol::Symbol;
 use crate::unionfind::{Id, UnionFind};
@@ -106,8 +106,18 @@ pub struct EGraph<A: Analysis> {
     /// Operator symbols ever added (presence index for search prefiltering;
     /// never shrinks, which only costs precision, not correctness).
     op_index: HashSet<Symbol>,
-    /// Why unions happened (the proof forest behind [`EGraph::explain`]).
-    proof: ProofForest,
+    /// Why unions happened (the proof graph behind [`EGraph::explain`] and
+    /// [`EGraph::explain_equivalence`]).
+    proof: ProofGraph,
+    /// The exact node each id was created with (children as passed), making
+    /// every id *term faithful*: [`EGraph::term_of`] reconstructs the
+    /// literal term a caller built. Indexed by `Id`.
+    orig: Vec<ENode>,
+    /// Node form → a term-faithful id carrying exactly that form. Unlike
+    /// `memo` (which only holds currently-canonical forms) this index never
+    /// drops entries; it dedupes the alias ids that bridge uncanonical
+    /// forms to their class.
+    orig_memo: HashMap<ENode, Id>,
     /// User context available to analyses and conditions.
     pub analysis: A,
 }
@@ -129,7 +139,9 @@ impl<A: Analysis> EGraph<A> {
             analysis_pending: Vec::new(),
             union_count: 0,
             op_index: HashSet::new(),
-            proof: ProofForest::default(),
+            proof: ProofGraph::default(),
+            orig: Vec::new(),
+            orig_memo: HashMap::new(),
             analysis,
         }
     }
@@ -171,37 +183,79 @@ impl<A: Analysis> EGraph<A> {
         self.classes.keys().copied().collect()
     }
 
-    /// Adds a node (hash-consed) and returns its class.
+    /// Adds a node (hash-consed) and returns a *term-faithful* id: the
+    /// returned id's recorded term ([`EGraph::term_of`]) is exactly the
+    /// node passed, with each child expanded to its own recorded term.
+    /// When the node's children are not canonical (or hash-consing lands
+    /// on a class whose representative differs), a fresh alias id is
+    /// minted and bridged to the class by a congruence proof edge, so
+    /// explanations can start and end at literal caller-built terms.
     pub fn add(&mut self, enode: ENode) -> Id {
-        let enode = enode.map_children(|c| self.find(c));
-        if let Some(&id) = self.memo.get(&enode) {
-            return self.find(id);
+        let canonical = enode.map_children(|c| self.find(c));
+        if let Some(&id) = self.memo.get(&canonical) {
+            debug_assert_eq!(
+                self.orig[id.index()],
+                canonical,
+                "memo values are term-faithful"
+            );
+            return self.faithful(enode, &canonical, id);
         }
         let id = self.unionfind.make_set();
         self.proof.make_set();
-        if let ENode::Op(sym, ch) = &enode {
+        self.orig.push(canonical.clone());
+        self.orig_memo.entry(canonical.clone()).or_insert(id);
+        if let ENode::Op(sym, ch) = &canonical {
             if !ch.is_empty() {
                 self.op_index.insert(*sym);
             }
         }
-        let data = A::make(self, &enode);
+        let data = A::make(self, &canonical);
         let class = EClass {
             id,
-            nodes: vec![enode.clone()],
+            nodes: vec![canonical.clone()],
             data,
             parents: Vec::new(),
         };
-        for &child in enode.children() {
+        for &child in canonical.children() {
             self.classes
                 .get_mut(&child)
                 .expect("child class must exist")
                 .parents
-                .push((enode.clone(), id));
+                .push((canonical.clone(), id));
         }
         self.classes.insert(id, class);
-        self.memo.insert(enode, id);
+        self.memo.insert(canonical.clone(), id);
         A::modify(self, id);
-        id
+        self.faithful(enode, &canonical, id)
+    }
+
+    /// Returns a term-faithful id for `enode` given `id`, faithful for its
+    /// canonicalization `canonical`.
+    fn faithful(&mut self, enode: ENode, canonical: &ENode, id: Id) -> Id {
+        if enode == *canonical {
+            id
+        } else {
+            self.alias(enode, id)
+        }
+    }
+
+    /// Mints (or reuses) an id whose recorded term is exactly `node`,
+    /// equal to `target` by a congruence proof edge. The alias joins
+    /// `target`'s union-find class but owns no [`EClass`]; it exists only
+    /// as a proof endpoint.
+    fn alias(&mut self, node: ENode, target: Id) -> Id {
+        if let Some(&a) = self.orig_memo.get(&node) {
+            if self.find(a) == self.find(target) {
+                return a;
+            }
+        }
+        let a = self.unionfind.make_set();
+        self.proof.make_set();
+        self.orig.push(node.clone());
+        self.proof.union(target, a, Justification::Congruence);
+        self.unionfind.union(target, a);
+        self.orig_memo.insert(node, a);
+        a
     }
 
     /// Adds every node of a [`RecExpr`], returning the root's class.
@@ -267,19 +321,21 @@ impl<A: Analysis> EGraph<A> {
     ///
     /// Invariants are *not* restored until [`EGraph::rebuild`] is called.
     pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
-        self.union_with(a, b, Reason::Given("union".to_owned()))
+        self.union_with(a, b, Justification::Given("union".to_owned()))
     }
 
     /// Like [`EGraph::union`], recording why the classes are equal; the
-    /// reason is replayed by [`EGraph::explain`].
-    pub fn union_with(&mut self, a: Id, b: Id, reason: Reason) -> (Id, bool) {
+    /// justification is replayed by [`EGraph::explain`] and
+    /// [`EGraph::explain_equivalence`]. The proof edge connects the ids
+    /// *as passed* (term-faithful endpoints), not their class roots.
+    pub fn union_with(&mut self, a: Id, b: Id, why: Justification) -> (Id, bool) {
         let (oa, ob) = (a, b);
         let a = self.find(a);
         let b = self.find(b);
         if a == b {
             return (a, false);
         }
-        self.proof.union(oa, ob, reason);
+        self.proof.union(oa, ob, why);
         self.union_count += 1;
         // Union by parent-list size: keep the bigger class as root so fewer
         // parent links need to move.
@@ -339,22 +395,39 @@ impl<A: Analysis> EGraph<A> {
         for (pnode, _) in &parents {
             self.memo.remove(pnode);
         }
-        // Second pass: re-canonicalize, detect congruent duplicates.
+        // Second pass: re-canonicalize, detect congruent duplicates. The
+        // stored `pid` is the term-faithful id recorded for `pnode`
+        // (`orig[pid] == pnode`), so every congruence union here connects
+        // two same-operator nodes whose children were already equivalent —
+        // exactly what a proof checker can validate. `seen` maps each
+        // canonical form to a faithful id for that form, preserving the
+        // memo invariant that memo values are term-faithful.
         let mut seen: HashMap<ENode, Id> = HashMap::with_capacity(parents.len());
         for (pnode, pid) in parents {
             let canonical = pnode.map_children(|c| self.find(c));
-            let pid = self.find(pid);
             if let Some(&existing) = seen.get(&canonical) {
-                let (_, _) = self.union_with(existing, pid, Reason::Congruence);
-            } else if let Some(&memo_id) = self.memo.get(&canonical) {
-                let memo_id = self.find(memo_id);
-                if memo_id != pid {
-                    let (_, _) = self.union_with(memo_id, pid, Reason::Congruence);
+                if self.find(existing) != self.find(pid) {
+                    self.union_with(existing, pid, Justification::Congruence);
                 }
-                seen.insert(canonical, self.find(pid));
-            } else {
+            } else if let Some(&memo_id) = self.memo.get(&canonical) {
+                debug_assert_eq!(
+                    self.orig[memo_id.index()],
+                    canonical,
+                    "memo values are term-faithful"
+                );
+                if self.find(memo_id) != self.find(pid) {
+                    self.union_with(memo_id, pid, Justification::Congruence);
+                }
+                seen.insert(canonical, memo_id);
+            } else if pnode == canonical {
                 self.memo.insert(canonical.clone(), pid);
                 seen.insert(canonical, pid);
+            } else {
+                // `pid`'s exact form went stale; mint a faithful id for
+                // the canonical form, bridged by a congruence edge.
+                let fid = self.alias(canonical.clone(), pid);
+                self.memo.insert(canonical.clone(), fid);
+                seen.insert(canonical, fid);
             }
         }
         let id = self.find(id);
@@ -413,14 +486,36 @@ impl<A: Analysis> EGraph<A> {
         })
     }
 
-    /// Explains why two ids are equivalent: the chain of union reasons
-    /// (lemma names, congruence steps, caller-given facts) connecting them.
-    /// Returns `None` when the ids were never proven equal.
+    /// The literal term recorded for `id`: each id remembers the exact
+    /// node it was created with, so this reconstructs what the caller
+    /// built, independent of later unions. Shared subterms share slots.
+    pub fn term_of(&self, id: Id) -> RecExpr {
+        let mut out = RecExpr::default();
+        let mut slots: HashMap<Id, Id> = HashMap::new();
+        self.term_into(id, &mut out, &mut slots);
+        out
+    }
+
+    fn term_into(&self, id: Id, out: &mut RecExpr, slots: &mut HashMap<Id, Id>) -> Id {
+        if let Some(&slot) = slots.get(&id) {
+            return slot;
+        }
+        let node = self.orig[id.index()].map_children(|c| self.term_into(c, out, slots));
+        let slot = out.add(node);
+        slots.insert(id, slot);
+        slot
+    }
+
+    /// Explains why two ids are equivalent: the chain of union
+    /// justifications (lemma names, congruence steps, caller-given facts)
+    /// connecting them. Returns `None` when the ids were never proven
+    /// equal. For full term-level proofs see
+    /// [`EGraph::explain_equivalence`].
     ///
     /// # Examples
     ///
     /// ```
-    /// use entangle_egraph::{EGraph, RecExpr, Reason, Rewrite, Runner};
+    /// use entangle_egraph::{EGraph, Justification, RecExpr, Rewrite, Runner};
     ///
     /// let rw: Rewrite<()> = Rewrite::parse("add-zero", "(add ?x 0)", "?x").unwrap();
     /// let mut eg = EGraph::<()>::default();
@@ -429,13 +524,85 @@ impl<A: Analysis> EGraph<A> {
     /// let mut runner = Runner::new(eg);
     /// runner.run(&[rw]);
     /// let reasons = runner.egraph.explain(l, r).unwrap();
-    /// assert!(reasons.contains(&Reason::Rule("add-zero".to_owned())));
+    /// assert!(reasons
+    ///     .iter()
+    ///     .any(|j| matches!(j, Justification::Rule { name, .. } if name == "add-zero")));
     /// ```
-    pub fn explain(&self, a: Id, b: Id) -> Option<Vec<Reason>> {
+    pub fn explain(&self, a: Id, b: Id) -> Option<Vec<Justification>> {
         if self.find(a) != self.find(b) {
             return None;
         }
-        self.proof.explain(a, b)
+        let path = self.proof.path(a, b, self.proof.num_edges())?;
+        Some(
+            path.iter()
+                .map(|&(ei, _)| self.proof.edge(ei).2.clone())
+                .collect(),
+        )
+    }
+
+    /// Produces a step-by-step term-level [`Proof`] that `a ≡ b`: a chain
+    /// of equations starting at [`EGraph::term_of`]`(a)` and ending at
+    /// `term_of(b)`, each justified by a lemma application (with its
+    /// substitution), a congruence step carrying per-child sub-proofs, or
+    /// a caller-given fact. Returns `None` when the ids were never proven
+    /// equal. The proof references no e-graph state, so an independent
+    /// checker can validate it by term rewriting alone.
+    pub fn explain_equivalence(&self, a: Id, b: Id) -> Option<Proof> {
+        if self.find(a) != self.find(b) {
+            return None;
+        }
+        Some(self.explain_path(a, b, self.proof.num_edges()))
+    }
+
+    fn explain_path(&self, a: Id, b: Id, limit: usize) -> Proof {
+        let path = self
+            .proof
+            .path(a, b, limit)
+            .expect("equivalent ids are edge-connected");
+        let mut steps = Vec::with_capacity(path.len());
+        for (ei, fwd) in path {
+            let (x, y, why) = self.proof.edge(ei);
+            let (from, to) = if fwd { (x, y) } else { (y, x) };
+            let before = self.term_of(from);
+            let after = self.term_of(to);
+            let step = match why {
+                Justification::Rule { name, subst } => ProofStep::Rule {
+                    name: name.clone(),
+                    // The recorded edge runs LHS-instantiation → RHS; a
+                    // backwards traversal applies the lemma right-to-left.
+                    forward: fwd,
+                    subst: subst
+                        .iter()
+                        .map(|(v, id)| (v.as_str().to_owned(), self.term_of(id)))
+                        .collect(),
+                    before,
+                    after,
+                },
+                Justification::Congruence => {
+                    let nf = self.orig[from.index()].clone();
+                    let nt = self.orig[to.index()].clone();
+                    debug_assert_eq!(nf.children().len(), nt.children().len());
+                    let children = nf
+                        .children()
+                        .iter()
+                        .zip(nt.children())
+                        .map(|(&ca, &cb)| self.explain_path(ca, cb, ei))
+                        .collect();
+                    ProofStep::Congruence {
+                        before,
+                        after,
+                        children,
+                    }
+                }
+                Justification::Given(fact) => ProofStep::Given {
+                    fact: fact.clone(),
+                    before,
+                    after,
+                },
+            };
+            steps.push(step);
+        }
+        Proof { steps }
     }
 
     /// Checks whether two expressions are currently known equivalent.

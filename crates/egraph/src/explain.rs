@@ -1,24 +1,41 @@
-//! Explanations: a proof forest recording *why* classes were unioned.
+//! Explanations: a proof graph recording *why* classes were unioned, and
+//! term-level proof extraction for certificate checking.
 //!
 //! Equality saturation proves `a ≡ b` as a by-product of many small unions.
 //! The paper leans on the resulting relation being "a certificate of
-//! soundness" (§3.3); this module makes the certificate inspectable: every
-//! union carries a [`Reason`] (the lemma that fired, congruence during
-//! rebuilding, or a caller-supplied fact), and [`crate::EGraph::explain`]
-//! returns the chain of reasons connecting two ids.
+//! soundness" (§3.3); this module makes the certificate *checkable*: every
+//! state-changing union carries a [`Justification`] (the lemma that fired
+//! together with its substitution, congruence during rebuilding, or a
+//! caller-supplied fact), and [`crate::EGraph::explain_equivalence`]
+//! extracts a step-by-step [`Proof`] connecting two concrete terms that an
+//! engine-independent kernel (`entangle-cert`) can re-check.
 //!
-//! The implementation is the classic *proof forest* (as in egg's
-//! explanations): an undirected tree per equivalence class, maintained by
-//! re-rooting one side on each union, so any two equivalent ids are
-//! connected by exactly one path.
+//! The implementation is an append-only labeled edge list over *term
+//! faithful* ids (ids whose creation node is recorded verbatim by the
+//! e-graph, see `EGraph::term_of`). Ids in one union-find class are always
+//! connected, so a breadth-first search finds a justification path.
+//! Congruence edges recurse into per-child sub-proofs; restricting the
+//! search to edges *older* than the congruence edge guarantees termination,
+//! because the children were already equivalent when the edge was recorded.
 
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use crate::node::RecExpr;
+use crate::pattern::Subst;
 use crate::unionfind::Id;
 
 /// Why a union happened.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Reason {
-    /// A rewrite rule (lemma) fired; carries the rule name.
-    Rule(String),
+#[derive(Debug, Clone, PartialEq)]
+pub enum Justification {
+    /// A rewrite rule (lemma) fired; carries the rule name and the pattern
+    /// substitution it fired under.
+    Rule {
+        /// The rewrite's registered name (a stable lemma id).
+        name: String,
+        /// The match bindings the rule fired under.
+        subst: Subst,
+    },
     /// Congruence closure during rebuilding: equal children imply equal
     /// applications.
     Congruence,
@@ -27,82 +44,204 @@ pub enum Reason {
     Given(String),
 }
 
-impl std::fmt::Display for Reason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Display for Justification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Reason::Rule(name) => write!(f, "lemma {name}"),
-            Reason::Congruence => write!(f, "congruence"),
-            Reason::Given(what) => write!(f, "given: {what}"),
+            Justification::Rule { name, .. } => write!(f, "lemma {name}"),
+            Justification::Congruence => write!(f, "congruence"),
+            Justification::Given(what) => write!(f, "given: {what}"),
         }
     }
 }
 
-/// The proof forest: `parent[i]` is the edge from `i` toward its tree root,
-/// labeled with the union's reason.
+/// One step of a [`Proof`]: an equation between two concrete terms together
+/// with its justification. `before` and `after` are full terms; a checker
+/// needs no e-graph state to validate a step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProofStep {
+    /// `before` rewrites to `after` by the named lemma. `forward` is
+    /// `false` when the lemma was traversed right-to-left; `subst` renders
+    /// the recorded pattern substitution as terms (variable name, without
+    /// the `?`, paired with the bound subterm).
+    Rule {
+        /// The lemma's registered name.
+        name: String,
+        /// `true` for LHS→RHS, `false` for RHS→LHS.
+        forward: bool,
+        /// The substitution the lemma fired under, as terms.
+        subst: Vec<(String, RecExpr)>,
+        /// The term before this step.
+        before: RecExpr,
+        /// The term after this step.
+        after: RecExpr,
+    },
+    /// The same operator applied to pairwise-equal arguments;
+    /// `children[i]` proves the i-th argument pair equal.
+    Congruence {
+        /// The term before this step.
+        before: RecExpr,
+        /// The term after this step.
+        after: RecExpr,
+        /// Sub-proofs, one per argument position.
+        children: Vec<Proof>,
+    },
+    /// A caller-supplied fact; the checker decides which facts it trusts.
+    Given {
+        /// The fact string recorded at union time.
+        fact: String,
+        /// The term before this step.
+        before: RecExpr,
+        /// The term after this step.
+        after: RecExpr,
+    },
+}
+
+impl ProofStep {
+    /// The term on the left of this step's equation.
+    pub fn before(&self) -> &RecExpr {
+        match self {
+            ProofStep::Rule { before, .. }
+            | ProofStep::Congruence { before, .. }
+            | ProofStep::Given { before, .. } => before,
+        }
+    }
+
+    /// The term on the right of this step's equation.
+    pub fn after(&self) -> &RecExpr {
+        match self {
+            ProofStep::Rule { after, .. }
+            | ProofStep::Congruence { after, .. }
+            | ProofStep::Given { after, .. } => after,
+        }
+    }
+}
+
+/// A step-by-step rewrite chain connecting two terms: step `k`'s `after`
+/// equals step `k+1`'s `before`. Produced by
+/// [`crate::EGraph::explain_equivalence`]; re-checked by the
+/// `entangle-cert` trusted kernel.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Proof {
+    /// The chain of steps, in order.
+    pub steps: Vec<ProofStep>,
+}
+
+impl Proof {
+    /// Number of top-level steps (an empty proof states reflexivity).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the proof is the trivial reflexivity chain.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total step count including congruence sub-proofs.
+    pub fn size(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                ProofStep::Congruence { children, .. } => {
+                    1 + children.iter().map(Proof::size).sum::<usize>()
+                }
+                _ => 1,
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Proof {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i == 0 {
+                writeln!(f, "  {}", step.before())?;
+            }
+            let why = match step {
+                ProofStep::Rule { name, forward, .. } => {
+                    format!("lemma {name}{}", if *forward { "" } else { " (reversed)" })
+                }
+                ProofStep::Congruence { .. } => "congruence".to_owned(),
+                ProofStep::Given { fact, .. } => format!("given: {fact}"),
+            };
+            writeln!(f, "    ≡ [{why}]")?;
+            writeln!(f, "  {}", step.after())?;
+        }
+        Ok(())
+    }
+}
+
+/// The proof graph: an append-only list of labeled undirected edges between
+/// term-faithful ids. Every state-changing union (and every alias bridging
+/// an uncanonical node form to its class) records one edge, so ids in one
+/// union-find class are always edge-connected.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct ProofForest {
-    parent: Vec<Option<(Id, Reason)>>,
+pub(crate) struct ProofGraph {
+    edges: Vec<(Id, Id, Justification)>,
+    /// Edge indices incident to each id.
+    adj: Vec<Vec<usize>>,
 }
 
-impl ProofForest {
+impl ProofGraph {
     pub(crate) fn make_set(&mut self) {
-        self.parent.push(None);
+        self.adj.push(Vec::new());
     }
 
-    /// Records the union of (original, pre-canonical) ids `a` and `b`:
-    /// re-roots `b`'s tree at `b`, then hangs it under `a`.
-    pub(crate) fn union(&mut self, a: Id, b: Id, reason: Reason) {
-        self.reroot(b);
-        debug_assert!(self.parent[b.index()].is_none());
-        self.parent[b.index()] = Some((a, reason));
-    }
-
-    /// Makes `x` the root of its tree by reversing the edges on its
-    /// root-path.
-    fn reroot(&mut self, x: Id) {
-        // Collect the path x -> root.
-        let mut path = vec![x];
-        while let Some((p, _)) = &self.parent[path.last().unwrap().index()] {
-            path.push(*p);
+    pub(crate) fn union(&mut self, a: Id, b: Id, why: Justification) {
+        let idx = self.edges.len();
+        self.adj[a.index()].push(idx);
+        if b != a {
+            self.adj[b.index()].push(idx);
         }
-        // Reverse each edge along the path.
-        for w in path.windows(2) {
-            let (child, parent) = (w[0], w[1]);
-            let (_, reason) = self.parent[child.index()].take().expect("edge exists");
-            self.parent[parent.index()] = Some((child, reason));
-        }
+        self.edges.push((a, b, why));
     }
 
-    fn path_to_root(&self, mut x: Id) -> Vec<(Id, Option<Reason>)> {
-        let mut path = vec![(x, None)];
-        while let Some((p, r)) = &self.parent[x.index()] {
-            path.push((*p, Some(r.clone())));
-            x = *p;
-        }
-        path
+    pub(crate) fn num_edges(&self) -> usize {
+        self.edges.len()
     }
 
-    /// The reasons along the unique path between `a` and `b`, if they are
-    /// in the same tree.
-    pub(crate) fn explain(&self, a: Id, b: Id) -> Option<Vec<Reason>> {
+    pub(crate) fn edge(&self, i: usize) -> (Id, Id, &Justification) {
+        let (a, b, ref j) = self.edges[i];
+        (a, b, j)
+    }
+
+    /// Shortest path `a → b` using only edges with index `< limit`, as
+    /// `(edge index, forward?)` steps. Congruence sub-proofs recurse with
+    /// the congruence edge's own index as the limit: the children were
+    /// already equivalent when that edge was recorded, so an all-older
+    /// path exists and the limit strictly decreases.
+    pub(crate) fn path(&self, a: Id, b: Id, limit: usize) -> Option<Vec<(usize, bool)>> {
         if a == b {
             return Some(Vec::new());
         }
-        let pa = self.path_to_root(a);
-        let pb = self.path_to_root(b);
-        if pa.last().map(|(id, _)| *id) != pb.last().map(|(id, _)| *id) {
-            return None; // different trees: never unioned
+        let mut prev: HashMap<Id, (Id, usize, bool)> = HashMap::new();
+        prev.insert(a, (a, usize::MAX, true));
+        let mut queue = VecDeque::from([a]);
+        while let Some(u) = queue.pop_front() {
+            for &ei in &self.adj[u.index()] {
+                if ei >= limit {
+                    continue;
+                }
+                let (x, y, _) = self.edges[ei];
+                let (v, forward) = if x == u { (y, true) } else { (x, false) };
+                if prev.contains_key(&v) {
+                    continue;
+                }
+                prev.insert(v, (u, ei, forward));
+                if v == b {
+                    let mut steps = Vec::new();
+                    let mut cur = b;
+                    while cur != a {
+                        let (p, ei, fwd) = prev[&cur];
+                        steps.push((ei, fwd));
+                        cur = p;
+                    }
+                    steps.reverse();
+                    return Some(steps);
+                }
+                queue.push_back(v);
+            }
         }
-        // Trim the common suffix (paths share the tail up to the LCA).
-        let mut ia = pa.len();
-        let mut ib = pb.len();
-        while ia > 1 && ib > 1 && pa[ia - 2].0 == pb[ib - 2].0 {
-            ia -= 1;
-            ib -= 1;
-        }
-        // a -> LCA reasons, then LCA -> b reasons (reversed side).
-        let mut reasons: Vec<Reason> = pa[1..ia].iter().filter_map(|(_, r)| r.clone()).collect();
-        reasons.extend(pb[1..ib].iter().rev().filter_map(|(_, r)| r.clone()));
-        Some(reasons)
+        None
     }
 }

@@ -58,7 +58,7 @@ mod symbol;
 mod unionfind;
 
 pub use egraph::{Analysis, EClass, EGraph};
-pub use explain::Reason;
+pub use explain::{Justification, Proof, ProofStep};
 pub use extract::{AstSize, CostFunction, Extractor};
 pub use node::{ENode, ParseExprError, RecExpr};
 pub use pattern::{Pattern, PatternAst, SearchMatches, Subst, Var};

@@ -63,6 +63,10 @@ pub struct Rewrite<A: Analysis> {
     searcher: Pattern,
     condition: Option<Condition<A>>,
     applier: Arc<dyn Applier<A>>,
+    /// The right-hand side as a pattern, when the applier is one (universal
+    /// and conditioned lemmas); `None` for dynamic appliers. Lets proof
+    /// checkers validate rule steps by pure pattern matching.
+    rhs: Option<Pattern>,
 }
 
 impl<A: Analysis> Clone for Rewrite<A> {
@@ -72,6 +76,7 @@ impl<A: Analysis> Clone for Rewrite<A> {
             searcher: self.searcher.clone(),
             condition: self.condition.clone(),
             applier: self.applier.clone(),
+            rhs: self.rhs.clone(),
         }
     }
 }
@@ -104,6 +109,7 @@ impl<A: Analysis> Rewrite<A> {
             name: name.to_owned(),
             searcher,
             condition: None,
+            rhs: Some(applier.clone()),
             applier: Arc::new(applier),
         })
     }
@@ -132,6 +138,7 @@ impl<A: Analysis> Rewrite<A> {
             name: name.to_owned(),
             searcher: lhs.parse()?,
             condition: None,
+            rhs: None,
             applier: Arc::new(DynApplier {
                 f: Arc::new(applier),
             }),
@@ -155,6 +162,17 @@ impl<A: Analysis> Rewrite<A> {
     /// The left-hand-side pattern.
     pub fn searcher(&self) -> &Pattern {
         &self.searcher
+    }
+
+    /// The right-hand side as a pattern, when the applier is one (`None`
+    /// for dynamic appliers).
+    pub fn rhs(&self) -> Option<&Pattern> {
+        self.rhs.as_ref()
+    }
+
+    /// `true` when the rewrite is gated by a side condition.
+    pub fn has_condition(&self) -> bool {
+        self.condition.is_some()
     }
 
     /// Searches the e-graph for matches of the left-hand side.
@@ -198,11 +216,26 @@ impl<A: Analysis> Rewrite<A> {
                         continue;
                     }
                 }
-                for id in self.applier.apply_one(egraph, m.eclass, subst) {
+                let produced = self.applier.apply_one(egraph, m.eclass, subst);
+                if produced.is_empty() {
+                    continue;
+                }
+                // Union each produced id with the *instantiated left-hand
+                // side* rather than the matched class id: both endpoints
+                // are then term-faithful (the LHS instantiation is the
+                // literal term the lemma matched, modulo canonical
+                // bindings), which is what proof extraction needs. The
+                // instantiation lands in `m.eclass`'s class, so the unions
+                // are semantically identical.
+                let lhs = self.searcher.ast().instantiate(egraph, subst);
+                for id in produced {
                     let (_, did) = egraph.union_with(
-                        m.eclass,
+                        lhs,
                         id,
-                        crate::explain::Reason::Rule(self.name.clone()),
+                        crate::explain::Justification::Rule {
+                            name: self.name.clone(),
+                            subst: subst.clone(),
+                        },
                     );
                     if did {
                         changed += 1;

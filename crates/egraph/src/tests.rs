@@ -585,8 +585,123 @@ mod explain_tests {
         assert!(!reasons.is_empty());
         assert!(reasons
             .iter()
-            .all(|r| matches!(r, Reason::Rule(_) | Reason::Congruence)));
-        assert!(reasons.contains(&Reason::Rule("mul-one".to_owned())));
+            .all(|r| matches!(r, Justification::Rule { .. } | Justification::Congruence)));
+        assert!(reasons
+            .iter()
+            .any(|r| matches!(r, Justification::Rule { name, .. } if name == "mul-one")));
+    }
+
+    #[test]
+    fn term_of_is_faithful_to_caller_terms() {
+        let mut eg = EGraph::<()>::default();
+        let l = eg.add_expr(&expr("(add q 0)"));
+        assert_eq!(eg.term_of(l).to_string(), "(add q 0)");
+        let rules: Vec<Rewrite<()>> = vec![Rewrite::parse("add-zero", "(add ?x 0)", "?x").unwrap()];
+        let mut runner = Runner::new(eg);
+        runner.run(&rules);
+        // Even after `q` joined the class, the id renders the literal term
+        // it was created with, not a class representative.
+        assert_eq!(runner.egraph.term_of(l).to_string(), "(add q 0)");
+    }
+
+    /// Asserts the proof is a connected chain and returns its endpoints.
+    fn chain_endpoints(proof: &Proof) -> (RecExpr, RecExpr) {
+        assert!(!proof.is_empty());
+        for w in proof.steps.windows(2) {
+            assert_eq!(w[0].after(), w[1].before(), "steps must chain");
+        }
+        for step in &proof.steps {
+            if let ProofStep::Congruence { children, .. } = step {
+                for child in children {
+                    if !child.is_empty() {
+                        chain_endpoints(child);
+                    }
+                }
+            }
+        }
+        (
+            proof.steps.first().unwrap().before().clone(),
+            proof.steps.last().unwrap().after().clone(),
+        )
+    }
+
+    #[test]
+    fn explain_equivalence_chains_terms() {
+        let rules: Vec<Rewrite<()>> = vec![
+            Rewrite::parse("add-zero", "(add ?x 0)", "?x").unwrap(),
+            Rewrite::parse("mul-one", "(mul ?x 1)", "?x").unwrap(),
+        ];
+        let mut eg = EGraph::<()>::default();
+        let l = eg.add_expr(&expr("(mul (add y 0) 1)"));
+        let r = eg.add_expr(&expr("y"));
+        assert!(eg.explain_equivalence(l, r).is_none(), "not yet proven");
+        let mut runner = Runner::new(eg);
+        runner.run(&rules);
+        let eg = &runner.egraph;
+        let proof = eg.explain_equivalence(l, r).expect("proven");
+        let (start, end) = chain_endpoints(&proof);
+        assert_eq!(start, eg.term_of(l));
+        assert_eq!(end, eg.term_of(r));
+        assert!(proof
+            .steps
+            .iter()
+            .any(|s| matches!(s, ProofStep::Rule { name, .. } if name == "mul-one")));
+    }
+
+    #[test]
+    fn explain_equivalence_congruence_carries_child_proofs() {
+        let rules: Vec<Rewrite<()>> = vec![Rewrite::parse("add-zero", "(add ?x 0)", "?x").unwrap()];
+        let mut eg = EGraph::<()>::default();
+        let l = eg.add_expr(&expr("(f (add y 0))"));
+        let r = eg.add_expr(&expr("(f y)"));
+        let mut runner = Runner::new(eg);
+        runner.run(&rules);
+        let eg = &runner.egraph;
+        let proof = eg.explain_equivalence(l, r).expect("congruent");
+        let (start, end) = chain_endpoints(&proof);
+        assert_eq!(start, eg.term_of(l));
+        assert_eq!(end, eg.term_of(r));
+        // Somewhere in the chain a congruence step must justify the
+        // argument rewrite with a nested add-zero proof.
+        fn has_rule(proof: &Proof, rule: &str) -> bool {
+            proof.steps.iter().any(|s| match s {
+                ProofStep::Rule { name, .. } => name == rule,
+                ProofStep::Congruence { children, .. } => {
+                    children.iter().any(|c| has_rule(c, rule))
+                }
+                _ => false,
+            })
+        }
+        assert!(has_rule(&proof, "add-zero"), "{proof}");
+    }
+
+    #[test]
+    fn explain_equivalence_records_substitutions() {
+        let rules: Vec<Rewrite<()>> =
+            vec![Rewrite::parse("add-comm", "(add ?a ?b)", "(add ?b ?a)").unwrap()];
+        let mut eg = EGraph::<()>::default();
+        let l = eg.add_expr(&expr("(add u v)"));
+        let r = eg.add_expr(&expr("(add v u)"));
+        let mut runner = Runner::new(eg);
+        runner.run(&rules);
+        let proof = runner.egraph.explain_equivalence(l, r).expect("proven");
+        let step = proof
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                ProofStep::Rule { name, subst, .. } if name == "add-comm" => Some(subst),
+                _ => None,
+            })
+            .expect("rule step present");
+        let mut bound: Vec<(&str, String)> = step
+            .iter()
+            .map(|(v, t)| (v.as_str(), t.to_string()))
+            .collect();
+        bound.sort();
+        assert!(
+            bound == [("a", "u".to_owned()), ("b", "v".to_owned())]
+                || bound == [("a", "v".to_owned()), ("b", "u".to_owned())]
+        );
     }
 
     #[test]
@@ -596,10 +711,10 @@ mod explain_tests {
         let y = eg.add(ENode::leaf("y"));
         let fx = eg.add(ENode::op("f", vec![x]));
         let fy = eg.add(ENode::op("f", vec![y]));
-        eg.union_with(x, y, Reason::Given("axiom x=y".to_owned()));
+        eg.union_with(x, y, Justification::Given("axiom x=y".to_owned()));
         eg.rebuild();
         let reasons = eg.explain(fx, fy).expect("congruent");
-        assert!(reasons.contains(&Reason::Congruence), "{reasons:?}");
+        assert!(reasons.contains(&Justification::Congruence), "{reasons:?}");
     }
 
     #[test]
@@ -615,15 +730,15 @@ mod explain_tests {
         let a = eg.add(ENode::leaf("a"));
         let b = eg.add(ENode::leaf("b"));
         let c = eg.add(ENode::leaf("c"));
-        eg.union_with(a, b, Reason::Given("def b".to_owned()));
-        eg.union_with(b, c, Reason::Given("def c".to_owned()));
+        eg.union_with(a, b, Justification::Given("def b".to_owned()));
+        eg.union_with(b, c, Justification::Given("def c".to_owned()));
         eg.rebuild();
         let reasons = eg.explain(a, c).unwrap();
         assert_eq!(
             reasons,
             vec![
-                Reason::Given("def b".to_owned()),
-                Reason::Given("def c".to_owned())
+                Justification::Given("def b".to_owned()),
+                Justification::Given("def c".to_owned())
             ]
         );
     }
@@ -637,7 +752,7 @@ mod explain_tests {
             .collect();
         // Union in a scattered order.
         for (i, j) in [(0, 5), (7, 3), (5, 7), (10, 0), (12, 10), (19, 12), (3, 19)] {
-            eg.union_with(ids[i], ids[j], Reason::Given(format!("{i}-{j}")));
+            eg.union_with(ids[i], ids[j], Justification::Given(format!("{i}-{j}")));
         }
         eg.rebuild();
         for (i, j) in [(0usize, 19usize), (5, 12), (7, 10)] {

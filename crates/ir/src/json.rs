@@ -27,10 +27,14 @@ use crate::shape::{Dim, Shape};
 // JSON value model, parser and printer
 // ---------------------------------------------------------------------------
 
-/// A parsed JSON value. Objects preserve key order; the interchange format
-/// has no floating-point fields, so numbers are `i64`.
+/// A parsed JSON value. Objects preserve key order; the interchange formats
+/// built on it have no floating-point fields, so numbers are `i64`.
+///
+/// Public so sibling crates (e.g. the certificate format in
+/// `entangle-cert`) can share one hand-rolled, dependency-free codec.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+#[allow(missing_docs)]
+pub enum Json {
     Null,
     Bool(bool),
     Int(i64),
@@ -40,7 +44,8 @@ pub(crate) enum Json {
 }
 
 impl Json {
-    fn kind(&self) -> &'static str {
+    /// A short name for the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
         match self {
             Json::Null => "null",
             Json::Bool(_) => "bool",
@@ -51,7 +56,8 @@ impl Json {
         }
     }
 
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    /// Field lookup on objects (`None` for other variants or missing keys).
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -261,7 +267,7 @@ impl<'a> Parser<'a> {
 }
 
 /// Parses one JSON document; trailing garbage is an error.
-pub(crate) fn parse(text: &str) -> Result<Json, String> {
+pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser::new(text);
     let v = p.parse_value()?;
     p.skip_ws();
@@ -349,7 +355,7 @@ fn write_value(out: &mut String, v: &Json, indent: usize) {
 }
 
 /// Pretty-prints a JSON value.
-pub(crate) fn to_string_pretty(v: &Json) -> String {
+pub fn to_string_pretty(v: &Json) -> String {
     let mut out = String::new();
     write_value(&mut out, v, 0);
     out

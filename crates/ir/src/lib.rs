@@ -40,7 +40,7 @@
 mod dtype;
 mod graph;
 mod infer;
-mod json;
+pub mod json;
 pub mod layout;
 mod op;
 mod shape;

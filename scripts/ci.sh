@@ -19,6 +19,19 @@ for gd in examples/graphs/*.gd.json; do
 done
 echo "    7 workloads clean"
 
+echo "==> model-zoo certify sweep (emit certificates, re-check with the trusted kernel)"
+certdir=$(mktemp -d)
+trap 'rm -rf "$certdir"' EXIT
+for gd in examples/graphs/*.gd.json; do
+  base="${gd%.gd.json}"
+  cert="$certdir/$(basename "$base").cert.json"
+  ./target/release/entangle certify "$base.gs.json" "$gd" --maps "$base.maps" --emit "$cert" >/dev/null \
+    || { echo "certify (emit) FAILED on $base"; exit 1; }
+  ./target/release/entangle certify "$base.gs.json" "$gd" --check "$cert" >/dev/null \
+    || { echo "certify (re-check) FAILED on $base"; exit 1; }
+done
+echo "    7 certificates kernel-accepted"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

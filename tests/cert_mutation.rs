@@ -1,0 +1,158 @@
+//! Mutation proptests for the trusted kernel: random single-step
+//! corruptions of a real, kernel-accepted certificate — wrong lemma id,
+//! corrupted substitution, truncated chain, shuffled chain — must all be
+//! rejected. The base certificate comes from GPT under TP2, so the mutated
+//! proofs are the genuine article, not synthetic strawmen.
+
+use std::sync::OnceLock;
+
+use entangle::{check_refinement, CheckOptions};
+use entangle_cert::{exprs_eq, Certificate};
+use entangle_egraph::{Proof, ProofStep, RecExpr};
+use entangle_ir::Graph;
+use entangle_lemmas::{registry, rewrites_of};
+use entangle_models::{gpt, Arch, ModelConfig};
+use entangle_parallel::{parallelize, Strategy};
+use entangle_symbolic::SymCtx;
+use proptest::prelude::*;
+
+fn base() -> &'static (Graph, Graph, Certificate) {
+    static CELL: OnceLock<(Graph, Graph, Certificate)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let cfg = ModelConfig::tiny();
+        let gs = gpt(&cfg);
+        let dist = parallelize(&cfg, Arch::Gpt, &Strategy::tp(2));
+        let ri = dist.relation(&gs).expect("relation builds");
+        let outcome = check_refinement(&gs, &dist.graph, &ri, &CheckOptions::default())
+            .expect("gpt tp2 certifies");
+        let cert = outcome.certificate.expect("certificate emitted");
+        (gs, dist.graph, cert)
+    })
+}
+
+fn kernel_rejects(cert: &Certificate) -> bool {
+    let (gs, gd, _) = base();
+    entangle_cert::verify(cert, gs, gd, &rewrites_of(&registry()), &SymCtx::new()).is_err()
+}
+
+/// `(mapping index, step index)` of every top-level [`ProofStep::Rule`].
+fn rule_positions(cert: &Certificate, need_subst: bool) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (m, mc) in cert.mappings.iter().enumerate() {
+        for (s, step) in mc.proof.steps.iter().enumerate() {
+            if let ProofStep::Rule { subst, .. } = step {
+                if !need_subst || !subst.is_empty() {
+                    out.push((m, s));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic xorshift for building permutations from a proptest seed.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x.max(1);
+    x
+}
+
+/// Does `steps` still form a well-shaped chain with the same endpoints as
+/// `orig`? (Endpoint + adjacency check only; used to discard the rare
+/// shuffle that happens to reconstitute a valid chain.)
+fn still_chains(steps: &[ProofStep], orig: &[ProofStep]) -> bool {
+    exprs_eq(steps[0].before(), orig[0].before())
+        && exprs_eq(steps[steps.len() - 1].after(), orig[orig.len() - 1].after())
+        && steps
+            .windows(2)
+            .all(|w| exprs_eq(w[0].after(), w[1].before()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn unknown_lemma_ids_are_rejected(raw in 0usize..10_000, tag in 0u32..1000) {
+        let (_, _, cert) = base();
+        let rules = rule_positions(cert, false);
+        prop_assert!(!rules.is_empty(), "base certificate has rule steps");
+        let (m, s) = rules[raw % rules.len()];
+        let mut bad = cert.clone();
+        if let ProofStep::Rule { name, .. } = &mut bad.mappings[m].proof.steps[s] {
+            *name = format!("no-such-lemma-{tag}");
+        }
+        prop_assert!(kernel_rejects(&bad), "forged lemma id at mapping {m} step {s}");
+    }
+
+    #[test]
+    fn corrupted_substitutions_are_rejected(raw in 0usize..10_000, bind in 0usize..10_000) {
+        let (_, _, cert) = base();
+        let rules = rule_positions(cert, true);
+        prop_assert!(!rules.is_empty(), "base certificate has rule steps with bindings");
+        let (m, s) = rules[raw % rules.len()];
+        let mut bad = cert.clone();
+        if let ProofStep::Rule { subst, before, after, .. } = &mut bad.mappings[m].proof.steps[s] {
+            let k = bind % subst.len();
+            // Swap the binding for a different subterm of the step: the
+            // kernel re-derives the true bindings by matching and must
+            // notice the disagreement.
+            let replacement: RecExpr = if exprs_eq(&subst[k].1, after) {
+                before.clone()
+            } else {
+                after.clone()
+            };
+            prop_assume!(!exprs_eq(&subst[k].1, &replacement));
+            subst[k].1 = replacement;
+        }
+        prop_assert!(kernel_rejects(&bad), "corrupted binding at mapping {m} step {s}");
+    }
+
+    #[test]
+    fn truncated_chains_are_rejected(raw in 0usize..10_000) {
+        let (_, _, cert) = base();
+        let nonempty: Vec<usize> = cert
+            .mappings
+            .iter()
+            .enumerate()
+            .filter(|(_, mc)| !mc.proof.steps.is_empty())
+            .map(|(m, _)| m)
+            .collect();
+        prop_assert!(!nonempty.is_empty(), "base certificate has nonempty proofs");
+        let m = nonempty[raw % nonempty.len()];
+        let mut bad = cert.clone();
+        let dropped = bad.mappings[m].proof.steps.pop().expect("nonempty");
+        // Dropping a reflexive step would leave the chain intact; real
+        // chains never contain one, but guard the test against it.
+        prop_assume!(!exprs_eq(dropped.before(), dropped.after()));
+        prop_assert!(kernel_rejects(&bad), "truncated chain at mapping {m}");
+    }
+
+    #[test]
+    fn shuffled_chains_are_rejected(raw in 0usize..10_000, seed in 1u64..u64::MAX) {
+        let (_, _, cert) = base();
+        let multi: Vec<usize> = cert
+            .mappings
+            .iter()
+            .enumerate()
+            .filter(|(_, mc)| mc.proof.steps.len() >= 2)
+            .map(|(m, _)| m)
+            .collect();
+        prop_assert!(!multi.is_empty(), "base certificate has multi-step proofs");
+        let m = multi[raw % multi.len()];
+        let mut bad = cert.clone();
+        let steps = &mut bad.mappings[m].proof.steps;
+        let mut state = seed;
+        for i in (1..steps.len()).rev() {
+            let j = (xorshift(&mut state) as usize) % (i + 1);
+            steps.swap(i, j);
+        }
+        // Discard the identity permutation and the (theoretical) shuffle
+        // that still chains end to end.
+        let orig: &Proof = &cert.mappings[m].proof;
+        prop_assume!(!still_chains(steps, &orig.steps));
+        prop_assert!(kernel_rejects(&bad), "shuffled chain at mapping {m}");
+    }
+}

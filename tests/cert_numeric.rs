@@ -1,0 +1,293 @@
+//! Numeric replay of refinement certificates: every mapping the trusted
+//! kernel accepted is evaluated through `entangle-runtime` on seeded
+//! concrete inputs and compared against the sequential model's output.
+//!
+//! Shardings that never split a contraction dimension (relu over row
+//! shards, column-sharded matmul) reassociate no floating-point sums, so
+//! the reconstruction must be *bit-identical* to `G_s`. The zoo workload
+//! reduces partial sums in a different order and is held to `allclose`.
+
+use std::collections::HashMap;
+
+use entangle::{check_refinement, CheckOptions};
+use entangle_cert::Certificate;
+use entangle_egraph::{ENode, Id, RecExpr};
+use entangle_ir::{DType, Graph, GraphBuilder, Op, TensorId};
+use entangle_models::{gpt, Arch, ModelConfig};
+use entangle_parallel::{parallelize, Strategy};
+use entangle_runtime::{eval_graph, eval_op, random_ids, random_value, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evaluates a clean expression over `G_d` tensor names given `G_d`'s env.
+fn eval_expr(expr: &RecExpr, gd: &Graph, env: &HashMap<TensorId, Value>) -> Value {
+    let mut vals: Vec<Value> = Vec::with_capacity(expr.len());
+    for node in expr.nodes() {
+        let v = match node {
+            ENode::Int(i) => Value::scalar(*i as f64),
+            ENode::Sym(_) => unreachable!("concrete graphs"),
+            ENode::Op(sym, ch) if ch.is_empty() => {
+                let t = gd.tensor_by_name(sym.as_str()).expect("leaf exists");
+                env[&t.id].clone()
+            }
+            ENode::Op(sym, ch) => {
+                let metas: Vec<entangle_lemmas::Meta> = ch
+                    .iter()
+                    .map(|c| meta_of(&vals[c.index()], expr, *c))
+                    .collect();
+                let (op, tcount) =
+                    entangle_lemmas::decode_op(sym.as_str(), &metas).expect("known op");
+                let inputs: Vec<&Value> = ch[..tcount].iter().map(|c| &vals[c.index()]).collect();
+                eval_op(&op, &inputs).expect("clean expr evaluates")
+            }
+        };
+        vals.push(v);
+    }
+    vals.last().expect("non-empty").clone()
+}
+
+fn meta_of(val: &Value, expr: &RecExpr, id: Id) -> entangle_lemmas::Meta {
+    match expr.node(id) {
+        ENode::Int(i) => entangle_lemmas::Meta::scalar(entangle_symbolic::SymExpr::constant(*i)),
+        _ => entangle_lemmas::Meta::tensor(
+            entangle_ir::Shape::of(&val.shape().iter().map(|&d| d as i64).collect::<Vec<_>>()),
+            DType::F32,
+        ),
+    }
+}
+
+/// Certifies the refinement and replays every certified mapping: the
+/// mapping's expression over `G_d`'s env must reproduce the `G_s` tensor it
+/// claims, bit-for-bit when `exact` and within `1e-6` otherwise.
+fn replay_certificate(
+    gs: &Graph,
+    gd: &Graph,
+    cert: &Certificate,
+    gs_env: &HashMap<TensorId, Value>,
+    gd_env: &HashMap<TensorId, Value>,
+    exact: bool,
+) {
+    assert!(!cert.mappings.is_empty(), "certificate has mappings");
+    for mc in &cert.mappings {
+        let t = gs.tensor_by_name(&mc.tensor).expect("certified G_s tensor");
+        let expected = &gs_env[&t.id];
+        let reconstructed = eval_expr(&mc.expr, gd, gd_env);
+        if exact {
+            assert_eq!(
+                reconstructed.shape(),
+                expected.shape(),
+                "{}: shape mismatch",
+                mc.tensor
+            );
+            assert_eq!(
+                reconstructed.data(),
+                expected.data(),
+                "{}: certified mapping {} is not bit-identical",
+                mc.tensor,
+                mc.expr
+            );
+        } else {
+            assert!(
+                reconstructed.allclose(expected, 1e-6),
+                "{}: certified mapping {} differs (max diff {:?})",
+                mc.tensor,
+                mc.expr,
+                reconstructed.max_abs_diff(expected)
+            );
+        }
+    }
+    // The output relation entries replay too.
+    for (name, expr) in &cert.outputs {
+        let t = gs.tensor_by_name(name).expect("certified output");
+        let reconstructed = eval_expr(expr, gd, gd_env);
+        let expected = &gs_env[&t.id];
+        if exact {
+            assert_eq!(reconstructed.data(), expected.data(), "output {name}");
+        } else {
+            assert!(reconstructed.allclose(expected, 1e-6), "output {name}");
+        }
+    }
+}
+
+fn certify(gs: &Graph, gd: &Graph, ri: entangle::Relation) -> Certificate {
+    let outcome = check_refinement(gs, gd, &ri, &CheckOptions::default())
+        .unwrap_or_else(|e| panic!("{} should certify: {e}", gd.name()));
+    outcome
+        .certificate
+        .expect("certify mode emits a certificate")
+}
+
+#[test]
+fn certified_relu_sharding_replays_bit_exactly() {
+    let mut b = GraphBuilder::new("seq");
+    let x = b.input("x", &[4, 4], DType::F32);
+    let y = b.apply("y", Op::Relu, &[x]).unwrap();
+    b.mark_output(y);
+    let gs = b.finish().unwrap();
+
+    let mut b = GraphBuilder::new("dist");
+    let x0 = b.input("x0", &[2, 4], DType::F32);
+    let x1 = b.input("x1", &[2, 4], DType::F32);
+    let y0 = b.apply("y0", Op::Relu, &[x0]).unwrap();
+    let y1 = b.apply("y1", Op::Relu, &[x1]).unwrap();
+    b.mark_output(y0);
+    b.mark_output(y1);
+    let gd = b.finish().unwrap();
+
+    let mut ri = entangle::Relation::builder(&gs, &gd);
+    ri.map("x", "(concat x0 x1 0)").unwrap();
+    let cert = certify(&gs, &gd, ri.build());
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let full = random_value(&mut rng, &[4, 4]);
+    let shard = |lo: usize, hi: usize| {
+        Value::new(vec![2, 4], full.data()[lo * 4..hi * 4].to_vec()).unwrap()
+    };
+    let gd_in = HashMap::from([(x0, shard(0, 2)), (x1, shard(2, 4))]);
+    let gs_env = eval_graph(&gs, &HashMap::from([(x, full)])).unwrap();
+    let gd_env = eval_graph(&gd, &gd_in).unwrap();
+    replay_certificate(&gs, &gd, &cert, &gs_env, &gd_env, true);
+}
+
+#[test]
+fn certified_column_matmul_replays_bit_exactly() {
+    // Column-sharding the weight splits no contraction dimension: each
+    // output element is the same dot product in the same order, so the
+    // certified concat reconstruction must be bit-identical.
+    let mut b = GraphBuilder::new("seq");
+    let x = b.input("x", &[4, 6], DType::F32);
+    let w = b.input("w", &[6, 8], DType::F32);
+    let y = b.apply("y", Op::Matmul, &[x, w]).unwrap();
+    b.mark_output(y);
+    let gs = b.finish().unwrap();
+
+    let mut b = GraphBuilder::new("dist");
+    let xd = b.input("xd", &[4, 6], DType::F32);
+    let w0 = b.input("w0", &[6, 4], DType::F32);
+    let w1 = b.input("w1", &[6, 4], DType::F32);
+    let y0 = b.apply("y0", Op::Matmul, &[xd, w0]).unwrap();
+    let y1 = b.apply("y1", Op::Matmul, &[xd, w1]).unwrap();
+    b.mark_output(y0);
+    b.mark_output(y1);
+    let gd = b.finish().unwrap();
+
+    let mut ri = entangle::Relation::builder(&gs, &gd);
+    ri.map("x", "xd").unwrap();
+    ri.map("w", "(concat w0 w1 1)").unwrap();
+    let cert = certify(&gs, &gd, ri.build());
+
+    let mut rng = StdRng::seed_from_u64(43);
+    let xv = random_value(&mut rng, &[4, 6]);
+    let wv = random_value(&mut rng, &[6, 8]);
+    let col = |lo: i64, hi: i64| {
+        eval_op(
+            &Op::Slice {
+                dim: 1,
+                start: lo.into(),
+                end: hi.into(),
+            },
+            &[&wv],
+        )
+        .unwrap()
+    };
+    let gd_in = HashMap::from([(xd, xv.clone()), (w0, col(0, 4)), (w1, col(4, 8))]);
+    let gs_env = eval_graph(&gs, &HashMap::from([(x, xv), (w, wv)])).unwrap();
+    let gd_env = eval_graph(&gd, &gd_in).unwrap();
+    replay_certificate(&gs, &gd, &cert, &gs_env, &gd_env, true);
+}
+
+// ----- zoo workload: GPT under TP2 (partial-sum reductions ⇒ allclose) -----
+
+fn split_by_map(
+    gd: &Graph,
+    expr: &RecExpr,
+    id: Id,
+    val: &Value,
+    out: &mut HashMap<TensorId, Value>,
+) {
+    match expr.node(id) {
+        ENode::Op(sym, ch) if ch.is_empty() => {
+            let t = gd.tensor_by_name(sym.as_str()).expect("leaf exists");
+            out.insert(t.id, val.clone());
+        }
+        ENode::Op(sym, ch) if sym.as_str() == "concat" => {
+            let dim = expr.node(ch[2]).as_int().expect("concrete concat dim") as usize;
+            let left = subtree_dim_size(gd, expr, ch[0], dim);
+            let n = val.shape()[dim];
+            let slice = |lo: usize, hi: usize| {
+                eval_op(
+                    &Op::Slice {
+                        dim,
+                        start: (lo as i64).into(),
+                        end: (hi as i64).into(),
+                    },
+                    &[val],
+                )
+                .unwrap()
+            };
+            split_by_map(gd, expr, ch[0], &slice(0, left), out);
+            split_by_map(gd, expr, ch[1], &slice(left, n), out);
+        }
+        other => panic!("unsupported input-map node {other:?}"),
+    }
+}
+
+fn subtree_dim_size(gd: &Graph, expr: &RecExpr, id: Id, dim: usize) -> usize {
+    match expr.node(id) {
+        ENode::Op(sym, ch) if ch.is_empty() => gd
+            .tensor_by_name(sym.as_str())
+            .unwrap()
+            .shape
+            .dim(dim)
+            .as_const()
+            .unwrap() as usize,
+        ENode::Op(_, ch) => {
+            subtree_dim_size(gd, expr, ch[0], dim) + subtree_dim_size(gd, expr, ch[1], dim)
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn certified_gpt_tp2_mappings_replay_numerically() {
+    let cfg = ModelConfig::tiny();
+    let gs = gpt(&cfg);
+    let dist = parallelize(&cfg, Arch::Gpt, &Strategy::tp(2));
+    let ri = dist.relation(&gs).expect("relation builds");
+    let outcome = check_refinement(&gs, &dist.graph, &ri, &CheckOptions::default())
+        .expect("gpt tp2 certifies");
+    let cert = outcome.certificate.expect("certificate emitted");
+
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut gs_in = HashMap::new();
+    for &i in gs.inputs() {
+        let t = gs.tensor(i);
+        let dims: Vec<usize> = t
+            .shape
+            .as_concrete()
+            .unwrap()
+            .iter()
+            .map(|&d| d as usize)
+            .collect();
+        let v = match t.dtype {
+            DType::I64 => random_ids(&mut rng, &dims, 8),
+            _ => random_value(&mut rng, &dims),
+        };
+        gs_in.insert(i, v);
+    }
+    let mut gd_in = HashMap::new();
+    for (gs_name, expr) in &dist.input_maps {
+        let gs_t = gs.tensor_by_name(gs_name).unwrap();
+        let parsed: RecExpr = expr.parse().unwrap();
+        split_by_map(
+            &dist.graph,
+            &parsed,
+            parsed.root_id(),
+            &gs_in[&gs_t.id],
+            &mut gd_in,
+        );
+    }
+    let gs_env = eval_graph(&gs, &gs_in).unwrap();
+    let gd_env = eval_graph(&dist.graph, &gd_in).unwrap();
+    replay_certificate(&gs, &dist.graph, &cert, &gs_env, &gd_env, false);
+}
