@@ -11,9 +11,8 @@
 use std::time::{Duration, Instant};
 
 use entangle::{check_refinement, CheckOptions, CheckOutcome};
-use entangle_bench::{bench_config, hinted_opts, print_table, saturation_opts, secs};
-use entangle_models::{gpt, llama3, moe, qwen2, Arch, ModelConfig, MoeConfig};
-use entangle_parallel::{parallelize, parallelize_moe, Distributed, Strategy};
+use entangle_bench::{hinted_opts, print_table, saturation_opts, secs, zoo};
+use entangle_parallel::Distributed;
 
 /// Best-of-N wall clock for one configuration, plus the last outcome.
 fn time_check(
@@ -35,54 +34,20 @@ fn time_check(
     (best, last.expect("reps >= 1"))
 }
 
-struct Case {
-    name: String,
-    gs: entangle_ir::Graph,
-    dist: Distributed,
-}
-
-fn zoo(cfg: &ModelConfig) -> Vec<Case> {
-    let mut cases = Vec::new();
-    for (arch, label, build) in [
-        (Arch::Gpt, "GPT", gpt as fn(&ModelConfig) -> _),
-        (Arch::Llama, "Llama-3", llama3 as fn(&ModelConfig) -> _),
-        (Arch::Qwen2, "Qwen2", qwen2 as fn(&ModelConfig) -> _),
-    ] {
-        for (sname, strategy) in [("TP2", Strategy::tp(2)), ("TP-SP2", Strategy::tp_sp(2))] {
-            cases.push(Case {
-                name: format!("{label}/{sname}"),
-                gs: build(cfg),
-                dist: parallelize(cfg, arch, &strategy),
-            });
-        }
-    }
-    let moe_cfg = MoeConfig {
-        base: cfg.clone(),
-        experts: 8,
-    };
-    cases.push(Case {
-        name: "MoE/TP-SP2".to_owned(),
-        gs: moe(&moe_cfg),
-        dist: parallelize_moe(&moe_cfg, &Strategy::tp_sp(2)),
-    });
-    cases
-}
-
 fn main() {
     let reps = 3;
-    let cfg = bench_config();
     println!("Shard-hint benchmark ({reps} reps, best-of):\n");
 
     let mut rows = Vec::new();
     let mut json_cases = Vec::new();
-    for case in zoo(&cfg) {
+    for case in zoo() {
         let (t_hints, with_hints) = time_check(&case.gs, &case.dist, &hinted_opts(), reps);
         let (t_plain, _) = time_check(&case.gs, &case.dist, &saturation_opts(), reps);
         let hinted_ops = with_hints.op_reports.iter().filter(|r| r.hinted).count();
         let total_ops = with_hints.op_reports.len();
         let speedup = t_plain.as_secs_f64() / t_hints.as_secs_f64().max(1e-9);
         rows.push(vec![
-            case.name.clone(),
+            case.display.clone(),
             secs(t_hints),
             secs(t_plain),
             format!("{speedup:.2}x"),
@@ -91,7 +56,7 @@ fn main() {
         json_cases.push(format!(
             "{{\"name\":{},\"hints_ms\":{:.3},\"saturation_ms\":{:.3},\
              \"speedup\":{:.3},\"hinted_ops\":{},\"total_ops\":{}}}",
-            entangle_lint::json_str(&case.name),
+            entangle_lint::json_str(&case.display),
             t_hints.as_secs_f64() * 1e3,
             t_plain.as_secs_f64() * 1e3,
             speedup,

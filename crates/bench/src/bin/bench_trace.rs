@@ -1,0 +1,162 @@
+//! Instrumentation-overhead benchmark: the full certified pipeline across
+//! the 7-workload zoo, once with a `NullSink` tracer (the default) and once
+//! with an in-memory `CollectSink`, plus the per-stage wall-clock breakdown
+//! from the collected trace.
+//!
+//! Writes `results/BENCH_trace.json` (stable field order, no serde) and
+//! prints the comparison table. The run *asserts* the observability layer
+//! is cheap: per workload, the minimum paired null-vs-collected delta may
+//! cost at most 5% (with a 1ms absolute floor so timer noise on fast runs
+//! cannot fail the gate).
+
+use std::time::{Duration, Instant};
+
+use entangle::{check_refinement, CheckOptions, Relation};
+use entangle_bench::{print_table, secs, zoo};
+use entangle_ir::Graph;
+use entangle_trace::{TraceReport, Tracer};
+
+/// Paired wall-clock measurement under both tracer configurations: each rep
+/// runs null-sink then collected back to back, so the two timings of a pair
+/// share thermal, scheduler and allocator state. Returns the best null
+/// time, the best collected time, and the *minimum paired delta* — the
+/// robust overhead estimate under noisy wall clocks (any rep where both
+/// runs execute cleanly bounds the true instrumentation cost from above).
+fn time_both(
+    gs: &Graph,
+    gd: &Graph,
+    ri: &Relation,
+    traced: &Tracer,
+    reps: usize,
+) -> (Duration, Duration, f64) {
+    let opts_for = |tracer: &Tracer| CheckOptions {
+        certify: true,
+        trace: tracer.clone(),
+        ..CheckOptions::default()
+    };
+    let null_opts = opts_for(&Tracer::null());
+    let traced_opts = opts_for(traced);
+    let mut best_null = Duration::MAX;
+    let mut best_traced = Duration::MAX;
+    let mut min_delta = f64::MAX;
+    for _ in 0..reps {
+        let mut pair = [Duration::ZERO; 2];
+        for (opts, slot) in [(&null_opts, 0), (&traced_opts, 1)] {
+            let start = Instant::now();
+            check_refinement(gs, gd, ri, opts)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", gd.name()));
+            pair[slot] = start.elapsed();
+        }
+        best_null = best_null.min(pair[0]);
+        best_traced = best_traced.min(pair[1]);
+        min_delta = min_delta.min(pair[1].as_secs_f64() - pair[0].as_secs_f64());
+    }
+    (best_null, best_traced, min_delta)
+}
+
+/// Stage names summed out of the collected trace, in report order.
+const STAGES: [(&str, &str); 8] = [
+    ("lint", "stage:lint"),
+    ("shard", "stage:shard"),
+    ("map", "stage:map"),
+    ("encode", "encode"),
+    ("saturate", "saturate"),
+    ("extract", "extract"),
+    ("outputs", "stage:outputs"),
+    ("certify", "stage:certify"),
+];
+
+fn main() {
+    let reps = 5;
+    println!("Trace-overhead benchmark ({reps} reps, best-of):\n");
+
+    let mut rows = Vec::new();
+    let mut json_cases = Vec::new();
+    let mut violations = Vec::new();
+    for case in zoo() {
+        let ri = case.dist.relation(&case.gs).expect("relation builds");
+
+        // One fresh collector per rep would conflate allocation with
+        // steady-state cost; like a long-lived streaming sink, reuse one.
+        let (tracer, sink) = Tracer::collect();
+        let (t_null, t_traced, delta) = time_both(&case.gs, &case.dist.graph, &ri, &tracer, reps);
+
+        let records = sink.records();
+        let report = TraceReport::from_records(&records).expect("collected trace balances");
+        // `reps` identical runs share the sink; scale per-stage sums down.
+        let stage_us: Vec<(&str, u64)> = STAGES
+            .iter()
+            .map(|(label, span)| (*label, report.total_us(span) / reps as u64))
+            .collect();
+
+        let overhead = delta.max(0.0) / t_null.as_secs_f64().max(1e-9);
+        let budget = (t_null.as_secs_f64() * 0.05).max(1e-3);
+        let ok = delta <= budget;
+        if !ok {
+            violations.push(format!(
+                "{}: null {} vs traced {} ({:+.1}%)",
+                case.display,
+                secs(t_null),
+                secs(t_traced),
+                overhead * 100.0
+            ));
+        }
+
+        rows.push(vec![
+            case.display.clone(),
+            secs(t_null),
+            secs(t_traced),
+            format!("{:.1}%", overhead * 100.0),
+            format!(
+                "{}/{}",
+                report.spans.len() / reps,
+                report.events.len() / reps
+            ),
+            if ok { "ok".into() } else { "OVER".into() },
+        ]);
+        let stages_json: Vec<String> = stage_us
+            .iter()
+            .map(|(label, us)| {
+                format!("{}:{:.3}", entangle_lint::json_str(label), *us as f64 / 1e3)
+            })
+            .collect();
+        json_cases.push(format!(
+            "{{\"name\":{},\"null_ms\":{:.3},\"traced_ms\":{:.3},\"overhead_pct\":{:.2},\
+             \"spans\":{},\"events\":{},\"stages_ms\":{{{}}}}}",
+            entangle_lint::json_str(&case.display),
+            t_null.as_secs_f64() * 1e3,
+            t_traced.as_secs_f64() * 1e3,
+            overhead * 100.0,
+            report.spans.len() / reps,
+            report.events.len() / reps,
+            stages_json.join(",")
+        ));
+    }
+
+    print_table(
+        &[
+            "workload",
+            "null sink",
+            "collected",
+            "overhead",
+            "spans/events",
+            "gate",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\"bench\":\"trace_overhead\",\"reps\":{reps},\"budget\":\"max(5%, 1ms)\",\
+         \"cases\":[{}]}}\n",
+        json_cases.join(",")
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_trace.json", &json).expect("write BENCH_trace.json");
+    println!("\nwrote results/BENCH_trace.json");
+
+    assert!(
+        violations.is_empty(),
+        "tracing overhead exceeded max(5%, 1ms):\n  {}",
+        violations.join("\n  ")
+    );
+}

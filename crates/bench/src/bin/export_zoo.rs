@@ -9,59 +9,34 @@
 use std::fs;
 use std::path::Path;
 
-use entangle_bench::bench_config;
-use entangle_models::{gpt, llama3, moe, qwen2, Arch, ModelConfig, MoeConfig};
-use entangle_parallel::{parallelize, parallelize_moe, Strategy};
+use entangle_bench::zoo;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let dir = args.get(1).map(String::as_str).unwrap_or("examples/graphs");
     fs::create_dir_all(dir).expect("create output dir");
 
-    let cfg = bench_config();
-    let mut cases: Vec<(String, entangle_ir::Graph, entangle_parallel::Distributed)> = Vec::new();
-    for (arch, label, build) in [
-        (Arch::Gpt, "gpt", gpt as fn(&ModelConfig) -> _),
-        (Arch::Llama, "llama3", llama3 as fn(&ModelConfig) -> _),
-        (Arch::Qwen2, "qwen2", qwen2 as fn(&ModelConfig) -> _),
-    ] {
-        for (sname, strategy) in [("tp2", Strategy::tp(2)), ("tpsp2", Strategy::tp_sp(2))] {
-            cases.push((
-                format!("{label}_{sname}"),
-                build(&cfg),
-                parallelize(&cfg, arch, &strategy),
-            ));
-        }
-    }
-    let moe_cfg = MoeConfig {
-        base: cfg.clone(),
-        experts: 8,
-    };
-    cases.push((
-        "moe_tpsp2".to_owned(),
-        moe(&moe_cfg),
-        parallelize_moe(&moe_cfg, &Strategy::tp_sp(2)),
-    ));
-
-    for (name, gs, dist) in &cases {
-        let base = Path::new(dir).join(name);
+    let cases = zoo();
+    for case in &cases {
+        let base = Path::new(dir).join(&case.name);
         fs::write(
             base.with_extension("gs.json"),
-            gs.to_json().expect("serialize gs"),
+            case.gs.to_json().expect("serialize gs"),
         )
         .expect("write gs");
         fs::write(
             base.with_extension("gd.json"),
-            dist.graph.to_json().expect("serialize gd"),
+            case.dist.graph.to_json().expect("serialize gd"),
         )
         .expect("write gd");
-        let maps: String = dist
+        let maps: String = case
+            .dist
             .input_maps
             .iter()
             .map(|(n, e)| format!("{n} = {e}\n"))
             .collect();
         fs::write(base.with_extension("maps"), maps).expect("write maps");
-        println!("{dir}/{name}.{{gs.json,gd.json,maps}}");
+        println!("{dir}/{}.{{gs.json,gd.json,maps}}", case.name);
     }
     println!("exported {} workloads", cases.len());
 }

@@ -161,6 +161,64 @@ pub fn regression_workload(microbatches: usize) -> Workload {
     }
 }
 
+/// One case of the 7-workload CLI/benchmark zoo.
+pub struct ZooCase {
+    /// File-stem name (`gpt_tp2`, matching `examples/graphs/<name>.*`).
+    pub name: String,
+    /// Display name (`GPT/TP2`, the `BENCH_*.json` label).
+    pub display: String,
+    /// Sequential model.
+    pub gs: Graph,
+    /// Distributed implementation with its input maps.
+    pub dist: Distributed,
+}
+
+/// The 7-workload zoo exercised by `export_zoo`, the CI sweeps, and the
+/// `bench_shard`/`bench_trace` regressions: GPT / Llama-3 / Qwen2 under TP2
+/// and TP+SP2, plus the MoE model under TP+SP2, all at [`bench_config`].
+pub fn zoo() -> Vec<ZooCase> {
+    let cfg = bench_config();
+    let mut cases = Vec::new();
+    for (arch, stem, label, build) in [
+        (Arch::Gpt, "gpt", "GPT", gpt as fn(&ModelConfig) -> _),
+        (
+            Arch::Llama,
+            "llama3",
+            "Llama-3",
+            llama3 as fn(&ModelConfig) -> _,
+        ),
+        (
+            Arch::Qwen2,
+            "qwen2",
+            "Qwen2",
+            qwen2 as fn(&ModelConfig) -> _,
+        ),
+    ] {
+        for (sstem, sname, strategy) in [
+            ("tp2", "TP2", Strategy::tp(2)),
+            ("tpsp2", "TP-SP2", Strategy::tp_sp(2)),
+        ] {
+            cases.push(ZooCase {
+                name: format!("{stem}_{sstem}"),
+                display: format!("{label}/{sname}"),
+                gs: build(&cfg),
+                dist: parallelize(&cfg, arch, &strategy),
+            });
+        }
+    }
+    let moe_cfg = MoeConfig {
+        base: cfg,
+        experts: 8,
+    };
+    cases.push(ZooCase {
+        name: "moe_tpsp2".to_owned(),
+        display: "MoE/TP-SP2".to_owned(),
+        gs: moe(&moe_cfg),
+        dist: parallelize_moe(&moe_cfg, &Strategy::tp_sp(2)),
+    });
+    cases
+}
+
 /// The Figure 3 model suite at parallelism 2, one layer (§6.3 setup).
 pub fn figure3_suite() -> Vec<Workload> {
     vec![

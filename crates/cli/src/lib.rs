@@ -12,18 +12,29 @@
 //! entangle expect  <gs.json> <gd.json> --maps relations.txt --fs F --fd '(concat F1 F2 0)'
 //! entangle lint    <graph.json>
 //! entangle info    <graph.json>
+//! entangle trace   gpt-tp2
+//! entangle --trace out.jsonl check <gs.json> <gd.json> --maps relations.txt
 //! ```
 //!
 //! A maps file holds one `gs_tensor = s-expression` mapping per line
 //! (`#`-prefixed lines are comments). Exit code 0 = verified, 1 = bug
 //! found, 2 = usage/input error, 3 = static lint errors, 4 = certificate
 //! rejected by the trusted kernel.
+//!
+//! The global `--trace FILE` flag streams a JSON-lines structured trace of
+//! any invocation (spans for every pipeline stage, saturation telemetry
+//! events) to `FILE`; it never changes output on stdout or the exit code.
+//! `entangle trace` runs a workload under an in-memory collector and prints
+//! the timing profile: per-stage wall clock, the hottest lemmas by
+//! cumulative apply time, and the e-graph growth curve.
 
 use std::fmt;
 use std::fs;
+use std::time::{Duration, Instant};
 
 use entangle::{check_expectation, check_refinement, CheckOptions, ExpectationError, Relation};
 use entangle_ir::Graph;
+use entangle_trace::{TraceReport, Tracer};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +103,27 @@ pub enum Command {
         /// Emit Graphviz DOT instead of the summary.
         dot: bool,
     },
+    /// Run a workload under full instrumentation and print its timing
+    /// profile, or validate a previously captured trace file.
+    Trace {
+        /// Named zoo workload (`gpt-tp2`, `moe-tpsp2`, …), normalized to
+        /// the `examples/graphs` file stems.
+        workload: Option<String>,
+        /// Path to the sequential graph JSON (file mode).
+        gs: Option<String>,
+        /// Path to the distributed graph JSON (file mode).
+        gd: Option<String>,
+        /// `name=expr` input mappings (file mode).
+        maps: Vec<(String, String)>,
+        /// How many rules to show in the hot-rule table.
+        top: usize,
+        /// Print the structured trace report as JSON instead of the tables.
+        json: bool,
+        /// Write a Chrome/Perfetto trace-event file.
+        perfetto: Option<String>,
+        /// Validate an existing JSON-lines trace file instead of running.
+        check: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -121,7 +153,15 @@ USAGE:
   entangle lint    <graph.json> [--json]
   entangle shard   <gd.json> [--gs <gs.json>] [--map ...|--maps FILE] [--json]
   entangle info    <graph.json> [--dot]
+  entangle trace   <workload> [--top N] [--json] [--perfetto FILE]
+  entangle trace   <gs.json> <gd.json> [--map ...|--maps FILE]
+                   [--top N] [--json] [--perfetto FILE]
+  entangle trace   --check FILE [--json] [--perfetto FILE]
   entangle help
+
+GLOBAL FLAGS (any subcommand):
+  --trace FILE   stream a JSON-lines structured trace of the invocation to
+                 FILE; never changes stdout output or the exit code
 
 Mappings relate each G_s input tensor to an s-expression over G_d tensor
 names, e.g.  --map 'A=(concat A1 A2 1)'. A --maps file holds one mapping
@@ -141,6 +181,14 @@ is extracted as a rewrite certificate and re-validated by the independent
 trusted kernel before success is reported. --emit/--json export the
 certificate; --check re-validates a previously exported certificate file
 against the graphs without rerunning saturation.
+
+trace runs the full certified pipeline over a named zoo workload (gpt-tp2,
+gpt-tpsp2, llama3-tp2, llama3-tpsp2, qwen2-tp2, qwen2-tpsp2, moe-tpsp2) or
+a graph pair, and prints the per-stage timing profile, the hottest lemmas
+by cumulative apply time, the e-graph growth curve, and the saturation
+stop-reason tally. --perfetto exports a chrome://tracing-compatible
+trace-event file; --check parses a JSON-lines trace captured earlier with
+--trace and verifies every span balances.
 
 EXIT CODES:  0 verified   1 refinement/expectation failed   2 usage error
              3 static lint errors   4 certificate rejected";
@@ -283,6 +331,105 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 json,
             })
         }
+        "trace" => {
+            let mut operands: Vec<String> = Vec::new();
+            let mut maps = Vec::new();
+            let mut top = 10usize;
+            let mut json = false;
+            let mut perfetto = None;
+            let mut check = None;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--map" => {
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| CliError("--map needs name=expr".into()))?;
+                        maps.push(parse_map_spec(spec)?);
+                    }
+                    "--maps" => {
+                        let path = it
+                            .next()
+                            .ok_or_else(|| CliError("--maps needs a file path".into()))?;
+                        let text = fs::read_to_string(path)
+                            .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+                        maps.extend(parse_maps_file(&text)?);
+                    }
+                    "--top" => {
+                        let n = it
+                            .next()
+                            .ok_or_else(|| CliError("--top needs a number".into()))?;
+                        top = n
+                            .parse()
+                            .map_err(|_| CliError(format!("--top: not a number: {n:?}")))?;
+                    }
+                    "--json" => json = true,
+                    "--perfetto" => {
+                        perfetto = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--perfetto needs a file path".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--check" => {
+                        check = Some(
+                            it.next()
+                                .ok_or_else(|| CliError("--check needs a file path".into()))?
+                                .clone(),
+                        );
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError(format!("trace: unknown flag {flag}")))
+                    }
+                    _ => operands.push(arg.clone()),
+                }
+            }
+            if check.is_some() {
+                if !operands.is_empty() || !maps.is_empty() {
+                    return Err(CliError(
+                        "trace: --check validates a saved trace file; it takes no \
+                         workload or --map/--maps"
+                            .into(),
+                    ));
+                }
+                return Ok(Command::Trace {
+                    workload: None,
+                    gs: None,
+                    gd: None,
+                    maps,
+                    top,
+                    json,
+                    perfetto,
+                    check,
+                });
+            }
+            let (workload, gs, gd) = match operands.len() {
+                1 => (Some(operands[0].replace('-', "_")), None, None),
+                2 => (None, Some(operands[0].clone()), Some(operands[1].clone())),
+                0 => {
+                    return Err(CliError(
+                        "trace: missing <workload> or <gs.json> <gd.json> (or --check FILE)".into(),
+                    ))
+                }
+                _ => return Err(CliError("trace: too many operands".into())),
+            };
+            if workload.is_some() && !maps.is_empty() {
+                return Err(CliError(
+                    "trace: named workloads carry their own input maps; \
+                     --map/--maps need the <gs.json> <gd.json> form"
+                        .into(),
+                ));
+            }
+            Ok(Command::Trace {
+                workload,
+                gs,
+                gd,
+                maps,
+                top,
+                json,
+                perfetto,
+                check,
+            })
+        }
         "check" | "expect" => {
             let gs = it
                 .next()
@@ -344,6 +491,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// Parses a full argv (without the program name), extracting the global
+/// `--trace FILE` flag — valid in any position, for any subcommand — before
+/// subcommand parsing. Returns the command and the trace-file path, if any.
+///
+/// # Errors
+///
+/// Returns a usage error when `--trace` is missing its operand or the
+/// remaining arguments do not parse.
+pub fn parse_invocation(args: &[String]) -> Result<(Command, Option<String>), CliError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut trace = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            let path = it
+                .next()
+                .ok_or_else(|| CliError("--trace needs a file path".into()))?;
+            trace = Some(path.clone());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((parse_args(&rest)?, trace))
+}
+
 /// Parses one `name=expr` mapping.
 ///
 /// # Errors
@@ -399,25 +571,85 @@ fn build_relation(gs: &Graph, gd: &Graph, maps: &[(String, String)]) -> Result<R
 
 /// Runs a parsed command, printing to stdout; returns the process exit code.
 pub fn run(cmd: &Command) -> i32 {
-    match run_inner(cmd) {
+    run_traced(cmd, None)
+}
+
+/// Runs a parsed command under the global `--trace FILE` flag: the
+/// invocation streams a JSON-lines structured trace to `trace_path` as it
+/// executes. Tracing never changes stdout output or the exit code.
+pub fn run_traced(cmd: &Command, trace_path: Option<&str>) -> i32 {
+    if matches!(cmd, Command::Trace { .. }) {
+        // The trace subcommand collects in memory — it analyzes its own
+        // spans after the run — and honors --trace itself.
+        return match run_trace(cmd, trace_path) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("\n{USAGE}");
+                2
+            }
+        };
+    }
+    let tracer = match trace_path {
+        None => Tracer::null(),
+        Some(path) => match fs::File::create(path) {
+            Ok(f) => Tracer::jsonl(std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("error: cannot create trace file {path}: {e}");
+                return 2;
+            }
+        },
+    };
+    let mut root = tracer.span(&format!("cli:{}", command_name(cmd)));
+    let code = match run_inner(cmd, &tracer) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("\n{USAGE}");
             2
         }
+    };
+    root.attr("exit", code);
+    drop(root);
+    code
+}
+
+fn command_name(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Check { .. } => "check",
+        Command::Certify { .. } => "certify",
+        Command::Expect { .. } => "expect",
+        Command::Lint { .. } => "lint",
+        Command::Shard { .. } => "shard",
+        Command::Info { .. } => "info",
+        Command::Trace { .. } => "trace",
+        Command::Help => "help",
     }
 }
 
-fn run_inner(cmd: &Command) -> Result<i32, CliError> {
+fn ms(d: Duration) -> String {
+    format!("{:.1}ms", d.as_secs_f64() * 1e3)
+}
+
+fn run_inner(cmd: &Command, tracer: &Tracer) -> Result<i32, CliError> {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
             Ok(0)
         }
         Command::Lint { graph, json } => {
-            let g = load_graph_unvalidated(graph)?;
-            let report = entangle_lint::lint_graph(&g);
+            let g = {
+                let mut sp = tracer.span("load");
+                sp.attr("path", graph);
+                load_graph_unvalidated(graph)?
+            };
+            let report = {
+                let mut sp = tracer.span("stage:lint");
+                let report = entangle_lint::lint_graph(&g);
+                sp.attr("errors", report.error_count());
+                sp.attr("warnings", report.warning_count());
+                report
+            };
             if *json {
                 println!("{}", report.to_json(Some(&g)));
                 return Ok(if report.is_clean() { 0 } else { 3 });
@@ -435,20 +667,37 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
             Ok(if report.is_clean() { 0 } else { 3 })
         }
         Command::Shard { gd, gs, maps, json } => {
-            let gd = load_graph(gd)?;
-            let analysis = match gs {
-                None => entangle_shard::analyze_graph(&gd),
-                Some(gs) => {
-                    let gs = load_graph(gs)?;
-                    let mut parsed = Vec::with_capacity(maps.len());
-                    for (name, expr) in maps {
-                        let e = expr
-                            .parse()
-                            .map_err(|e| CliError(format!("mapping {name}: {e}")))?;
-                        parsed.push((name.clone(), e));
+            let gd = {
+                let mut sp = tracer.span("load");
+                sp.attr("path", gd);
+                load_graph(gd)?
+            };
+            let analysis = {
+                let mut sp = tracer.span("stage:shard");
+                let analysis = match gs {
+                    None => entangle_shard::analyze_graph(&gd),
+                    Some(gs) => {
+                        let gs = load_graph(gs)?;
+                        let mut parsed = Vec::with_capacity(maps.len());
+                        for (name, expr) in maps {
+                            let e = expr
+                                .parse()
+                                .map_err(|e| CliError(format!("mapping {name}: {e}")))?;
+                            parsed.push((name.clone(), e));
+                        }
+                        entangle_shard::analyze_pair(&gs, &gd, &parsed, &[])
                     }
-                    entangle_shard::analyze_pair(&gs, &gd, &parsed, &[])
-                }
+                };
+                sp.attr(
+                    "outcome",
+                    if analysis.is_clean() {
+                        "ok"
+                    } else {
+                        "violation"
+                    },
+                );
+                sp.attr("hinted_tensors", analysis.hints.len());
+                analysis
             };
             if *json {
                 println!("{}", analysis.to_json(&gd));
@@ -469,7 +718,13 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
             Ok(if analysis.is_clean() { 0 } else { 3 })
         }
         Command::Info { graph, dot } => {
-            let g = load_graph(graph)?;
+            let t0 = Instant::now();
+            let g = {
+                let mut sp = tracer.span("load");
+                sp.attr("path", graph);
+                load_graph(graph)?
+            };
+            let t_load = t0.elapsed();
             if *dot {
                 print!("{}", g.to_dot());
                 return Ok(0);
@@ -493,15 +748,38 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
                     .collect::<Vec<_>>()
                     .join(", ")
             );
-            println!("lint     : {}", entangle_lint::lint_graph(&g).summary());
-            println!("shard    : {}", entangle_shard::analyze_graph(&g).summary());
+            let t1 = Instant::now();
+            let lint = {
+                let _sp = tracer.span("stage:lint");
+                entangle_lint::lint_graph(&g)
+            };
+            let t_lint = t1.elapsed();
+            let t2 = Instant::now();
+            let shard = {
+                let _sp = tracer.span("stage:shard");
+                entangle_shard::analyze_graph(&g)
+            };
+            let t_shard = t2.elapsed();
+            println!("lint     : {}", lint.summary());
+            println!("shard    : {}", shard.summary());
+            println!(
+                "timings  : load {}, lint {}, shard {} (total {})",
+                ms(t_load),
+                ms(t_lint),
+                ms(t_shard),
+                ms(t_load + t_lint + t_shard)
+            );
             Ok(0)
         }
         Command::Check { gs, gd, maps } => {
             let gs = load_graph(gs)?;
             let gd = load_graph(gd)?;
             let ri = build_relation(&gs, &gd, maps)?;
-            match check_refinement(&gs, &gd, &ri, &CheckOptions::default()) {
+            let opts = CheckOptions {
+                trace: tracer.clone(),
+                ..CheckOptions::default()
+            };
+            match check_refinement(&gs, &gd, &ri, &opts) {
                 Ok(outcome) => {
                     println!("Refinement verification succeeded for {}.", gd.name());
                     println!("\nOutput relation:");
@@ -546,13 +824,26 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
                     }
                 };
                 let lemmas = entangle_lemmas::rewrites_of(&entangle_lemmas::registry());
-                return match entangle_cert::verify(
+                let mut sp = tracer.span("stage:certify");
+                sp.attr("mappings", cert.mappings.len());
+                sp.attr("steps", cert.total_steps());
+                let verdict = entangle_cert::verify(
                     &cert,
                     &gs,
                     &gd,
                     &lemmas,
                     &entangle_symbolic::SymCtx::new(),
-                ) {
+                );
+                sp.attr(
+                    "outcome",
+                    if verdict.is_ok() {
+                        "accepted"
+                    } else {
+                        "rejected"
+                    },
+                );
+                drop(sp);
+                return match verdict {
                     Ok(()) => {
                         println!(
                             "Certificate verified: {} mappings, {} proof steps.",
@@ -571,6 +862,7 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
             let ri = build_relation(&gs, &gd, maps)?;
             let opts = CheckOptions {
                 certify: true,
+                trace: tracer.clone(),
                 ..CheckOptions::default()
             };
             match check_refinement(&gs, &gd, &ri, &opts) {
@@ -614,6 +906,9 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
                 }
             }
         }
+        // Intercepted by `run_traced`; kept for completeness if called
+        // directly (no --trace file in that path).
+        Command::Trace { .. } => run_trace(cmd, None),
         Command::Expect {
             gs,
             gd,
@@ -626,7 +921,11 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
             let ri = build_relation(&gs, &gd, maps)?;
             let fs = fs.parse().map_err(|e| CliError(format!("--fs: {e}")))?;
             let fd = fd.parse().map_err(|e| CliError(format!("--fd: {e}")))?;
-            match check_expectation(&gs, &gd, &ri, &fs, &fd, &CheckOptions::default()) {
+            let opts = CheckOptions {
+                trace: tracer.clone(),
+                ..CheckOptions::default()
+            };
+            match check_expectation(&gs, &gd, &ri, &fs, &fd, &opts) {
                 Ok(_) => {
                     println!("User expectation holds.");
                     Ok(0)
@@ -639,6 +938,235 @@ fn run_inner(cmd: &Command) -> Result<i32, CliError> {
             }
         }
     }
+}
+
+/// The `entangle trace` subcommand: run a workload under an in-memory
+/// collector and print its timing profile, or validate a saved trace file.
+fn run_trace(cmd: &Command, trace_path: Option<&str>) -> Result<i32, CliError> {
+    let Command::Trace {
+        workload,
+        gs,
+        gd,
+        maps,
+        top,
+        json,
+        perfetto,
+        check,
+    } = cmd
+    else {
+        unreachable!("run_trace only handles Command::Trace");
+    };
+
+    // Validation mode: parse a JSON-lines trace captured with --trace and
+    // verify every span balances; optionally convert it.
+    if let Some(path) = check {
+        let text =
+            fs::read_to_string(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+        let report =
+            TraceReport::from_jsonl(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+        if let Some(out) = perfetto {
+            fs::write(out, report.to_chrome_json())
+                .map_err(|e| CliError(format!("cannot write {out}: {e}")))?;
+        }
+        if *json {
+            println!("{}", report.to_json());
+        } else {
+            println!(
+                "{path}: valid trace — {} spans, {} events, all balanced.",
+                report.spans.len(),
+                report.events.len()
+            );
+        }
+        return Ok(0);
+    }
+
+    let (name, gs, gd, ri) = match workload {
+        Some(w) => {
+            let mut cases = entangle_bench::zoo();
+            let Some(pos) = cases.iter().position(|c| c.name == *w) else {
+                let names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+                return Err(CliError(format!(
+                    "trace: unknown workload {w:?} (available: {})",
+                    names.join(", ")
+                )));
+            };
+            let case = cases.swap_remove(pos);
+            let ri = case
+                .dist
+                .relation(&case.gs)
+                .map_err(|e| CliError(format!("workload {w}: {e}")))?;
+            (case.name, case.gs, case.dist.graph, ri)
+        }
+        None => {
+            let gs_path = gs.as_ref().expect("parser guarantees file operands");
+            let gd_path = gd.as_ref().expect("parser guarantees file operands");
+            let gs = load_graph(gs_path)?;
+            let gd = load_graph(gd_path)?;
+            let ri = build_relation(&gs, &gd, maps)?;
+            let name = gd.name().to_owned();
+            (name, gs, gd, ri)
+        }
+    };
+
+    // Full certified pipeline: every stage — lint, shard, mapping search,
+    // outputs gate, trusted kernel — shows up in the profile.
+    let (tracer, sink) = Tracer::collect();
+    let opts = CheckOptions {
+        certify: true,
+        trace: tracer.clone(),
+        ..CheckOptions::default()
+    };
+    let start = Instant::now();
+    let result = check_refinement(&gs, &gd, &ri, &opts);
+    let wall = start.elapsed();
+
+    let records = sink.records();
+    let report = TraceReport::from_records(&records)
+        .map_err(|e| CliError(format!("internal: checker emitted an invalid trace: {e}")))?;
+
+    if let Some(path) = trace_path {
+        fs::write(path, sink.to_jsonl())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = perfetto {
+        fs::write(path, report.to_chrome_json())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+
+    let code = match &result {
+        Ok(_) => 0,
+        Err(entangle::RefinementError::Lint { .. }) => 3,
+        Err(entangle::RefinementError::CertRejected { .. }) => 4,
+        Err(_) => 1,
+    };
+
+    if *json {
+        println!("{}", report.to_json());
+        return Ok(code);
+    }
+
+    println!("workload : {name}");
+    println!(
+        "graphs   : {} ({} ops) -> {} ({} ops)",
+        gs.name(),
+        gs.num_nodes(),
+        gd.name(),
+        gd.num_nodes()
+    );
+    match &result {
+        Ok(_) => println!("verdict  : verified in {}", ms(wall)),
+        Err(_) => println!("verdict  : FAILED in {}", ms(wall)),
+    }
+    println!();
+    print_stage_table(&report);
+    match &result {
+        Ok(outcome) => print_saturation_profile(&outcome.saturation, *top),
+        Err(e) => println!("\nRefinement FAILED:\n{e}"),
+    }
+    Ok(code)
+}
+
+/// Prints the per-stage wall-clock table from a collected trace. The
+/// indented encode/saturate/extract rows are children of `stage:map` (per
+/// sequential operator), so they sub-divide it rather than add to it.
+fn print_stage_table(report: &TraceReport) {
+    let total = report
+        .find("check_refinement")
+        .map(|s| s.dur_us)
+        .unwrap_or(0)
+        .max(1);
+    let stages = [
+        ("lint", "stage:lint"),
+        ("shard", "stage:shard"),
+        ("map", "stage:map"),
+        ("  encode", "encode"),
+        ("  saturate", "saturate"),
+        ("  extract", "extract"),
+        ("outputs", "stage:outputs"),
+        ("certify", "stage:certify"),
+    ];
+    let mut rows = Vec::new();
+    for (label, span) in stages {
+        let n = report.spans_named(span).count();
+        if n == 0 {
+            continue; // stage skipped (e.g. shard short-circuited the run)
+        }
+        let us = report.total_us(span);
+        rows.push(vec![
+            label.to_owned(),
+            n.to_string(),
+            format!("{:.1}ms", us as f64 / 1e3),
+            format!("{:.1}%", us as f64 * 100.0 / total as f64),
+        ]);
+    }
+    entangle_bench::print_table(&["stage", "spans", "time", "% of check"], &rows);
+}
+
+/// Prints the hot-rule table, the stop-reason tally and the e-graph growth
+/// curve from the checker's saturation telemetry.
+fn print_saturation_profile(summary: &entangle::SaturationSummary, top: usize) {
+    println!(
+        "\nsaturation: {} runs, {} iterations, peak {} e-nodes",
+        summary.runs(),
+        summary.iterations(),
+        summary.peak_nodes()
+    );
+    let stops: Vec<String> = summary
+        .stop_counts()
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(k, n)| format!("{k} {n}"))
+        .collect();
+    println!("stops     : {}", stops.join(", "));
+    println!("growth    : {}", sparkline(&summary.growth()));
+
+    let rules = summary.telemetry.rules_by_apply_time();
+    let shown = top.min(rules.len());
+    println!(
+        "\nhot rules ({shown} of {} by cumulative apply time):",
+        rules.len()
+    );
+    let rows: Vec<Vec<String>> = rules
+        .iter()
+        .take(top)
+        .map(|(name, r)| {
+            vec![
+                (*name).to_owned(),
+                r.matches.to_string(),
+                r.applications.to_string(),
+                format!("{:.1}ms", r.search_us as f64 / 1e3),
+                format!("{:.1}ms", r.apply_us as f64 / 1e3),
+            ]
+        })
+        .collect();
+    entangle_bench::print_table(
+        &["rule", "matches", "applications", "search", "apply"],
+        &rows,
+    );
+}
+
+/// Renders per-iteration e-node counts as a compact block-character curve,
+/// downsampled (bucket maxima) to at most 60 columns.
+fn sparkline(values: &[usize]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return "(no saturation iterations)".to_owned();
+    }
+    let max = (*values.iter().max().expect("non-empty")).max(1);
+    let buckets = 60.min(values.len());
+    let mut out = String::new();
+    for b in 0..buckets {
+        let lo = b * values.len() / buckets;
+        let hi = (((b + 1) * values.len()) / buckets).max(lo + 1);
+        let v = *values[lo..hi].iter().max().expect("non-empty bucket");
+        let idx = v * (BARS.len() - 1) / max;
+        out.push(BARS[idx.min(BARS.len() - 1)]);
+    }
+    out.push_str(&format!(
+        "  (peak {max} e-nodes, {} iterations)",
+        values.len()
+    ));
+    out
 }
 
 #[cfg(test)]

@@ -3,7 +3,9 @@ use std::fs;
 use entangle_models::{gpt, Arch, ModelConfig};
 use entangle_parallel::{parallelize, Strategy};
 
-use crate::{parse_args, parse_map_spec, parse_maps_file, run, Command};
+use crate::{
+    parse_args, parse_invocation, parse_map_spec, parse_maps_file, run, run_traced, Command,
+};
 
 fn tmpdir() -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("entangle-cli-test-{}", std::process::id()));
@@ -118,6 +120,215 @@ fn shard_command_end_to_end() {
         json: true,
     };
     assert_eq!(run(&cmd), 0, "self-seeded shard analysis is clean");
+}
+
+#[test]
+fn parse_trace_command() {
+    let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    // Workload mode, dashes normalized to the file-stem underscores.
+    match parse_args(&to_args(&["trace", "gpt-tp2", "--top", "5"])).unwrap() {
+        Command::Trace { workload, top, .. } => {
+            assert_eq!(workload.as_deref(), Some("gpt_tp2"));
+            assert_eq!(top, 5);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // File mode with flags.
+    match parse_args(&to_args(&[
+        "trace",
+        "a.json",
+        "b.json",
+        "--map",
+        "A=(concat A1 A2 1)",
+        "--perfetto",
+        "out.json",
+        "--json",
+    ]))
+    .unwrap()
+    {
+        Command::Trace {
+            workload,
+            gs,
+            gd,
+            maps,
+            json,
+            perfetto,
+            ..
+        } => {
+            assert_eq!(workload, None);
+            assert_eq!(gs.as_deref(), Some("a.json"));
+            assert_eq!(gd.as_deref(), Some("b.json"));
+            assert_eq!(maps.len(), 1);
+            assert!(json);
+            assert_eq!(perfetto.as_deref(), Some("out.json"));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Validation mode.
+    assert!(matches!(
+        parse_args(&to_args(&["trace", "--check", "t.jsonl"])),
+        Ok(Command::Trace { check: Some(_), .. })
+    ));
+    // Errors: no operands, too many, --check with operands, maps on a
+    // named workload, bad --top.
+    assert!(parse_args(&to_args(&["trace"])).is_err());
+    assert!(parse_args(&to_args(&["trace", "a", "b", "c"])).is_err());
+    assert!(parse_args(&to_args(&["trace", "gpt-tp2", "--check", "t"])).is_err());
+    assert!(parse_args(&to_args(&["trace", "gpt-tp2", "--map", "A=B"])).is_err());
+    assert!(parse_args(&to_args(&["trace", "gpt-tp2", "--top", "many"])).is_err());
+    assert!(parse_args(&to_args(&["trace", "gpt-tp2", "--bogus"])).is_err());
+}
+
+#[test]
+fn parse_invocation_extracts_global_trace_flag() {
+    let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    // Leading position.
+    let (cmd, trace) =
+        parse_invocation(&to_args(&["--trace", "out.jsonl", "lint", "g.json"])).unwrap();
+    assert!(matches!(cmd, Command::Lint { .. }));
+    assert_eq!(trace.as_deref(), Some("out.jsonl"));
+    // Trailing position.
+    let (cmd, trace) =
+        parse_invocation(&to_args(&["info", "g.json", "--trace", "t.jsonl"])).unwrap();
+    assert!(matches!(cmd, Command::Info { .. }));
+    assert_eq!(trace.as_deref(), Some("t.jsonl"));
+    // Absent.
+    let (_, trace) = parse_invocation(&to_args(&["help"])).unwrap();
+    assert_eq!(trace, None);
+    // Missing operand.
+    assert!(parse_invocation(&to_args(&["lint", "g.json", "--trace"])).is_err());
+}
+
+#[test]
+fn trace_subcommand_end_to_end() {
+    let dir = tmpdir();
+    let cfg = ModelConfig::tiny();
+    let gs = gpt(&cfg);
+    let dist = parallelize(&cfg, Arch::Gpt, &Strategy::tp(2));
+
+    let gs_path = dir.join("trace_gs.json");
+    let gd_path = dir.join("trace_gd.json");
+    fs::write(&gs_path, gs.to_json().unwrap()).unwrap();
+    fs::write(&gd_path, dist.graph.to_json().unwrap()).unwrap();
+
+    let trace_path = dir.join("trace_out.jsonl");
+    let perfetto_path = dir.join("trace_perfetto.json");
+    let cmd = Command::Trace {
+        workload: None,
+        gs: Some(gs_path.to_str().unwrap().to_owned()),
+        gd: Some(gd_path.to_str().unwrap().to_owned()),
+        maps: dist
+            .input_maps
+            .iter()
+            .map(|(n, e)| (n.clone(), e.to_string()))
+            .collect(),
+        top: 5,
+        json: false,
+        perfetto: Some(perfetto_path.to_str().unwrap().to_owned()),
+        check: None,
+    };
+    assert_eq!(
+        run_traced(&cmd, Some(trace_path.to_str().unwrap())),
+        0,
+        "correct TP implementation traces and verifies"
+    );
+
+    // The emitted JSON-lines trace parses, balances, and covers every
+    // pipeline stage of the certified run.
+    let report = entangle_trace::TraceReport::from_jsonl(&fs::read_to_string(&trace_path).unwrap())
+        .expect("emitted trace is valid");
+    for stage in [
+        "check_refinement",
+        "stage:lint",
+        "stage:shard",
+        "stage:map",
+        "stage:outputs",
+        "stage:certify",
+    ] {
+        assert!(report.find(stage).is_some(), "missing span {stage}");
+    }
+    // The Perfetto export is emitted and shaped like a trace-event file.
+    let perfetto = fs::read_to_string(&perfetto_path).unwrap();
+    assert!(perfetto.starts_with("{\"traceEvents\":["));
+
+    // Validation mode accepts the file it just wrote.
+    let cmd = Command::Trace {
+        workload: None,
+        gs: None,
+        gd: None,
+        maps: vec![],
+        top: 10,
+        json: false,
+        perfetto: None,
+        check: Some(trace_path.to_str().unwrap().to_owned()),
+    };
+    assert_eq!(run(&cmd), 0, "self-emitted trace validates");
+
+    // Validation mode rejects garbage with a usage error.
+    let bad_path = dir.join("trace_bad.jsonl");
+    fs::write(
+        &bad_path,
+        "{\"type\":\"begin\",\"id\":1,\"name\":\"x\",\"t_us\":0}\n",
+    )
+    .unwrap();
+    let cmd = Command::Trace {
+        workload: None,
+        gs: None,
+        gd: None,
+        maps: vec![],
+        top: 10,
+        json: false,
+        perfetto: None,
+        check: Some(bad_path.to_str().unwrap().to_owned()),
+    };
+    assert_eq!(run(&cmd), 2, "unbalanced trace is rejected");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn global_trace_flag_is_exit_code_neutral() {
+    let dir = tmpdir();
+    let cfg = ModelConfig::tiny();
+    let gs = gpt(&cfg);
+    let dist = parallelize(&cfg, Arch::Gpt, &Strategy::tp(2));
+
+    let gs_path = dir.join("neutral_gs.json");
+    let gd_path = dir.join("neutral_gd.json");
+    fs::write(&gs_path, gs.to_json().unwrap()).unwrap();
+    fs::write(&gd_path, dist.graph.to_json().unwrap()).unwrap();
+
+    // A failing check keeps exit code 1 under --trace, and still emits a
+    // balanced trace whose root records the failure.
+    let mut bad_maps: Vec<(String, String)> = dist
+        .input_maps
+        .iter()
+        .map(|(n, e)| (n.clone(), e.to_string()))
+        .collect();
+    for (name, expr) in &mut bad_maps {
+        if name == "L0.wq" {
+            *expr = "(concat L0.wq.1 L0.wq.0 1)".to_owned();
+        }
+    }
+    let cmd = Command::Check {
+        gs: gs_path.to_str().unwrap().to_owned(),
+        gd: gd_path.to_str().unwrap().to_owned(),
+        maps: bad_maps,
+    };
+    assert_eq!(run(&cmd), 1);
+    let trace_path = dir.join("neutral_out.jsonl");
+    assert_eq!(run_traced(&cmd, Some(trace_path.to_str().unwrap())), 1);
+    let report = entangle_trace::TraceReport::from_jsonl(&fs::read_to_string(&trace_path).unwrap())
+        .expect("failure trace is still balanced");
+    let root = report.find("cli:check").expect("cli root span");
+    assert_eq!(root.attr("exit"), Some("1"));
+    // The swapped shards are caught by the propagation pass, before any
+    // saturation runs.
+    let check = report.find("check_refinement").expect("checker root span");
+    assert_eq!(check.attr("outcome"), Some("shard-violation"));
+    assert!(report.find("stage:map").is_none(), "search never started");
+
+    fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

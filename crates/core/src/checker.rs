@@ -6,11 +6,13 @@ use std::time::{Duration, Instant};
 
 use entangle_cert::{CertError, Certificate, MappingCert};
 use entangle_egraph::{
-    EGraph, ENode, Extractor, Id, Justification, Proof, RecExpr, Rewrite, Runner,
+    EGraph, ENode, Extractor, Id, Justification, Proof, RecExpr, Rewrite, Runner, SaturationReport,
+    StopReason,
 };
 use entangle_ir::{Graph, Node, NodeId, TensorId};
 use entangle_lemmas::{registry, rewrites_of, TensorAnalysis};
 use entangle_symbolic::SymCtx;
+use entangle_trace::Tracer;
 
 use crate::encode::{clean_cost, encode_node, encode_op, CleanOps};
 use crate::relation::Relation;
@@ -64,6 +66,12 @@ pub struct CheckOptions {
     /// still runs for its fail-fast layout diagnostics. Turn off to measure
     /// the uncertified engine (`bench_cert`'s baseline).
     pub certify: bool,
+    /// Structured-tracing sink (`entangle-trace`). The default null tracer
+    /// is a true no-op; a real sink receives one span per pipeline stage,
+    /// one per `G_s` operator mapping search, and per-iteration saturation
+    /// events — the `--trace` / `entangle trace` data. Tracing never
+    /// changes verdicts, exit codes, or the search itself.
+    pub trace: Tracer,
 }
 
 impl Default for CheckOptions {
@@ -81,7 +89,68 @@ impl Default for CheckOptions {
             lint: true,
             shard_hints: true,
             certify: true,
+            trace: Tracer::null(),
         }
+    }
+}
+
+/// Whole-check saturation telemetry: one [`StopReason`] per saturation run
+/// and the merged per-iteration / per-rule [`SaturationReport`]. Collected
+/// unconditionally (no tracer required) — this is what `entangle trace`
+/// renders as the per-rule table and e-graph growth curve.
+#[derive(Debug, Clone, Default)]
+pub struct SaturationSummary {
+    /// One entry per saturation run (operators × frontier rounds), in
+    /// processing order.
+    pub stops: Vec<StopReason>,
+    /// Merged telemetry across all runs.
+    pub telemetry: SaturationReport,
+}
+
+impl SaturationSummary {
+    fn record(&mut self, report: &entangle_egraph::RunReport) {
+        self.stops.push(report.stop_reason);
+        self.telemetry.merge(&report.saturation);
+    }
+
+    /// Number of saturation runs.
+    pub fn runs(&self) -> usize {
+        self.stops.len()
+    }
+
+    /// Total iterations across all runs.
+    pub fn iterations(&self) -> usize {
+        self.telemetry.iterations.len()
+    }
+
+    /// Largest e-graph observed at any iteration boundary.
+    pub fn peak_nodes(&self) -> usize {
+        self.telemetry
+            .iterations
+            .iter()
+            .map(|i| i.nodes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// E-nodes after each iteration, across runs in order — the growth
+    /// curve.
+    pub fn growth(&self) -> Vec<usize> {
+        self.telemetry.iterations.iter().map(|i| i.nodes).collect()
+    }
+
+    /// Stop-reason histogram in a fixed order (saturated, iter-limit,
+    /// node-limit, time-limit).
+    pub fn stop_counts(&self) -> Vec<(&'static str, usize)> {
+        [
+            StopReason::Saturated,
+            StopReason::IterLimit,
+            StopReason::NodeLimit,
+            StopReason::TimeLimit,
+        ]
+        .into_iter()
+        .map(|r| (r.as_str(), self.stops.iter().filter(|&&s| s == r).count()))
+        .collect()
     }
 }
 
@@ -131,6 +200,13 @@ pub struct OpReport {
     /// `true` when sharding-propagation hints covered this operator and
     /// saturation was skipped entirely.
     pub hinted: bool,
+    /// Frontier rounds (saturation runs) spent on this operator; 0 when it
+    /// was skipped on a hint.
+    pub rounds: usize,
+    /// Why this operator's saturation stopped: `Saturated` when every round
+    /// ran the rules dry, otherwise the limit the last cut-short round hit.
+    /// `None` when saturation was skipped on a hint.
+    pub stop: Option<StopReason>,
 }
 
 /// The result of a successful refinement check: the certificate of §3.3.
@@ -145,6 +221,9 @@ pub struct CheckOutcome {
     pub lemma_stats: LemmaStats,
     /// Per-operator reports, in processing order.
     pub op_reports: Vec<OpReport>,
+    /// Whole-check saturation telemetry (stop reasons, per-rule timings,
+    /// growth curve). Collected whether or not a tracer is attached.
+    pub saturation: SaturationSummary,
     /// The kernel-accepted rewrite certificate (`None` when
     /// [`CheckOptions::certify`] is off). By construction this has already
     /// passed `entangle_cert::verify`; it can be serialized with
@@ -221,6 +300,13 @@ pub enum RefinementError {
         /// The mappings of the operator's inputs, for debugging: pairs of
         /// `(G_s tensor name, clean expressions over G_d)`.
         input_mappings: Vec<(String, Vec<String>)>,
+        /// Why the mapping search stopped. `Saturated` means the lemma
+        /// corpus was exhausted — a genuine refinement bug under the
+        /// paper's assumptions; a limit reason means the search *gave up*
+        /// and raising the corresponding [`CheckOptions`] limit may still
+        /// find a mapping. `None` when no saturation ran (e.g. an input had
+        /// no mapping at all).
+        stop: Option<StopReason>,
     },
 }
 
@@ -298,6 +384,7 @@ impl fmt::Display for RefinementError {
                 op,
                 node,
                 input_mappings,
+                stop,
             } => {
                 writeln!(
                     f,
@@ -312,6 +399,20 @@ impl fmt::Display for RefinementError {
                     for e in exprs {
                         writeln!(f, "  {tensor} -> {e}")?;
                     }
+                }
+                match stop {
+                    Some(StopReason::Saturated) => writeln!(
+                        f,
+                        "saturation ran the lemma corpus dry (stop reason: saturated), \
+                         so no clean mapping exists under the current lemmas"
+                    )?,
+                    Some(reason) => writeln!(
+                        f,
+                        "note: the mapping search gave up on a resource limit (stop \
+                         reason: {reason}); raising the corresponding limit in \
+                         CheckOptions may still find a mapping"
+                    )?,
+                    None => {}
                 }
                 write!(
                     f,
@@ -366,8 +467,53 @@ pub fn check_refinement(
     ri: &Relation,
     opts: &CheckOptions,
 ) -> Result<CheckOutcome, RefinementError> {
+    let mut root = opts.trace.span("check_refinement");
+    root.attr("gs", gs.name());
+    root.attr("gd", gd.name());
+    let result = check_refinement_inner(gs, gd, ri, opts);
+    match &result {
+        Ok(outcome) => {
+            root.attr("outcome", "verified");
+            root.attr("operators", outcome.op_reports.len());
+            root.attr("saturation_runs", outcome.saturation.runs());
+        }
+        Err(e) => root.attr("outcome", error_kind(e)),
+    }
+    result
+}
+
+/// The stable trace-attribute name of a [`RefinementError`] variant.
+fn error_kind(e: &RefinementError) -> &'static str {
+    match e {
+        RefinementError::Lint { .. } => "lint",
+        RefinementError::ShardViolation { .. } => "shard-violation",
+        RefinementError::MissingInputMapping { .. } => "missing-input-mapping",
+        RefinementError::OutputUnmapped { .. } => "output-unmapped",
+        RefinementError::CertRejected { .. } => "cert-rejected",
+        RefinementError::OperatorUnmapped { .. } => "operator-unmapped",
+    }
+}
+
+fn check_refinement_inner(
+    gs: &Graph,
+    gd: &Graph,
+    ri: &Relation,
+    opts: &CheckOptions,
+) -> Result<CheckOutcome, RefinementError> {
+    let tracer = &opts.trace;
     if opts.lint {
-        check_lint(gs, gd)?;
+        let mut sp = tracer.span("stage:lint");
+        let r = check_lint(gs, gd);
+        sp.attr(
+            "outcome",
+            match &r {
+                Ok(()) => "ok".to_owned(),
+                Err(RefinementError::Lint { graph, .. }) => format!("errors:{graph}"),
+                Err(_) => unreachable!("check_lint only fails with Lint"),
+            },
+        );
+        drop(sp);
+        r?;
     }
     for &input in gs.inputs() {
         if !ri.contains(input) {
@@ -383,7 +529,17 @@ pub fn check_refinement(
     // the relation without a rewrite derivation, so neither it nor anything
     // derived from it could be certified.
     let hinted: HashMap<TensorId, Vec<RecExpr>> = if opts.shard_hints {
-        let hints = shard_pass(gs, gd, ri, &opts.clean)?;
+        let mut sp = tracer.span("stage:shard");
+        let r = shard_pass(gs, gd, ri, &opts.clean);
+        match &r {
+            Ok(hints) => {
+                sp.attr("outcome", "ok");
+                sp.attr("hinted_tensors", hints.len());
+            }
+            Err(_) => sp.attr("outcome", "violation"),
+        }
+        drop(sp);
+        let hints = r?;
         if opts.certify {
             HashMap::new()
         } else {
@@ -411,6 +567,7 @@ pub fn check_refinement(
 
     let mut relation = ri.clone();
     let mut stats = LemmaStats::default();
+    let mut saturation = SaturationSummary::default();
     let mut op_reports = Vec::with_capacity(gs.num_nodes());
 
     let gd_output_names: HashSet<&str> = gd
@@ -424,15 +581,20 @@ pub fn check_refinement(
     let mut shared: Option<EGraph<TensorAnalysis>> = if opts.fresh_egraph_per_op {
         None
     } else {
+        let mut sp = tracer.span("encode:gd");
         let mut eg = fresh_egraph(gd, opts);
         for node in gd.nodes() {
             encode_node(&mut eg, gd, node);
         }
+        sp.attr("nodes", eg.total_nodes());
         Some(eg)
     };
 
+    let map_stage = tracer.span("stage:map");
     for node in gs.nodes() {
         let start = Instant::now();
+        let mut osp = tracer.span(&format!("op:{}", node.name));
+        osp.attr("op", node.op.name());
         let hint_exprs: &[RecExpr] = hinted.get(&node.output).map(Vec::as_slice).unwrap_or(&[]);
 
         // A hint covers this operator when it proves at least one mapping —
@@ -455,12 +617,16 @@ pub fn check_refinement(
             for expr in hint_exprs {
                 relation.insert(node.output, expr.clone());
             }
+            osp.attr("hinted", "true");
+            osp.attr("mappings", hint_exprs.len());
             op_reports.push(OpReport {
                 name: node.name.clone(),
                 elapsed: start.elapsed(),
                 egraph_nodes: 0,
                 mappings: hint_exprs.len(),
                 hinted: true,
+                rounds: 0,
+                stop: None,
             });
             continue;
         }
@@ -477,7 +643,16 @@ pub fn check_refinement(
         let attempt = match &mut shared {
             Some(eg) => {
                 let m = node_out_rel(
-                    gs, gd, node, &relation, opts, &rewrites, &mut stats, eg, false,
+                    gs,
+                    gd,
+                    node,
+                    &relation,
+                    opts,
+                    &rewrites,
+                    &mut stats,
+                    &mut saturation,
+                    eg,
+                    false,
                 );
                 let n = eg.total_nodes();
                 m.map(|m| (m, n))
@@ -492,6 +667,7 @@ pub fn check_refinement(
                     opts,
                     &rewrites,
                     &mut stats,
+                    &mut saturation,
                     &mut eg,
                     opts.frontier,
                 );
@@ -499,17 +675,26 @@ pub fn check_refinement(
                 m.map(|m| (m, n))
             }
         };
-        let (mappings, nodes_after, rescued) = match attempt {
-            Ok((m, n)) => (m, n, false),
+        let (search, nodes_after, rescued) = match attempt {
+            Ok((s, n)) => (s, n, false),
             // Saturation found nothing, but the hints *prove* mappings over
             // G_d intermediates: defer to the R_o gate below, which reports
             // the sharper "reconstructs only from intermediates" failure.
             Err(e) if !hint_exprs.is_empty() => {
+                osp.attr("outcome", "rescued-by-hints");
                 let _ = e;
-                (Vec::new(), 0, true)
+                (NodeSearch::default(), 0, true)
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                osp.attr("outcome", error_kind(&e));
+                return Err(e);
+            }
         };
+        let NodeSearch {
+            mappings,
+            rounds,
+            stop,
+        } = search;
         for (expr, proof) in mappings {
             if let Some(c) = &mut certificate {
                 let proof = proof.ok_or_else(|| RefinementError::CertRejected {
@@ -531,17 +716,28 @@ pub fn check_refinement(
         for expr in hint_exprs {
             relation.insert(node.output, expr.clone());
         }
+        let n_mappings = relation.mappings(node.output).map_or(0, <[RecExpr]>::len);
+        osp.attr("mappings", n_mappings);
+        osp.attr("egraph_nodes", nodes_after);
+        osp.attr("rounds", rounds);
+        if let Some(stop) = stop {
+            osp.attr("stop", stop);
+        }
         op_reports.push(OpReport {
             name: node.name.clone(),
             elapsed: start.elapsed(),
             egraph_nodes: nodes_after,
-            mappings: relation.mappings(node.output).map_or(0, <[RecExpr]>::len),
+            mappings: n_mappings,
             hinted: rescued,
+            rounds,
+            stop,
         });
     }
+    drop(map_stage);
 
     // Listing 1 line 9: R_o keeps only mappings whose leaves are G_d
     // *outputs* — the tensors a deployed implementation actually emits.
+    let mut outputs_stage = tracer.span("stage:outputs");
     let mut output_relation = Relation::new();
     for &out in gs.outputs() {
         let Some(maps) = relation.mappings(out) else {
@@ -559,6 +755,7 @@ pub fn check_refinement(
             .cloned()
             .collect();
         if over_outputs.is_empty() {
+            outputs_stage.attr("outcome", "output-unmapped");
             return Err(RefinementError::OutputUnmapped {
                 tensor: gs.tensor(out).name.clone(),
                 operator: gs
@@ -572,6 +769,8 @@ pub fn check_refinement(
             output_relation.insert(out, m);
         }
     }
+    outputs_stage.attr("outcome", "ok");
+    drop(outputs_stage);
 
     // Proof-carrying refinement: hand the assembled certificate to the
     // independent trusted kernel. Only a kernel-accepted derivation counts
@@ -584,8 +783,13 @@ pub fn check_refinement(
                 exprs.iter().map(move |e| (name.clone(), e.clone()))
             })
             .collect();
-        entangle_cert::verify(c, gs, gd, &rewrites, &opts.sym_ctx)
-            .map_err(|error| RefinementError::CertRejected { error })?;
+        let mut sp = tracer.span("stage:certify");
+        sp.attr("mappings", c.mappings.len());
+        sp.attr("steps", c.total_steps());
+        let r = entangle_cert::verify(c, gs, gd, &rewrites, &opts.sym_ctx);
+        sp.attr("outcome", if r.is_ok() { "accepted" } else { "rejected" });
+        drop(sp);
+        r.map_err(|error| RefinementError::CertRejected { error })?;
     }
 
     Ok(CheckOutcome {
@@ -593,6 +797,7 @@ pub fn check_refinement(
         full_relation: relation,
         lemma_stats: stats,
         op_reports,
+        saturation,
         certificate,
     })
 }
@@ -654,6 +859,19 @@ fn fresh_egraph(gd: &Graph, opts: &CheckOptions) -> EGraph<TensorAnalysis> {
     EGraph::with_analysis(analysis)
 }
 
+/// What one operator's mapping search produced (alongside the lemma stats
+/// and saturation telemetry accumulated through the `&mut` params).
+#[derive(Default)]
+struct NodeSearch {
+    /// Clean mappings with their optional proofs.
+    mappings: Vec<(RecExpr, Option<Proof>)>,
+    /// Frontier rounds (saturation runs) spent.
+    rounds: usize,
+    /// `Saturated` when every round ran the rules dry, otherwise the limit
+    /// the last cut-short round hit.
+    stop: Option<StopReason>,
+}
+
 /// Computes the clean output relation for one `G_s` operator (Listing 2,
 /// with the Listing 3 frontier when `frontier` is true).
 ///
@@ -670,10 +888,12 @@ fn node_out_rel(
     opts: &CheckOptions,
     rewrites: &[Rewrite<TensorAnalysis>],
     stats: &mut LemmaStats,
+    summary: &mut SaturationSummary,
     eg: &mut EGraph<TensorAnalysis>,
     frontier: bool,
-) -> Result<Vec<(RecExpr, Option<Proof>)>, RefinementError> {
-    let fail = |relation: &Relation| RefinementError::OperatorUnmapped {
+) -> Result<NodeSearch, RefinementError> {
+    let tracer = &opts.trace;
+    let fail = |relation: &Relation, stop: Option<StopReason>| RefinementError::OperatorUnmapped {
         operator: node.name.clone(),
         op: node.op.name().to_owned(),
         node: node.id,
@@ -690,6 +910,7 @@ fn node_out_rel(
                 )
             })
             .collect(),
+        stop,
     };
 
     // Step 1: express the operator's output over G_d tensors by substituting
@@ -703,8 +924,9 @@ fn node_out_rel(
         .map(|&t| relation.mappings(t).unwrap_or(&[]))
         .collect();
     if per_input.iter().any(|m| m.is_empty()) {
-        return Err(fail(relation));
+        return Err(fail(relation, None));
     }
+    let mut encode_span = tracer.span("encode");
     let mut input_ids: Vec<Id> = Vec::with_capacity(per_input.len());
     for (&t, exprs) in node.inputs.iter().zip(&per_input) {
         // The *first* mapping's id stays the representative (it is
@@ -732,6 +954,8 @@ fn node_out_rel(
     }
     let base = encode_op(eg, &node.op, &input_ids);
     eg.rebuild();
+    encode_span.attr("nodes", eg.total_nodes());
+    drop(encode_span);
 
     // Steps 2–3: saturate with lemmas while growing the frontier of G_d
     // operators whose inputs relate to this operator (Listing 3), or with
@@ -769,6 +993,8 @@ fn node_out_rel(
     // next layer's weights) are never encoded — the size win the paper's
     // optimization is after.
     let mut first_round = true;
+    let mut rounds = 0usize;
+    let mut stop: Option<StopReason> = None;
     loop {
         let mut added_any = false;
         if frontier {
@@ -790,6 +1016,9 @@ fn node_out_rel(
         first_round = false;
         eg.rebuild();
 
+        rounds += 1;
+        let mut sat_span = tracer.span("saturate");
+        let run_start_us = tracer.now_us();
         let owned = std::mem::replace(eg, EGraph::with_analysis(TensorAnalysis::default()));
         let mut runner = Runner::new(owned)
             .with_iter_limit(opts.iter_limit)
@@ -798,6 +1027,35 @@ fn node_out_rel(
         let report = runner.run(rewrites);
         *eg = runner.egraph;
         stats.merge(&report.applications);
+        summary.record(&report);
+        // A limit on any round means this operator's search was cut short;
+        // only an all-rounds-saturated operator failure is a proven bug.
+        if report.stop_reason.is_limit() || stop.is_none() {
+            stop = Some(report.stop_reason);
+        }
+        if tracer.is_enabled() {
+            sat_span.attr("round", rounds);
+            sat_span.attr("stop", report.stop_reason);
+            sat_span.attr("iterations", report.iterations);
+            sat_span.attr("nodes", report.egraph_nodes);
+            sat_span.attr("classes", report.egraph_classes);
+            for it in &report.saturation.iterations {
+                tracer.event_at(
+                    "iteration",
+                    run_start_us + it.start_us,
+                    Some(it.search_us + it.apply_us + it.rebuild_us),
+                    &[
+                        ("nodes", it.nodes.to_string()),
+                        ("classes", it.classes.to_string()),
+                        ("memo", it.memo.to_string()),
+                        ("unions", it.unions.to_string()),
+                        ("search_us", it.search_us.to_string()),
+                        ("apply_us", it.apply_us.to_string()),
+                        ("rebuild_us", it.rebuild_us.to_string()),
+                    ],
+                );
+            }
+        }
     }
 
     // Step 4: extract the clean expressions in the output's class,
@@ -808,23 +1066,34 @@ fn node_out_rel(
         .iter()
         .map(|&t| gd.tensor(t).name.as_str())
         .collect();
+    let mut extract_span = tracer.span("extract");
     let variants = extract_clean_variants(eg, base, &opts.clean, &gd_outputs, opts.max_mappings);
+    extract_span.attr("variants", variants.len());
     if variants.is_empty() {
-        return Err(fail(relation));
+        extract_span.attr("outcome", "unmapped");
+        return Err(fail(relation, stop));
     }
     if !opts.certify {
-        return Ok(variants.into_iter().map(|e| (e, None)).collect());
+        return Ok(NodeSearch {
+            mappings: variants.into_iter().map(|e| (e, None)).collect(),
+            rounds,
+            stop,
+        });
     }
     // Proof extraction: re-adding a variant yields its term-faithful id, and
     // the explanation forest connects it to the encoded base term.
-    Ok(variants
-        .into_iter()
-        .map(|expr| {
-            let vid = eg.add_expr(&expr);
-            let proof = eg.explain_equivalence(base, vid);
-            (expr, proof)
-        })
-        .collect())
+    Ok(NodeSearch {
+        mappings: variants
+            .into_iter()
+            .map(|expr| {
+                let vid = eg.add_expr(&expr);
+                let proof = eg.explain_equivalence(base, vid);
+                (expr, proof)
+            })
+            .collect(),
+        rounds,
+        stop,
+    })
 }
 
 /// Extracts up to `max` distinct clean expressions from a class, simplest

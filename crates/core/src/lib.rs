@@ -77,9 +77,11 @@ mod expect;
 mod relation;
 
 pub use checker::{
-    check_lint, check_refinement, CheckOptions, CheckOutcome, LemmaStats, OpReport, RefinementError,
+    check_lint, check_refinement, CheckOptions, CheckOutcome, LemmaStats, OpReport,
+    RefinementError, SaturationSummary,
 };
 pub use encode::{clean_cost, encode_node, CleanOps};
+pub use entangle_egraph::{SaturationReport, StopReason};
 pub use expect::{append_expr, check_expectation, ExpectationError};
 pub use relation::{Relation, RelationBuilder};
 

@@ -156,6 +156,12 @@ impl<A: Analysis> EGraph<A> {
         self.classes.len()
     }
 
+    /// Entries in the hash-cons memo (canonical-form e-nodes). Tracked by
+    /// the saturation telemetry as a proxy for deduplication pressure.
+    pub fn memo_size(&self) -> usize {
+        self.memo.len()
+    }
+
     /// Count of state-changing unions performed so far; useful for
     /// saturation detection.
     pub fn union_count(&self) -> usize {

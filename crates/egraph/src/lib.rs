@@ -63,7 +63,7 @@ pub use extract::{AstSize, CostFunction, Extractor};
 pub use node::{ENode, ParseExprError, RecExpr};
 pub use pattern::{Pattern, PatternAst, SearchMatches, Subst, Var};
 pub use rewrite::{Applier, Condition, Rewrite};
-pub use runner::{RunReport, Runner, StopReason};
+pub use runner::{IterationReport, RuleReport, RunReport, Runner, SaturationReport, StopReason};
 pub use symbol::Symbol;
 pub use unionfind::{Id, UnionFind};
 

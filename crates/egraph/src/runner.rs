@@ -7,16 +7,121 @@ use crate::egraph::{Analysis, EGraph};
 use crate::rewrite::Rewrite;
 
 /// Why a saturation run stopped.
+///
+/// The distinction matters downstream: `Saturated` means the lemma corpus
+/// has nothing more to say (a subsequent mapping failure is a genuine
+/// refinement bug under the paper's assumptions), while the three limit
+/// reasons mean the search *gave up* — raising the corresponding limit may
+/// still find a mapping. The checker surfaces this in its trace report and
+/// in `RefinementError` context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
     /// No rewrite changed the e-graph in the last iteration.
     Saturated,
     /// The iteration limit was reached.
-    IterationLimit,
+    IterLimit,
     /// The node limit was reached.
     NodeLimit,
     /// The time limit was reached.
     TimeLimit,
+}
+
+impl StopReason {
+    /// A stable lower-kebab name (trace attribute / JSON value).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::Saturated => "saturated",
+            StopReason::IterLimit => "iter-limit",
+            StopReason::NodeLimit => "node-limit",
+            StopReason::TimeLimit => "time-limit",
+        }
+    }
+
+    /// `true` when the run ended because a resource limit cut the search
+    /// short rather than because the rules were exhausted.
+    pub fn is_limit(&self) -> bool {
+        !matches!(self, StopReason::Saturated)
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-rule telemetry for one run, aggregated over its iterations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleReport {
+    /// Total matches found by the searcher (substitutions, not classes).
+    pub matches: u64,
+    /// E-graph-changing applications (the Figure 6 counts).
+    pub applications: u64,
+    /// Cumulative search-phase time.
+    pub search_us: u64,
+    /// Cumulative apply-phase time.
+    pub apply_us: u64,
+}
+
+/// Telemetry for one saturation iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterationReport {
+    /// Start offset from the beginning of the run (µs).
+    pub start_us: u64,
+    /// Search-phase time (all rules, frozen graph).
+    pub search_us: u64,
+    /// Apply-phase time (all rules).
+    pub apply_us: u64,
+    /// Rebuild (congruence-closure restoration) time.
+    pub rebuild_us: u64,
+    /// E-nodes after the iteration.
+    pub nodes: usize,
+    /// E-classes after the iteration.
+    pub classes: usize,
+    /// Hash-cons memo entries after the iteration.
+    pub memo: usize,
+    /// Unions performed by this iteration.
+    pub unions: u64,
+}
+
+/// Saturation telemetry attached to every [`RunReport`]: the per-iteration
+/// growth curve and per-rule search/apply cost. Collection is unconditional
+/// and sink-free — identical code runs whether or not anyone is tracing, so
+/// instrumentation cannot perturb the search.
+#[derive(Debug, Clone, Default)]
+pub struct SaturationReport {
+    /// One entry per iteration, in order.
+    pub iterations: Vec<IterationReport>,
+    /// Per-rule totals, keyed by rule name.
+    pub rules: HashMap<String, RuleReport>,
+}
+
+impl SaturationReport {
+    /// Rules sorted by cumulative apply time, heaviest first (ties broken
+    /// by name for determinism).
+    pub fn rules_by_apply_time(&self) -> Vec<(&str, &RuleReport)> {
+        let mut rules: Vec<(&str, &RuleReport)> =
+            self.rules.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        rules.sort_by(|a, b| {
+            b.1.apply_us
+                .cmp(&a.1.apply_us)
+                .then_with(|| b.1.search_us.cmp(&a.1.search_us))
+                .then_with(|| a.0.cmp(b.0))
+        });
+        rules
+    }
+
+    /// Merges another run's telemetry (iterations appended, rules summed).
+    pub fn merge(&mut self, other: &SaturationReport) {
+        self.iterations.extend(other.iterations.iter().cloned());
+        for (name, r) in &other.rules {
+            let e = self.rules.entry(name.clone()).or_default();
+            e.matches += r.matches;
+            e.applications += r.applications;
+            e.search_us += r.search_us;
+            e.apply_us += r.apply_us;
+        }
+    }
 }
 
 /// Summary of a completed run.
@@ -34,6 +139,8 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// Per-rule count of e-graph-changing applications.
     pub applications: HashMap<String, u64>,
+    /// Per-iteration and per-rule telemetry.
+    pub saturation: SaturationReport,
 }
 
 /// Runs equality saturation over an e-graph.
@@ -51,6 +158,7 @@ pub struct RunReport {
 /// let report = runner.run(&[comm]);
 /// assert_eq!(runner.egraph.find(ab), runner.egraph.find(ba));
 /// assert!(report.applications["add-comm"] >= 1);
+/// assert!(report.saturation.rules["add-comm"].matches >= 1);
 /// ```
 pub struct Runner<A: Analysis> {
     /// The e-graph being saturated; public so callers can inspect and reuse it.
@@ -98,10 +206,14 @@ impl<A: Analysis> Runner<A> {
     pub fn run(&mut self, rewrites: &[Rewrite<A>]) -> RunReport {
         let start = Instant::now();
         let mut applications: HashMap<String, u64> = HashMap::new();
+        let mut saturation = SaturationReport::default();
+        // Indexed alongside `rewrites` to avoid hashing rule names in the
+        // hot loop; folded into the name-keyed map at the end.
+        let mut per_rule: Vec<RuleReport> = vec![RuleReport::default(); rewrites.len()];
         let mut iterations = 0;
         let stop_reason = loop {
             if iterations >= self.iter_limit {
-                break StopReason::IterationLimit;
+                break StopReason::IterLimit;
             }
             if self.egraph.total_nodes() > self.node_limit {
                 break StopReason::NodeLimit;
@@ -110,21 +222,61 @@ impl<A: Analysis> Runner<A> {
                 break StopReason::TimeLimit;
             }
             iterations += 1;
+            let iter_start = start.elapsed();
             // Search phase against the frozen graph.
-            let matches: Vec<_> = rewrites.iter().map(|rw| rw.search(&self.egraph)).collect();
+            let mut search_us = 0u64;
+            let mut matches = Vec::with_capacity(rewrites.len());
+            for (rw, stats) in rewrites.iter().zip(per_rule.iter_mut()) {
+                let t0 = Instant::now();
+                let ms = rw.search(&self.egraph);
+                let dt = t0.elapsed().as_micros() as u64;
+                stats.search_us += dt;
+                search_us += dt;
+                stats.matches += ms.iter().map(|m| m.substs.len() as u64).sum::<u64>();
+                matches.push(ms);
+            }
             // Apply phase.
             let unions_before = self.egraph.union_count();
-            for (rw, ms) in rewrites.iter().zip(&matches) {
+            let mut apply_us = 0u64;
+            for (i, (rw, ms)) in rewrites.iter().zip(&matches).enumerate() {
+                let t0 = Instant::now();
                 let changed = rw.apply(&mut self.egraph, ms);
+                let dt = t0.elapsed().as_micros() as u64;
+                per_rule[i].apply_us += dt;
+                apply_us += dt;
                 if changed > 0 {
+                    per_rule[i].applications += changed as u64;
                     *applications.entry(rw.name().to_owned()).or_insert(0) += changed as u64;
                 }
             }
+            let t0 = Instant::now();
             self.egraph.rebuild();
-            if self.egraph.union_count() == unions_before {
+            let rebuild_us = t0.elapsed().as_micros() as u64;
+            let unions = (self.egraph.union_count() - unions_before) as u64;
+            saturation.iterations.push(IterationReport {
+                start_us: iter_start.as_micros() as u64,
+                search_us,
+                apply_us,
+                rebuild_us,
+                nodes: self.egraph.total_nodes(),
+                classes: self.egraph.num_classes(),
+                memo: self.egraph.memo_size(),
+                unions,
+            });
+            if unions == 0 {
                 break StopReason::Saturated;
             }
         };
+        // Every searched rule is reported (even with zero matches), so the
+        // key set is deterministic and "this rule burned search time without
+        // ever matching" is visible telemetry.
+        for (rw, stats) in rewrites.iter().zip(per_rule) {
+            let e = saturation.rules.entry(rw.name().to_owned()).or_default();
+            e.matches += stats.matches;
+            e.applications += stats.applications;
+            e.search_us += stats.search_us;
+            e.apply_us += stats.apply_us;
+        }
         RunReport {
             stop_reason,
             iterations,
@@ -132,6 +284,7 @@ impl<A: Analysis> Runner<A> {
             egraph_classes: self.egraph.num_classes(),
             elapsed: start.elapsed(),
             applications,
+            saturation,
         }
     }
 }

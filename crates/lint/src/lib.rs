@@ -287,24 +287,11 @@ impl LintReport {
 }
 
 /// Escapes `s` as a JSON string literal (quotes included). Hand-rolled so
-/// the workspace stays serde-free; covers the control characters JSON
-/// requires escaping.
+/// the workspace stays serde-free; delegates to `entangle-trace`, the
+/// workspace's single escaping routine, so every interchange format agrees
+/// on one encoding.
 pub fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    entangle_trace::json_str(s)
 }
 
 #[cfg(test)]

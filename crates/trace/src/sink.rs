@@ -1,0 +1,160 @@
+//! Trace sinks: where span/event records go.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::json_str;
+
+/// The three record kinds of the JSON-lines schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span opened.
+    Begin,
+    /// A span closed (carries `dur_us` and the span's attributes).
+    End,
+    /// An instant (or externally timed) event under the open span.
+    Event,
+}
+
+impl RecordKind {
+    /// The `type` field value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecordKind::Begin => "begin",
+            RecordKind::End => "end",
+            RecordKind::Event => "event",
+        }
+    }
+}
+
+/// One trace record, as handed to a [`TraceSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Record kind.
+    pub kind: RecordKind,
+    /// Span id (`Begin`/`End`) or event id (`Event`); ids are unique per
+    /// tracer and never 0.
+    pub id: u64,
+    /// Enclosing span id (`Begin`/`Event`; `None` at the root and on `End`
+    /// records, whose parentage is fixed by their `Begin`).
+    pub parent: Option<u64>,
+    /// Span or event name (e.g. `stage:saturate`, `iteration`).
+    pub name: String,
+    /// Microseconds since the tracer epoch (start time for `Begin`/`Event`,
+    /// end time for `End`).
+    pub t_us: u64,
+    /// Duration in microseconds (`End` always; `Event` when externally
+    /// timed).
+    pub dur_us: Option<u64>,
+    /// Key/value attributes (span attributes ride on the `End` record).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Record {
+    /// Renders the record as one JSON-lines line (no trailing newline),
+    /// with stable field order:
+    /// `type, id, parent, name, t_us, dur_us, attrs`.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"type\":\"{}\",\"id\":{}", self.kind.as_str(), self.id);
+        if self.kind != RecordKind::End {
+            match self.parent {
+                Some(p) => out.push_str(&format!(",\"parent\":{p}")),
+                None => out.push_str(",\"parent\":null"),
+            }
+        }
+        out.push_str(&format!(",\"name\":{}", json_str(&self.name)));
+        out.push_str(&format!(",\"t_us\":{}", self.t_us));
+        if let Some(d) = self.dur_us {
+            out.push_str(&format!(",\"dur_us\":{d}"));
+        }
+        if !self.attrs.is_empty() {
+            out.push_str(",\"attrs\":{");
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json_str(k), json_str(v)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A consumer of trace records. Implementations must tolerate being called
+/// from a shared (`&self`) context.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, rec: &Record);
+}
+
+/// Drops every record. The explicit form of the default no-op; prefer
+/// [`crate::Tracer::null`], which skips record construction entirely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _rec: &Record) {}
+}
+
+/// Buffers records in memory, in emission order.
+#[derive(Default)]
+pub struct CollectSink {
+    records: Mutex<Vec<Record>>,
+}
+
+impl CollectSink {
+    /// A snapshot of the records collected so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Renders the collected records as a JSON-lines document — byte
+    /// identical to what a [`JsonLinesSink`] fed the same records writes.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.records.lock().unwrap().iter() {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn record(&self, rec: &Record) {
+        self.records.lock().unwrap().push(rec.clone());
+    }
+}
+
+/// Streams records as JSON lines to a writer; flushes on drop.
+pub struct JsonLinesSink {
+    w: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// Wraps a writer.
+    pub fn new(w: impl Write + Send + 'static) -> JsonLinesSink {
+        JsonLinesSink {
+            w: Mutex::new(Box::new(w)),
+        }
+    }
+}
+
+impl TraceSink for JsonLinesSink {
+    fn record(&self, rec: &Record) {
+        // Tracing must never change the traced command's outcome, so write
+        // errors (a full disk, a closed pipe) are swallowed.
+        let mut w = self.w.lock().unwrap();
+        let _ = writeln!(w, "{}", rec.to_json());
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.w.lock() {
+            let _ = w.flush();
+        }
+    }
+}

@@ -32,6 +32,36 @@ for gd in examples/graphs/*.gd.json; do
 done
 echo "    7 certificates kernel-accepted"
 
+echo "==> model-zoo trace sweep (--trace on every subcommand, validate with trace --check)"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$certdir" "$tracedir"' EXIT
+for gd in examples/graphs/*.gd.json; do
+  base="${gd%.gd.json}"
+  name=$(basename "$base")
+  ./target/release/entangle --trace "$tracedir/$name.check.jsonl" \
+    check "$base.gs.json" "$gd" --maps "$base.maps" >/dev/null \
+    || { echo "traced check FAILED on $base"; exit 1; }
+  ./target/release/entangle --trace "$tracedir/$name.shard.jsonl" \
+    shard "$gd" --gs "$base.gs.json" --maps "$base.maps" >/dev/null \
+    || { echo "traced shard FAILED on $base"; exit 1; }
+  ./target/release/entangle --trace "$tracedir/$name.info.jsonl" \
+    info "$gd" >/dev/null \
+    || { echo "traced info FAILED on $base"; exit 1; }
+  for t in "$tracedir/$name".*.jsonl; do
+    ./target/release/entangle trace --check "$t" >/dev/null \
+      || { echo "trace validation FAILED on $t"; exit 1; }
+  done
+done
+echo "    21 traces emitted, parsed, and balanced"
+
+echo "==> trace profile smoke (entangle trace gpt-tp2)"
+./target/release/entangle trace gpt-tp2 >/dev/null \
+  || { echo "entangle trace gpt-tp2 FAILED"; exit 1; }
+
+echo "==> trace-overhead smoke (bench_trace: <=5% instrumentation cost)"
+./target/release/bench_trace >/dev/null
+echo "    results/BENCH_trace.json written, overhead gate passed"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
