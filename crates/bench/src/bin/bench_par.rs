@@ -1,0 +1,142 @@
+//! Parallel-checker benchmark: `check_refinement` across the model zoo at
+//! `jobs` ∈ {1, 2, 4, 8} with the cross-operator saturation cache on,
+//! against the pre-scheduler sequential engine (`jobs = 1`, `cache = off`)
+//! as the baseline.
+//!
+//! Writes `results/BENCH_par.json` (stable field order, no serde) and
+//! prints the comparison table. Expected shape: `jobs = 1` stays within a
+//! few percent of the baseline (the scheduler adds no work, the cache only
+//! removes it), and the deeper workloads — MoE above all, with its repeated
+//! per-expert subgraphs — clear 2x at `jobs = 4`.
+
+use std::time::{Duration, Instant};
+
+use entangle::{check_refinement, CheckOptions, CheckOutcome};
+use entangle_bench::{print_table, saturation_opts, secs, zoo};
+use entangle_parallel::Distributed;
+
+/// Best-of-N wall clock for one configuration, plus the last outcome.
+fn time_check(
+    gs: &entangle_ir::Graph,
+    dist: &Distributed,
+    opts: &CheckOptions,
+    reps: usize,
+) -> (Duration, CheckOutcome) {
+    let ri = dist.relation(gs).expect("relation builds");
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let outcome = check_refinement(gs, &dist.graph, &ri, opts)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", dist.graph.name()));
+        best = best.min(start.elapsed());
+        last = Some(outcome);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// The scheduled configuration under measurement: saturation pipeline only
+/// (no shard hints, no certification — those are other benchmarks' jobs),
+/// cross-operator cache on, `jobs` worker threads.
+fn par_opts(jobs: usize) -> CheckOptions {
+    CheckOptions {
+        jobs,
+        cache: true,
+        ..saturation_opts()
+    }
+}
+
+/// The pre-scheduler engine: one thread, no cache — byte-for-byte the
+/// legacy sequential loop.
+fn baseline_opts() -> CheckOptions {
+    CheckOptions {
+        jobs: 1,
+        cache: false,
+        ..saturation_opts()
+    }
+}
+
+fn main() {
+    let reps = 3;
+    let jobs_sweep = [1usize, 2, 4, 8];
+    println!("Parallel-checker benchmark ({reps} reps, best-of):\n");
+
+    let mut rows = Vec::new();
+    let mut json_cases = Vec::new();
+    for case in zoo() {
+        let (t_base, _) = time_check(&case.gs, &case.dist, &baseline_opts(), reps);
+
+        let mut times = Vec::new();
+        let mut last_outcome = None;
+        for &jobs in &jobs_sweep {
+            let (t, outcome) = time_check(&case.gs, &case.dist, &par_opts(jobs), reps);
+            times.push((jobs, t));
+            last_outcome = Some(outcome);
+        }
+        let outcome = last_outcome.expect("sweep is non-empty");
+
+        let t_of = |jobs: usize| {
+            times
+                .iter()
+                .find(|(j, _)| *j == jobs)
+                .map(|(_, t)| *t)
+                .expect("jobs value measured")
+        };
+        let speedup4 = t_of(1).as_secs_f64() / t_of(4).as_secs_f64().max(1e-9);
+        let vs_base = t_of(1).as_secs_f64() / t_base.as_secs_f64().max(1e-9);
+
+        let par = &outcome.par;
+        let hit_rate = par.hit_rate();
+        let tel = &outcome.saturation.telemetry;
+        let searched = tel.searched_classes;
+        let skipped = tel.skipped_classes;
+        let skip_rate = skipped as f64 / ((searched + skipped) as f64).max(1.0);
+
+        rows.push(vec![
+            case.display.clone(),
+            secs(t_base),
+            secs(t_of(1)),
+            secs(t_of(2)),
+            secs(t_of(4)),
+            secs(t_of(8)),
+            format!("{speedup4:.2}x"),
+            format!("{:.0}%", hit_rate * 100.0),
+            format!("{:.0}%", skip_rate * 100.0),
+        ]);
+        let jobs_json: Vec<String> = times
+            .iter()
+            .map(|(j, t)| format!("{{\"jobs\":{j},\"ms\":{:.3}}}", t.as_secs_f64() * 1e3))
+            .collect();
+        json_cases.push(format!(
+            "{{\"name\":{},\"baseline_ms\":{:.3},\"sweep\":[{}],\
+             \"speedup_at_4\":{:.3},\"jobs1_vs_baseline\":{:.3},\
+             \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.4},\
+             \"ematch_searched\":{searched},\"ematch_skipped\":{skipped},\
+             \"ematch_skip_rate\":{skip_rate:.4}}}",
+            entangle_lint::json_str(&case.display),
+            t_base.as_secs_f64() * 1e3,
+            jobs_json.join(","),
+            speedup4,
+            vs_base,
+            par.cache_hits,
+            par.cache_misses,
+            hit_rate,
+        ));
+    }
+
+    print_table(
+        &[
+            "workload", "baseline", "j=1", "j=2", "j=4", "j=8", "x @ j=4", "cache", "skip",
+        ],
+        &rows,
+    );
+
+    let json = format!(
+        "{{\"bench\":\"parallel_checker\",\"reps\":{reps},\"cores\":{},\"cases\":[{}]}}\n",
+        entangle_par::available_jobs(),
+        json_cases.join(",")
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_par.json", &json).expect("write BENCH_par.json");
+    println!("\nwrote results/BENCH_par.json");
+}

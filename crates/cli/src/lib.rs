@@ -162,6 +162,9 @@ USAGE:
 GLOBAL FLAGS (any subcommand):
   --trace FILE   stream a JSON-lines structured trace of the invocation to
                  FILE; never changes stdout output or the exit code
+  --jobs N       worker threads for the refinement checker's dependency-
+                 aware scheduler (default: detected cores). Results are
+                 identical for any N; N=1 is the sequential engine
 
 Mappings relate each G_s input tensor to an s-expression over G_d tensor
 names, e.g.  --map 'A=(concat A1 A2 1)'. A --maps file holds one mapping
@@ -491,29 +494,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// Global flags valid in any position, for any subcommand, extracted by
+/// [`parse_invocation`] before subcommand parsing.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalFlags {
+    /// `--trace FILE`: stream a JSON-lines structured trace to FILE.
+    pub trace: Option<String>,
+    /// `--jobs N`: worker-thread count for the refinement checker's
+    /// dependency-aware scheduler. `None` defers to the library default
+    /// (the detected core count); `0` is normalized to 1 by the checker.
+    pub jobs: Option<usize>,
+}
+
 /// Parses a full argv (without the program name), extracting the global
-/// `--trace FILE` flag — valid in any position, for any subcommand — before
-/// subcommand parsing. Returns the command and the trace-file path, if any.
+/// flags (`--trace FILE`, `--jobs N`) — valid in any position, for any
+/// subcommand — before subcommand parsing.
 ///
 /// # Errors
 ///
-/// Returns a usage error when `--trace` is missing its operand or the
-/// remaining arguments do not parse.
-pub fn parse_invocation(args: &[String]) -> Result<(Command, Option<String>), CliError> {
+/// Returns a usage error when a global flag is missing or has a malformed
+/// operand, or the remaining arguments do not parse.
+pub fn parse_invocation(args: &[String]) -> Result<(Command, GlobalFlags), CliError> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut trace = None;
+    let mut flags = GlobalFlags::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--trace" {
             let path = it
                 .next()
                 .ok_or_else(|| CliError("--trace needs a file path".into()))?;
-            trace = Some(path.clone());
+            flags.trace = Some(path.clone());
+        } else if a == "--jobs" {
+            let n = it
+                .next()
+                .ok_or_else(|| CliError("--jobs needs a thread count".into()))?;
+            let n: usize = n
+                .parse()
+                .map_err(|_| CliError(format!("--jobs: not a thread count: {n:?}")))?;
+            flags.jobs = Some(n);
         } else {
             rest.push(a.clone());
         }
     }
-    Ok((parse_args(&rest)?, trace))
+    Ok((parse_args(&rest)?, flags))
 }
 
 /// Parses one `name=expr` mapping.
@@ -578,10 +601,24 @@ pub fn run(cmd: &Command) -> i32 {
 /// invocation streams a JSON-lines structured trace to `trace_path` as it
 /// executes. Tracing never changes stdout output or the exit code.
 pub fn run_traced(cmd: &Command, trace_path: Option<&str>) -> i32 {
+    run_with(
+        cmd,
+        &GlobalFlags {
+            trace: trace_path.map(str::to_owned),
+            jobs: None,
+        },
+    )
+}
+
+/// Runs a parsed command under the full set of global flags (`--trace`,
+/// `--jobs`). Neither flag changes stdout verdict lines or the exit code;
+/// `--jobs` only selects the checker's worker-thread count.
+pub fn run_with(cmd: &Command, flags: &GlobalFlags) -> i32 {
+    let trace_path = flags.trace.as_deref();
     if matches!(cmd, Command::Trace { .. }) {
         // The trace subcommand collects in memory — it analyzes its own
         // spans after the run — and honors --trace itself.
-        return match run_trace(cmd, trace_path) {
+        return match run_trace(cmd, trace_path, flags.jobs) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -601,7 +638,7 @@ pub fn run_traced(cmd: &Command, trace_path: Option<&str>) -> i32 {
         },
     };
     let mut root = tracer.span(&format!("cli:{}", command_name(cmd)));
-    let code = match run_inner(cmd, &tracer) {
+    let code = match run_inner(cmd, &tracer, flags.jobs) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
@@ -612,6 +649,38 @@ pub fn run_traced(cmd: &Command, trace_path: Option<&str>) -> i32 {
     root.attr("exit", code);
     drop(root);
     code
+}
+
+/// The default [`CheckOptions`] for a CLI invocation: tracing into the
+/// invocation's tracer, worker count from `--jobs` when given.
+fn check_options(tracer: &Tracer, jobs: Option<usize>) -> CheckOptions {
+    let mut opts = CheckOptions {
+        trace: tracer.clone(),
+        ..CheckOptions::default()
+    };
+    if let Some(j) = jobs {
+        opts.jobs = j;
+    }
+    opts
+}
+
+/// One human-readable line summarizing the checker's scheduler and
+/// cross-operator cache behavior, printed after check/certify verdicts.
+fn par_summary(par: &entangle::ParStats) -> String {
+    let cache = if par.cache_enabled {
+        format!(
+            "cache {} hits / {} misses ({:.0}% hit rate)",
+            par.cache_hits,
+            par.cache_misses,
+            par.hit_rate() * 100.0
+        )
+    } else {
+        "cache off".to_owned()
+    };
+    format!(
+        "parallel : {} jobs on {} cores; {}",
+        par.jobs, par.cores, cache
+    )
 }
 
 fn command_name(cmd: &Command) -> &'static str {
@@ -631,7 +700,7 @@ fn ms(d: Duration) -> String {
     format!("{:.1}ms", d.as_secs_f64() * 1e3)
 }
 
-fn run_inner(cmd: &Command, tracer: &Tracer) -> Result<i32, CliError> {
+fn run_inner(cmd: &Command, tracer: &Tracer, jobs: Option<usize>) -> Result<i32, CliError> {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -763,6 +832,11 @@ fn run_inner(cmd: &Command, tracer: &Tracer) -> Result<i32, CliError> {
             println!("lint     : {}", lint.summary());
             println!("shard    : {}", shard.summary());
             println!(
+                "parallel : {} cores detected, checker runs {} jobs by default",
+                entangle_par::available_jobs(),
+                jobs.unwrap_or_else(entangle_par::available_jobs).max(1)
+            );
+            println!(
                 "timings  : load {}, lint {}, shard {} (total {})",
                 ms(t_load),
                 ms(t_lint),
@@ -775,13 +849,11 @@ fn run_inner(cmd: &Command, tracer: &Tracer) -> Result<i32, CliError> {
             let gs = load_graph(gs)?;
             let gd = load_graph(gd)?;
             let ri = build_relation(&gs, &gd, maps)?;
-            let opts = CheckOptions {
-                trace: tracer.clone(),
-                ..CheckOptions::default()
-            };
+            let opts = check_options(tracer, jobs);
             match check_refinement(&gs, &gd, &ri, &opts) {
                 Ok(outcome) => {
                     println!("Refinement verification succeeded for {}.", gd.name());
+                    println!("{}", par_summary(&outcome.par));
                     println!("\nOutput relation:");
                     print!("{}", outcome.output_relation.display(&gs));
                     Ok(0)
@@ -860,11 +932,8 @@ fn run_inner(cmd: &Command, tracer: &Tracer) -> Result<i32, CliError> {
             }
 
             let ri = build_relation(&gs, &gd, maps)?;
-            let opts = CheckOptions {
-                certify: true,
-                trace: tracer.clone(),
-                ..CheckOptions::default()
-            };
+            let mut opts = check_options(tracer, jobs);
+            opts.certify = true;
             match check_refinement(&gs, &gd, &ri, &opts) {
                 Ok(outcome) => {
                     let cert = outcome
@@ -887,6 +956,7 @@ fn run_inner(cmd: &Command, tracer: &Tracer) -> Result<i32, CliError> {
                             cert.mappings.len(),
                             cert.total_steps()
                         );
+                        println!("{}", par_summary(&outcome.par));
                         println!("\nOutput relation:");
                         print!("{}", outcome.output_relation.display(&gs));
                     }
@@ -906,9 +976,9 @@ fn run_inner(cmd: &Command, tracer: &Tracer) -> Result<i32, CliError> {
                 }
             }
         }
-        // Intercepted by `run_traced`; kept for completeness if called
+        // Intercepted by `run_with`; kept for completeness if called
         // directly (no --trace file in that path).
-        Command::Trace { .. } => run_trace(cmd, None),
+        Command::Trace { .. } => run_trace(cmd, None, jobs),
         Command::Expect {
             gs,
             gd,
@@ -921,10 +991,7 @@ fn run_inner(cmd: &Command, tracer: &Tracer) -> Result<i32, CliError> {
             let ri = build_relation(&gs, &gd, maps)?;
             let fs = fs.parse().map_err(|e| CliError(format!("--fs: {e}")))?;
             let fd = fd.parse().map_err(|e| CliError(format!("--fd: {e}")))?;
-            let opts = CheckOptions {
-                trace: tracer.clone(),
-                ..CheckOptions::default()
-            };
+            let opts = check_options(tracer, jobs);
             match check_expectation(&gs, &gd, &ri, &fs, &fd, &opts) {
                 Ok(_) => {
                     println!("User expectation holds.");
@@ -942,7 +1009,11 @@ fn run_inner(cmd: &Command, tracer: &Tracer) -> Result<i32, CliError> {
 
 /// The `entangle trace` subcommand: run a workload under an in-memory
 /// collector and print its timing profile, or validate a saved trace file.
-fn run_trace(cmd: &Command, trace_path: Option<&str>) -> Result<i32, CliError> {
+fn run_trace(
+    cmd: &Command,
+    trace_path: Option<&str>,
+    jobs: Option<usize>,
+) -> Result<i32, CliError> {
     let Command::Trace {
         workload,
         gs,
@@ -1011,11 +1082,8 @@ fn run_trace(cmd: &Command, trace_path: Option<&str>) -> Result<i32, CliError> {
     // Full certified pipeline: every stage — lint, shard, mapping search,
     // outputs gate, trusted kernel — shows up in the profile.
     let (tracer, sink) = Tracer::collect();
-    let opts = CheckOptions {
-        certify: true,
-        trace: tracer.clone(),
-        ..CheckOptions::default()
-    };
+    let mut opts = check_options(&tracer, jobs);
+    opts.certify = true;
     let start = Instant::now();
     let result = check_refinement(&gs, &gd, &ri, &opts);
     let wall = start.elapsed();
@@ -1054,7 +1122,10 @@ fn run_trace(cmd: &Command, trace_path: Option<&str>) -> Result<i32, CliError> {
         gd.num_nodes()
     );
     match &result {
-        Ok(_) => println!("verdict  : verified in {}", ms(wall)),
+        Ok(outcome) => {
+            println!("verdict  : verified in {}", ms(wall));
+            println!("{}", par_summary(&outcome.par));
+        }
         Err(_) => println!("verdict  : FAILED in {}", ms(wall)),
     }
     println!();

@@ -180,23 +180,38 @@ fn parse_trace_command() {
 }
 
 #[test]
-fn parse_invocation_extracts_global_trace_flag() {
+fn parse_invocation_extracts_global_flags() {
     let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
     // Leading position.
-    let (cmd, trace) =
+    let (cmd, flags) =
         parse_invocation(&to_args(&["--trace", "out.jsonl", "lint", "g.json"])).unwrap();
     assert!(matches!(cmd, Command::Lint { .. }));
-    assert_eq!(trace.as_deref(), Some("out.jsonl"));
+    assert_eq!(flags.trace.as_deref(), Some("out.jsonl"));
+    assert_eq!(flags.jobs, None);
     // Trailing position.
-    let (cmd, trace) =
+    let (cmd, flags) =
         parse_invocation(&to_args(&["info", "g.json", "--trace", "t.jsonl"])).unwrap();
     assert!(matches!(cmd, Command::Info { .. }));
-    assert_eq!(trace.as_deref(), Some("t.jsonl"));
+    assert_eq!(flags.trace.as_deref(), Some("t.jsonl"));
     // Absent.
-    let (_, trace) = parse_invocation(&to_args(&["help"])).unwrap();
-    assert_eq!(trace, None);
-    // Missing operand.
+    let (_, flags) = parse_invocation(&to_args(&["help"])).unwrap();
+    assert_eq!(flags.trace, None);
+    assert_eq!(flags.jobs, None);
+    // --jobs in any position, combined with --trace.
+    let (cmd, flags) = parse_invocation(&to_args(&[
+        "--jobs", "4", "check", "a.json", "b.json", "--trace", "t.jsonl",
+    ]))
+    .unwrap();
+    assert!(matches!(cmd, Command::Check { .. }));
+    assert_eq!(flags.jobs, Some(4));
+    assert_eq!(flags.trace.as_deref(), Some("t.jsonl"));
+    let (_, flags) = parse_invocation(&to_args(&["lint", "g.json", "--jobs", "1"])).unwrap();
+    assert_eq!(flags.jobs, Some(1));
+    // Missing or malformed operands.
     assert!(parse_invocation(&to_args(&["lint", "g.json", "--trace"])).is_err());
+    assert!(parse_invocation(&to_args(&["lint", "g.json", "--jobs"])).is_err());
+    assert!(parse_invocation(&to_args(&["lint", "g.json", "--jobs", "many"])).is_err());
+    assert!(parse_invocation(&to_args(&["check", "a", "b", "--jobs", "-2"])).is_err());
 }
 
 #[test]

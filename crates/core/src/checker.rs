@@ -11,10 +11,12 @@ use entangle_egraph::{
 };
 use entangle_ir::{Graph, Node, NodeId, TensorId};
 use entangle_lemmas::{registry, rewrites_of, TensorAnalysis};
+use entangle_par::{with_pool, ShardedCache};
 use entangle_symbolic::SymCtx;
-use entangle_trace::Tracer;
+use entangle_trace::{Record, Tracer};
 
 use crate::encode::{clean_cost, encode_node, encode_op, CleanOps};
+use crate::memo::{build_problem, solve_problem, Solved};
 use crate::relation::Relation;
 
 /// Tuning knobs and ablation switches for [`check_refinement`].
@@ -72,6 +74,25 @@ pub struct CheckOptions {
     /// events — the `--trace` / `entangle trace` data. Tracing never
     /// changes verdicts, exit codes, or the search itself.
     pub trace: Tracer,
+    /// Worker threads for the dependency-aware operator scheduler (the
+    /// `--jobs` flag). Defaults to the detected core count; `0` is treated
+    /// as `1`. Parallel scheduling needs the per-operator e-graphs of the
+    /// frontier design, so it only engages when both
+    /// [`CheckOptions::fresh_egraph_per_op`] and [`CheckOptions::frontier`]
+    /// are on; the ablation modes always run sequentially. Verdicts,
+    /// reports, certificates, and trace structure are identical for any
+    /// `jobs` (see DESIGN.md's determinism contract).
+    pub jobs: usize,
+    /// The cross-operator saturation memo (on by default): per-operator
+    /// problems are canonicalized (tensor names become `$t0, $t1, …`) and
+    /// solved results are shared between structurally identical operators —
+    /// the repeated-layer/expert win. Hits replay the stored result through
+    /// an inverse renaming, so reports, telemetry, and certificates are
+    /// indistinguishable from a miss. Disabled automatically under symbolic
+    /// dimensions or assumptions (the context is part of the problem but
+    /// not the key) and in the ablation modes. Turn off to measure the
+    /// uncached engine (`bench_par`'s baseline).
+    pub cache: bool,
 }
 
 impl Default for CheckOptions {
@@ -90,6 +111,36 @@ impl Default for CheckOptions {
             shard_hints: true,
             certify: true,
             trace: Tracer::null(),
+            jobs: entangle_par::available_jobs(),
+            cache: true,
+        }
+    }
+}
+
+/// How the scheduler and saturation memo behaved during one check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParStats {
+    /// Worker threads the scheduler actually used (1 in the sequential
+    /// ablation modes regardless of [`CheckOptions::jobs`]).
+    pub jobs: usize,
+    /// Cores detected on this machine.
+    pub cores: usize,
+    /// Whether the saturation memo was active.
+    pub cache_enabled: bool,
+    /// Memo lookups that found a previously solved canonical problem.
+    pub cache_hits: u64,
+    /// Memo lookups that had to solve from scratch.
+    pub cache_misses: u64,
+}
+
+impl ParStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 }
@@ -169,6 +220,11 @@ impl LemmaStats {
         }
     }
 
+    /// Merges another stats collection in (worker-local → whole-check).
+    pub fn absorb(&mut self, other: &LemmaStats) {
+        self.merge(&other.counts);
+    }
+
     /// Applications of one lemma.
     pub fn count(&self, lemma: &str) -> u64 {
         self.counts.get(lemma).copied().unwrap_or(0)
@@ -229,6 +285,11 @@ pub struct CheckOutcome {
     /// passed `entangle_cert::verify`; it can be serialized with
     /// `entangle_cert::to_json` and re-checked out-of-process.
     pub certificate: Option<Certificate>,
+    /// Scheduler and saturation-memo statistics (`entangle info` /
+    /// `bench_par` data). The only [`CheckOutcome`] field allowed to vary
+    /// with [`CheckOptions::jobs`]: hit/miss counts depend on which of two
+    /// racing workers reaches a key first.
+    pub par: ParStats,
 }
 
 /// Refinement failure: `G_d` does not (provably) refine `G_s`.
@@ -577,6 +638,25 @@ fn check_refinement_inner(
         .collect();
     let gs_output_set: HashSet<TensorId> = gs.outputs().iter().copied().collect();
 
+    // Engine selection. The dependency-aware scheduler (and the memo built
+    // on it) needs per-operator e-graphs and the frontier rule — the
+    // ablation modes keep the exact sequential code path below. The memo
+    // additionally requires a concrete symbolic context: SymCtx is part of
+    // every problem but not of the cache key.
+    let can_schedule = opts.fresh_egraph_per_op && opts.frontier;
+    let use_cache = opts.cache
+        && can_schedule
+        && opts.sym_ctx.num_vars() == 0
+        && opts.sym_ctx.num_assumptions() == 0;
+    let jobs = if can_schedule { opts.jobs.max(1) } else { 1 };
+    let scheduled = can_schedule && (use_cache || jobs > 1);
+    let cache: Option<ShardedCache<Solved>> = use_cache.then(|| ShardedCache::new(16));
+    let cfg_fp = if use_cache {
+        engine_fingerprint(opts, &rewrites)
+    } else {
+        String::new()
+    };
+
     // Monolithic (ablation) mode: one shared e-graph with all of G_d.
     let mut shared: Option<EGraph<TensorAnalysis>> = if opts.fresh_egraph_per_op {
         None
@@ -591,147 +671,173 @@ fn check_refinement_inner(
     };
 
     let map_stage = tracer.span("stage:map");
-    for node in gs.nodes() {
-        let start = Instant::now();
-        let mut osp = tracer.span(&format!("op:{}", node.name));
-        osp.attr("op", node.op.name());
-        let hint_exprs: &[RecExpr] = hinted.get(&node.output).map(Vec::as_slice).unwrap_or(&[]);
+    if scheduled {
+        let ctx = MapCtx::new(
+            gs,
+            gd,
+            opts,
+            &rewrites,
+            &hinted,
+            &gd_output_names,
+            &gs_output_set,
+            cache.as_ref(),
+            cfg_fp,
+        );
+        let mut st = MapState {
+            relation: &mut relation,
+            stats: &mut stats,
+            saturation: &mut saturation,
+            op_reports: &mut op_reports,
+            certificate: &mut certificate,
+        };
+        map_stage_scheduled(&ctx, &mut st, jobs)?;
+    } else {
+        for node in gs.nodes() {
+            let start = Instant::now();
+            let mut osp = tracer.span(&format!("op:{}", node.name));
+            osp.attr("op", node.op.name());
+            let hint_exprs: &[RecExpr] = hinted.get(&node.output).map(Vec::as_slice).unwrap_or(&[]);
 
-        // A hint covers this operator when it proves at least one mapping —
-        // and, for a G_s *output*, at least one mapping over G_d outputs
-        // alone (otherwise the Listing 1 line 9 gate still needs whatever
-        // saturation can find). Clean-op nodes (add, concat, …) are never
-        // skipped: their saturation is cheap, and the alternate mappings it
-        // discovers carry the leaf diversity later frontiers seed from —
-        // skipping them can starve a downstream operator of the very G_d
-        // names it needs to pull producers into its frontier.
-        let covered = !hint_exprs.is_empty()
-            && !opts.clean.is_clean(node.op.name())
-            && (!gs_output_set.contains(&node.output)
-                || hint_exprs.iter().any(|e| {
-                    e.leaf_symbols()
-                        .iter()
-                        .all(|s| gd_output_names.contains(s.as_str()))
-                }));
-        if covered {
+            // A hint covers this operator when it proves at least one mapping —
+            // and, for a G_s *output*, at least one mapping over G_d outputs
+            // alone (otherwise the Listing 1 line 9 gate still needs whatever
+            // saturation can find). Clean-op nodes (add, concat, …) are never
+            // skipped: their saturation is cheap, and the alternate mappings it
+            // discovers carry the leaf diversity later frontiers seed from —
+            // skipping them can starve a downstream operator of the very G_d
+            // names it needs to pull producers into its frontier.
+            let covered = !hint_exprs.is_empty()
+                && !opts.clean.is_clean(node.op.name())
+                && (!gs_output_set.contains(&node.output)
+                    || hint_exprs.iter().any(|e| {
+                        e.leaf_symbols()
+                            .iter()
+                            .all(|s| gd_output_names.contains(s.as_str()))
+                    }));
+            if covered {
+                for expr in hint_exprs {
+                    relation.insert(node.output, expr.clone());
+                }
+                osp.attr("hinted", "true");
+                osp.attr("mappings", hint_exprs.len());
+                op_reports.push(OpReport {
+                    name: node.name.clone(),
+                    elapsed: start.elapsed(),
+                    egraph_nodes: 0,
+                    mappings: hint_exprs.len(),
+                    hinted: true,
+                    rounds: 0,
+                    stop: None,
+                });
+                continue;
+            }
+
+            // The inputs' first mappings, in operator order: the saturation base
+            // term applies the operator to exactly these (see node_out_rel step
+            // 1), so they are what a mapping certificate must record.
+            let first_inputs: Vec<RecExpr> = node
+                .inputs
+                .iter()
+                .filter_map(|&t| relation.mappings(t).and_then(<[RecExpr]>::first).cloned())
+                .collect();
+
+            let attempt = match &mut shared {
+                Some(eg) => {
+                    let m = node_out_rel(
+                        gs,
+                        gd,
+                        node,
+                        &relation,
+                        opts,
+                        &rewrites,
+                        &mut stats,
+                        &mut saturation,
+                        eg,
+                        false,
+                        tracer,
+                    );
+                    let n = eg.total_nodes();
+                    m.map(|m| (m, n))
+                }
+                None => {
+                    let mut eg = fresh_egraph(gd, opts);
+                    let m = node_out_rel(
+                        gs,
+                        gd,
+                        node,
+                        &relation,
+                        opts,
+                        &rewrites,
+                        &mut stats,
+                        &mut saturation,
+                        &mut eg,
+                        opts.frontier,
+                        tracer,
+                    );
+                    let n = eg.total_nodes();
+                    m.map(|m| (m, n))
+                }
+            };
+            let (search, nodes_after, rescued) = match attempt {
+                Ok((s, n)) => (s, n, false),
+                // Saturation found nothing, but the hints *prove* mappings over
+                // G_d intermediates: defer to the R_o gate below, which reports
+                // the sharper "reconstructs only from intermediates" failure.
+                Err(e) if !hint_exprs.is_empty() => {
+                    osp.attr("outcome", "rescued-by-hints");
+                    let _ = e;
+                    (NodeSearch::default(), 0, true)
+                }
+                Err(e) => {
+                    osp.attr("outcome", error_kind(&e));
+                    return Err(e);
+                }
+            };
+            let NodeSearch {
+                mappings,
+                rounds,
+                stop,
+            } = search;
+            for (expr, proof) in mappings {
+                if let Some(c) = &mut certificate {
+                    let proof = proof.ok_or_else(|| RefinementError::CertRejected {
+                        error: CertError::Rejected {
+                            tensor: gs.tensor(node.output).name.clone(),
+                            reason: format!(
+                                "the engine could not extract a rewrite chain for {expr}"
+                            ),
+                        },
+                    })?;
+                    c.mappings.push(MappingCert {
+                        tensor: gs.tensor(node.output).name.clone(),
+                        operator: node.name.clone(),
+                        inputs: first_inputs.clone(),
+                        expr: expr.clone(),
+                        proof,
+                    });
+                }
+                relation.insert(node.output, expr);
+            }
             for expr in hint_exprs {
                 relation.insert(node.output, expr.clone());
             }
-            osp.attr("hinted", "true");
-            osp.attr("mappings", hint_exprs.len());
+            let n_mappings = relation.mappings(node.output).map_or(0, <[RecExpr]>::len);
+            osp.attr("mappings", n_mappings);
+            osp.attr("egraph_nodes", nodes_after);
+            osp.attr("rounds", rounds);
+            if let Some(stop) = stop {
+                osp.attr("stop", stop);
+            }
             op_reports.push(OpReport {
                 name: node.name.clone(),
                 elapsed: start.elapsed(),
-                egraph_nodes: 0,
-                mappings: hint_exprs.len(),
-                hinted: true,
-                rounds: 0,
-                stop: None,
+                egraph_nodes: nodes_after,
+                mappings: n_mappings,
+                hinted: rescued,
+                rounds,
+                stop,
             });
-            continue;
         }
-
-        // The inputs' first mappings, in operator order: the saturation base
-        // term applies the operator to exactly these (see node_out_rel step
-        // 1), so they are what a mapping certificate must record.
-        let first_inputs: Vec<RecExpr> = node
-            .inputs
-            .iter()
-            .filter_map(|&t| relation.mappings(t).and_then(<[RecExpr]>::first).cloned())
-            .collect();
-
-        let attempt = match &mut shared {
-            Some(eg) => {
-                let m = node_out_rel(
-                    gs,
-                    gd,
-                    node,
-                    &relation,
-                    opts,
-                    &rewrites,
-                    &mut stats,
-                    &mut saturation,
-                    eg,
-                    false,
-                );
-                let n = eg.total_nodes();
-                m.map(|m| (m, n))
-            }
-            None => {
-                let mut eg = fresh_egraph(gd, opts);
-                let m = node_out_rel(
-                    gs,
-                    gd,
-                    node,
-                    &relation,
-                    opts,
-                    &rewrites,
-                    &mut stats,
-                    &mut saturation,
-                    &mut eg,
-                    opts.frontier,
-                );
-                let n = eg.total_nodes();
-                m.map(|m| (m, n))
-            }
-        };
-        let (search, nodes_after, rescued) = match attempt {
-            Ok((s, n)) => (s, n, false),
-            // Saturation found nothing, but the hints *prove* mappings over
-            // G_d intermediates: defer to the R_o gate below, which reports
-            // the sharper "reconstructs only from intermediates" failure.
-            Err(e) if !hint_exprs.is_empty() => {
-                osp.attr("outcome", "rescued-by-hints");
-                let _ = e;
-                (NodeSearch::default(), 0, true)
-            }
-            Err(e) => {
-                osp.attr("outcome", error_kind(&e));
-                return Err(e);
-            }
-        };
-        let NodeSearch {
-            mappings,
-            rounds,
-            stop,
-        } = search;
-        for (expr, proof) in mappings {
-            if let Some(c) = &mut certificate {
-                let proof = proof.ok_or_else(|| RefinementError::CertRejected {
-                    error: CertError::Rejected {
-                        tensor: gs.tensor(node.output).name.clone(),
-                        reason: format!("the engine could not extract a rewrite chain for {expr}"),
-                    },
-                })?;
-                c.mappings.push(MappingCert {
-                    tensor: gs.tensor(node.output).name.clone(),
-                    operator: node.name.clone(),
-                    inputs: first_inputs.clone(),
-                    expr: expr.clone(),
-                    proof,
-                });
-            }
-            relation.insert(node.output, expr);
-        }
-        for expr in hint_exprs {
-            relation.insert(node.output, expr.clone());
-        }
-        let n_mappings = relation.mappings(node.output).map_or(0, <[RecExpr]>::len);
-        osp.attr("mappings", n_mappings);
-        osp.attr("egraph_nodes", nodes_after);
-        osp.attr("rounds", rounds);
-        if let Some(stop) = stop {
-            osp.attr("stop", stop);
-        }
-        op_reports.push(OpReport {
-            name: node.name.clone(),
-            elapsed: start.elapsed(),
-            egraph_nodes: nodes_after,
-            mappings: n_mappings,
-            hinted: rescued,
-            rounds,
-            stop,
-        });
     }
     drop(map_stage);
 
@@ -792,6 +898,7 @@ fn check_refinement_inner(
         r.map_err(|error| RefinementError::CertRejected { error })?;
     }
 
+    let cache_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
     Ok(CheckOutcome {
         output_relation,
         full_relation: relation,
@@ -799,7 +906,47 @@ fn check_refinement_inner(
         op_reports,
         saturation,
         certificate,
+        par: ParStats {
+            jobs,
+            cores: entangle_par::available_jobs(),
+            cache_enabled: use_cache,
+            cache_hits: cache_stats.hits,
+            cache_misses: cache_stats.misses,
+        },
     })
+}
+
+/// The engine-configuration half of the memo key: everything other than the
+/// canonical problem that can change what [`solve_problem`] computes —
+/// saturation limits, pruning width, certification, the clean-operator set,
+/// and a fingerprint of the lemma corpus (name, searcher, right-hand side —
+/// `~dyn` for programmatic appliers — and conditionality per rewrite).
+fn engine_fingerprint(opts: &CheckOptions, rewrites: &[Rewrite<TensorAnalysis>]) -> String {
+    use std::fmt::Write;
+    let mut fp = String::with_capacity(64 * rewrites.len());
+    let _ = write!(
+        fp,
+        "|cfg:iters={},nodes={},time_us={},max={},certify={},clean={:?};lemmas:",
+        opts.iter_limit,
+        opts.node_limit,
+        opts.time_limit.as_micros(),
+        opts.max_mappings,
+        opts.certify,
+        opts.clean,
+    );
+    for rw in rewrites {
+        let _ = write!(fp, "{}:{}:", rw.name(), rw.searcher());
+        match rw.rhs() {
+            Some(p) => {
+                let _ = write!(fp, "{p}");
+            }
+            None => fp.push_str("~dyn"),
+        }
+        fp.push(':');
+        fp.push(if rw.has_condition() { 'c' } else { 'u' });
+        fp.push(';');
+    }
+    fp
 }
 
 /// Runs the sharding-propagation pass and converts its products: errors
@@ -859,6 +1006,595 @@ fn fresh_egraph(gd: &Graph, opts: &CheckOptions) -> EGraph<TensorAnalysis> {
     EGraph::with_analysis(analysis)
 }
 
+// ---------------------------------------------------------------------------
+// The dependency-aware operator scheduler (entangle-par).
+//
+// G_s operators only depend on each other through the relation: an operator
+// is dispatchable once every producer of one of its inputs has *completed*
+// (its mappings and hints are staged in the relation — identical to its
+// post-merge state). Workers solve operators out of order; the coordinator
+// merges results strictly in G_s index order, so reports, relation contents,
+// certificates, and trace structure match the sequential engine for any
+// worker count. Failure handling relies on the same invariant: the first
+// error the merge cursor reaches is the same first error the sequential
+// loop would have hit, because every operator before it merged successfully
+// with identical inputs.
+// ---------------------------------------------------------------------------
+
+/// Immutable per-check context shared with worker threads.
+struct MapCtx<'a> {
+    gs: &'a Graph,
+    gd: &'a Graph,
+    opts: &'a CheckOptions,
+    rewrites: &'a [Rewrite<TensorAnalysis>],
+    nodes: Vec<&'a Node>,
+    /// Per operator: the shard hints proving mappings of its output.
+    hint_vecs: Vec<&'a [RecExpr]>,
+    /// Per operator: `true` when hints fully cover it (no saturation).
+    covered: Vec<bool>,
+    cache: Option<&'a ShardedCache<Solved>>,
+    cfg_fp: String,
+}
+
+impl<'a> MapCtx<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        gs: &'a Graph,
+        gd: &'a Graph,
+        opts: &'a CheckOptions,
+        rewrites: &'a [Rewrite<TensorAnalysis>],
+        hinted: &'a HashMap<TensorId, Vec<RecExpr>>,
+        gd_output_names: &HashSet<&str>,
+        gs_output_set: &HashSet<TensorId>,
+        cache: Option<&'a ShardedCache<Solved>>,
+        cfg_fp: String,
+    ) -> Self {
+        let nodes: Vec<&Node> = gs.nodes().iter().collect();
+        let hint_vecs: Vec<&[RecExpr]> = nodes
+            .iter()
+            .map(|n| hinted.get(&n.output).map(Vec::as_slice).unwrap_or(&[]))
+            .collect();
+        // Same coverage rule as the sequential loop: a hint covers an
+        // operator when it proves a mapping (for a G_s output: over G_d
+        // outputs alone), and clean-op nodes are never skipped.
+        let covered: Vec<bool> = nodes
+            .iter()
+            .zip(&hint_vecs)
+            .map(|(node, hint_exprs)| {
+                !hint_exprs.is_empty()
+                    && !opts.clean.is_clean(node.op.name())
+                    && (!gs_output_set.contains(&node.output)
+                        || hint_exprs.iter().any(|e| {
+                            e.leaf_symbols()
+                                .iter()
+                                .all(|s| gd_output_names.contains(s.as_str()))
+                        }))
+            })
+            .collect();
+        MapCtx {
+            gs,
+            gd,
+            opts,
+            rewrites,
+            nodes,
+            hint_vecs,
+            covered,
+            cache,
+            cfg_fp,
+        }
+    }
+}
+
+/// The coordinator's mutable check state (owned by the calling thread).
+struct MapState<'a> {
+    relation: &'a mut Relation,
+    stats: &'a mut LemmaStats,
+    saturation: &'a mut SaturationSummary,
+    op_reports: &'a mut Vec<OpReport>,
+    certificate: &'a mut Option<Certificate>,
+}
+
+/// One operator's successfully computed result, in real (non-canonical)
+/// names.
+struct OpSuccess {
+    mappings: Vec<(RecExpr, Option<Proof>)>,
+    rounds: usize,
+    stop: Option<StopReason>,
+    egraph_nodes: usize,
+    /// Search failed but shard hints prove mappings: defer to the R_o gate.
+    rescued: bool,
+}
+
+struct OpFail {
+    stop: Option<StopReason>,
+}
+
+/// Everything a worker hands back for one operator.
+struct OpResult {
+    outcome: Result<OpSuccess, OpFail>,
+    stats: LemmaStats,
+    summary: SaturationSummary,
+    /// Buffered sub-tracer records (empty when tracing is off), replayed by
+    /// the coordinator at this operator's merge turn.
+    records: Vec<Record>,
+    elapsed: Duration,
+}
+
+/// Solves one operator on the current thread. `per_input` is the snapshot
+/// of its inputs' final mappings (operator order). With a cache, the
+/// canonical memo engine runs; without one, the classic per-operator search
+/// runs against a private e-graph. Either way the operator's spans go to a
+/// buffering sub-tracer for in-order replay.
+fn run_op(ctx: &MapCtx, idx: usize, per_input: &[Vec<RecExpr>], traced: bool) -> OpResult {
+    let start = Instant::now();
+    let node = ctx.nodes[idx];
+    let (tracer, sink) = if traced {
+        let (t, s) = Tracer::collect();
+        (t, Some(s))
+    } else {
+        (Tracer::null(), None)
+    };
+    let mut stats = LemmaStats::default();
+    let mut summary = SaturationSummary::default();
+
+    let mut osp = tracer.span(&format!("op:{}", node.name));
+    osp.attr("op", node.op.name());
+
+    let mut outcome: Result<OpSuccess, OpFail> = if per_input.iter().any(|m| m.is_empty()) {
+        Err(OpFail { stop: None })
+    } else if let Some(cache) = ctx.cache {
+        let (problem, back) = build_problem(ctx.gs, ctx.gd, node, per_input);
+        let key = problem.key(&ctx.cfg_fp);
+        let solved = match cache.get(&key) {
+            Some(v) => v,
+            None => cache.insert(key, solve_problem(&problem, ctx.opts, ctx.rewrites)),
+        };
+        emit_solved_trace(&tracer, &solved);
+        for r in &solved.run_reports {
+            stats.merge(&r.applications);
+            summary.record(r);
+        }
+        if solved.variants.is_empty() {
+            Err(OpFail { stop: solved.stop })
+        } else {
+            // Rename back to real G_d tensors, then restore the sequential
+            // engine's (cost, real text) ordering.
+            let mut mapped: Vec<(f64, RecExpr, Option<Proof>)> = solved
+                .variants
+                .iter()
+                .map(|(c, e, p)| {
+                    (
+                        *c,
+                        back.rename_expr(e),
+                        p.as_ref().map(|p| back.rename_proof(p)),
+                    )
+                })
+                .collect();
+            mapped.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.1.to_string().cmp(&b.1.to_string()))
+            });
+            Ok(OpSuccess {
+                mappings: mapped.into_iter().map(|(_, e, p)| (e, p)).collect(),
+                rounds: solved.rounds,
+                stop: solved.stop,
+                egraph_nodes: solved.egraph_nodes,
+                rescued: false,
+            })
+        }
+    } else {
+        // Direct engine: the classic search against a private e-graph, with
+        // the inputs' mappings staged in a local relation slice.
+        let mut local = Relation::new();
+        for (&t, exprs) in node.inputs.iter().zip(per_input) {
+            for e in exprs {
+                local.insert(t, e.clone());
+            }
+        }
+        let mut eg = fresh_egraph(ctx.gd, ctx.opts);
+        match node_out_rel(
+            ctx.gs,
+            ctx.gd,
+            node,
+            &local,
+            ctx.opts,
+            ctx.rewrites,
+            &mut stats,
+            &mut summary,
+            &mut eg,
+            true,
+            &tracer,
+        ) {
+            Ok(search) => Ok(OpSuccess {
+                mappings: search.mappings,
+                rounds: search.rounds,
+                stop: search.stop,
+                egraph_nodes: eg.total_nodes(),
+                rescued: false,
+            }),
+            Err(e) => {
+                let stop = match &e {
+                    RefinementError::OperatorUnmapped { stop, .. } => *stop,
+                    _ => None,
+                };
+                Err(OpFail { stop })
+            }
+        }
+    };
+    if outcome.is_err() && !ctx.hint_vecs[idx].is_empty() {
+        // Saturation found nothing, but the hints *prove* mappings over G_d
+        // intermediates: defer to the R_o gate, as the sequential loop does.
+        osp.attr("outcome", "rescued-by-hints");
+        outcome = Ok(OpSuccess {
+            mappings: Vec::new(),
+            rounds: 0,
+            stop: None,
+            egraph_nodes: 0,
+            rescued: true,
+        });
+    }
+    drop(osp);
+    OpResult {
+        outcome,
+        stats,
+        summary,
+        records: sink.map(|s| s.records()).unwrap_or_default(),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Emits the encode/saturate/extract spans for a memoized solution —
+/// identical structure whether the solution was just computed or replayed
+/// from the cache, so trace files are hit/miss-invariant.
+fn emit_solved_trace(tracer: &Tracer, solved: &Solved) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    {
+        let mut sp = tracer.span("encode");
+        sp.attr("nodes", solved.encode_nodes);
+    }
+    for (i, report) in solved.run_reports.iter().enumerate() {
+        let mut sat_span = tracer.span("saturate");
+        let run_start_us = tracer.now_us();
+        // The span describes the memoized run, so it reports that run's
+        // wall clock (identical for a fresh solve and a cache replay).
+        sat_span.set_elapsed_us(report.elapsed.as_micros() as u64);
+        sat_span.attr("round", i + 1);
+        sat_span.attr("stop", report.stop_reason);
+        sat_span.attr("iterations", report.iterations);
+        sat_span.attr("nodes", report.egraph_nodes);
+        sat_span.attr("classes", report.egraph_classes);
+        for it in &report.saturation.iterations {
+            tracer.event_at(
+                "iteration",
+                run_start_us + it.start_us,
+                Some(it.search_us + it.apply_us + it.rebuild_us),
+                &[
+                    ("nodes", it.nodes.to_string()),
+                    ("classes", it.classes.to_string()),
+                    ("memo", it.memo.to_string()),
+                    ("unions", it.unions.to_string()),
+                    ("search_us", it.search_us.to_string()),
+                    ("apply_us", it.apply_us.to_string()),
+                    ("rebuild_us", it.rebuild_us.to_string()),
+                ],
+            );
+        }
+    }
+    let mut extract_span = tracer.span("extract");
+    extract_span.attr("variants", solved.variants.len());
+    if solved.variants.is_empty() {
+        extract_span.attr("outcome", "unmapped");
+    }
+}
+
+/// Stages a completed operator's products into the relation so its
+/// consumers can snapshot them. Idempotent (the relation dedups), and
+/// byte-equal to what the in-order merge inserts.
+fn stage_result(ctx: &MapCtx, relation: &mut Relation, idx: usize, success: &OpSuccess) {
+    let out = ctx.nodes[idx].output;
+    for (expr, _) in &success.mappings {
+        relation.insert(out, expr.clone());
+    }
+    for expr in ctx.hint_vecs[idx] {
+        relation.insert(out, expr.clone());
+    }
+}
+
+/// Merges a hint-covered operator at its turn: same span, report, and
+/// relation contents as the sequential loop's skip branch.
+fn merge_covered(ctx: &MapCtx, st: &mut MapState, idx: usize, elapsed: Duration) {
+    let node = ctx.nodes[idx];
+    let hint_exprs = ctx.hint_vecs[idx];
+    for expr in hint_exprs {
+        st.relation.insert(node.output, expr.clone());
+    }
+    let mut osp = ctx.opts.trace.span(&format!("op:{}", node.name));
+    osp.attr("op", node.op.name());
+    osp.attr("hinted", "true");
+    osp.attr("mappings", hint_exprs.len());
+    drop(osp);
+    st.op_reports.push(OpReport {
+        name: node.name.clone(),
+        elapsed,
+        egraph_nodes: 0,
+        mappings: hint_exprs.len(),
+        hinted: true,
+        rounds: 0,
+        stop: None,
+    });
+}
+
+/// Merges one solved operator at its in-order turn: certificate assembly,
+/// relation insertion, trace replay (with the coordinator-side outcome
+/// attributes appended), and the operator report — or the localized
+/// failure, which is the same failure the sequential loop reports because
+/// every earlier operator already merged with identical inputs.
+fn merge_run(
+    ctx: &MapCtx,
+    st: &mut MapState,
+    idx: usize,
+    res: OpResult,
+    worker: usize,
+) -> Result<(), RefinementError> {
+    let node = ctx.nodes[idx];
+    let tracer = &ctx.opts.trace;
+    st.stats.absorb(&res.stats);
+    st.saturation
+        .stops
+        .extend(res.summary.stops.iter().copied());
+    st.saturation.telemetry.merge(&res.summary.telemetry);
+    match res.outcome {
+        Ok(success) => {
+            // The inputs' first mappings, read from the already-merged
+            // relation (the certificate's recorded operator inputs).
+            let first_inputs: Vec<RecExpr> = node
+                .inputs
+                .iter()
+                .filter_map(|&t| {
+                    st.relation
+                        .mappings(t)
+                        .and_then(<[RecExpr]>::first)
+                        .cloned()
+                })
+                .collect();
+            for (expr, proof) in &success.mappings {
+                if let Some(c) = st.certificate.as_mut() {
+                    let proof = proof.clone().ok_or_else(|| RefinementError::CertRejected {
+                        error: CertError::Rejected {
+                            tensor: ctx.gs.tensor(node.output).name.clone(),
+                            reason: format!(
+                                "the engine could not extract a rewrite chain for {expr}"
+                            ),
+                        },
+                    })?;
+                    c.mappings.push(MappingCert {
+                        tensor: ctx.gs.tensor(node.output).name.clone(),
+                        operator: node.name.clone(),
+                        inputs: first_inputs.clone(),
+                        expr: expr.clone(),
+                        proof,
+                    });
+                }
+                st.relation.insert(node.output, expr.clone());
+            }
+            for expr in ctx.hint_vecs[idx] {
+                st.relation.insert(node.output, expr.clone());
+            }
+            let n_mappings = st
+                .relation
+                .mappings(node.output)
+                .map_or(0, <[RecExpr]>::len);
+            let mut extra: Vec<(String, String)> = vec![
+                ("mappings".to_owned(), n_mappings.to_string()),
+                ("egraph_nodes".to_owned(), success.egraph_nodes.to_string()),
+                ("rounds".to_owned(), success.rounds.to_string()),
+            ];
+            if let Some(stop) = success.stop {
+                extra.push(("stop".to_owned(), stop.to_string()));
+            }
+            extra.push(("worker".to_owned(), worker.to_string()));
+            tracer.replay_records(&res.records, &extra);
+            st.op_reports.push(OpReport {
+                name: node.name.clone(),
+                elapsed: res.elapsed,
+                egraph_nodes: success.egraph_nodes,
+                mappings: n_mappings,
+                hinted: success.rescued,
+                rounds: success.rounds,
+                stop: success.stop,
+            });
+            Ok(())
+        }
+        Err(failure) => {
+            let extra = vec![
+                ("outcome".to_owned(), "operator-unmapped".to_owned()),
+                ("worker".to_owned(), worker.to_string()),
+            ];
+            tracer.replay_records(&res.records, &extra);
+            Err(RefinementError::OperatorUnmapped {
+                operator: node.name.clone(),
+                op: node.op.name().to_owned(),
+                node: node.id,
+                input_mappings: node
+                    .inputs
+                    .iter()
+                    .map(|&t| {
+                        (
+                            ctx.gs.tensor(t).name.clone(),
+                            st.relation
+                                .mappings(t)
+                                .map(|ms| ms.iter().map(|m| m.to_string()).collect())
+                                .unwrap_or_default(),
+                        )
+                    })
+                    .collect(),
+                stop: failure.stop,
+            })
+        }
+    }
+}
+
+/// What the coordinator holds for a completed-but-not-yet-merged operator.
+enum Done {
+    Covered,
+    Run(Box<OpResult>, usize),
+}
+
+/// Snapshot of an operator's input mappings at dispatch time. Producers
+/// have completed (and staged), so this equals the sequential engine's view.
+fn snapshot_inputs(relation: &Relation, node: &Node) -> Vec<Vec<RecExpr>> {
+    node.inputs
+        .iter()
+        .map(|&t| {
+            relation
+                .mappings(t)
+                .map(<[RecExpr]>::to_vec)
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+/// The scheduled map stage: dispatch operators as their producers complete,
+/// merge strictly in G_s index order.
+fn map_stage_scheduled(
+    ctx: &MapCtx,
+    st: &mut MapState,
+    jobs: usize,
+) -> Result<(), RefinementError> {
+    let n = ctx.nodes.len();
+    let traced = ctx.opts.trace.is_enabled();
+
+    if jobs <= 1 {
+        // In-process scheduling: same engine, no worker threads. (Reached
+        // when the memo is on; jobs=1 with the memo off takes the exact
+        // sequential code path in the caller.)
+        for idx in 0..n {
+            if ctx.covered[idx] {
+                merge_covered(ctx, st, idx, Duration::ZERO);
+                continue;
+            }
+            let per_input = snapshot_inputs(st.relation, ctx.nodes[idx]);
+            let res = run_op(ctx, idx, &per_input, traced);
+            merge_run(ctx, st, idx, res, 0)?;
+        }
+        return Ok(());
+    }
+
+    // Producer dependencies, restricted to earlier operators: a producer
+    // appearing *later* would leave this input unmapped in the sequential
+    // engine too, so the operator dispatches immediately and fails the
+    // same way.
+    let out_to_idx: HashMap<TensorId, usize> = ctx
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| (node.output, i))
+        .collect();
+    let deps: Vec<Vec<usize>> = ctx
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let mut d: Vec<usize> = node
+                .inputs
+                .iter()
+                .filter_map(|t| out_to_idx.get(t).copied())
+                .filter(|&j| j < i)
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        })
+        .collect();
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ds) in deps.iter().enumerate() {
+        for &d in ds {
+            consumers[d].push(i);
+        }
+    }
+    let mut dep_count: Vec<usize> = deps.iter().map(Vec::len).collect();
+    let mut ready: std::collections::BTreeSet<usize> =
+        (0..n).filter(|&i| dep_count[i] == 0).collect();
+    let mut dispatched = vec![false; n];
+    let mut pending: HashMap<usize, Done> = HashMap::new();
+    let mut merge_ptr = 0usize;
+    // Operators at or beyond the smallest failed index can never merge;
+    // stop dispatching them so the check drains promptly.
+    let mut min_failed: Option<usize> = None;
+
+    let work = |idx: usize, per_input: Vec<Vec<RecExpr>>| run_op(ctx, idx, &per_input, traced);
+
+    with_pool(jobs, work, |pool| -> Result<(), RefinementError> {
+        loop {
+            if merge_ptr == n {
+                return Ok(());
+            }
+            // Dispatch everything ready (covered operators complete inline,
+            // possibly readying their consumers within this loop).
+            while let Some(&idx) = ready.iter().next() {
+                ready.remove(&idx);
+                if min_failed.is_some_and(|f| idx >= f) {
+                    continue;
+                }
+                dispatched[idx] = true;
+                if ctx.covered[idx] {
+                    for expr in ctx.hint_vecs[idx] {
+                        st.relation.insert(ctx.nodes[idx].output, expr.clone());
+                    }
+                    pending.insert(idx, Done::Covered);
+                    for &c in &consumers[idx] {
+                        dep_count[c] -= 1;
+                        if dep_count[c] == 0 && !dispatched[c] {
+                            ready.insert(c);
+                        }
+                    }
+                } else {
+                    pool.submit(idx, snapshot_inputs(st.relation, ctx.nodes[idx]));
+                }
+            }
+            // Merge every consecutively completed operator.
+            while let Some(done) = pending.remove(&merge_ptr) {
+                let idx = merge_ptr;
+                merge_ptr += 1;
+                match done {
+                    Done::Covered => {
+                        // Hints were staged at dispatch; relation insertion
+                        // here dedups to the same contents.
+                        merge_covered(ctx, st, idx, Duration::ZERO)
+                    }
+                    Done::Run(res, worker) => merge_run(ctx, st, idx, *res, worker)?,
+                }
+                if merge_ptr == n {
+                    return Ok(());
+                }
+            }
+            assert!(
+                pool.in_flight() > 0,
+                "scheduler stalled: operator {merge_ptr} of {n} neither completed nor in flight"
+            );
+            let (idx, worker, res) = pool.recv();
+            match &res.outcome {
+                Ok(success) => {
+                    stage_result(ctx, st.relation, idx, success);
+                    for &c in &consumers[idx] {
+                        dep_count[c] -= 1;
+                        if dep_count[c] == 0 && !dispatched[c] {
+                            ready.insert(c);
+                        }
+                    }
+                }
+                Err(_) => {
+                    min_failed = Some(min_failed.map_or(idx, |f| f.min(idx)));
+                }
+            }
+            pending.insert(idx, Done::Run(Box::new(res), worker));
+        }
+    })
+}
+
 /// What one operator's mapping search produced (alongside the lemma stats
 /// and saturation telemetry accumulated through the `&mut` params).
 #[derive(Default)]
@@ -891,8 +1627,8 @@ fn node_out_rel(
     summary: &mut SaturationSummary,
     eg: &mut EGraph<TensorAnalysis>,
     frontier: bool,
+    tracer: &Tracer,
 ) -> Result<NodeSearch, RefinementError> {
-    let tracer = &opts.trace;
     let fail = |relation: &Relation, stop: Option<StopReason>| RefinementError::OperatorUnmapped {
         operator: node.name.clone(),
         op: node.op.name().to_owned(),
@@ -1107,7 +1843,39 @@ fn extract_clean_variants(
     prefer: &HashSet<&str>,
     max: usize,
 ) -> Vec<RecExpr> {
-    let cost = clean_cost(clean, prefer);
+    extract_clean_variants_with_cost(eg, class, clean, prefer, max, &|_| 0.0)
+        .into_iter()
+        .map(|(_, e)| e)
+        .collect()
+}
+
+/// [`extract_clean_variants`] keeping each variant's extraction cost — the
+/// saturation memo stores costs so a cache hit can re-sort the renamed
+/// variants exactly as the sequential engine would have.
+///
+/// `leaf_bias` adds a per-leaf cost on top of [`clean_cost`]. The
+/// sequential engine passes zero; the canonical memo engine passes a tiny
+/// first-occurrence-index bias so extraction ties between equal-cost leaves
+/// (e.g. a scale-half/scale-double chain collapsing several tensors into
+/// one class) break toward the most *upstream* leaf by construction instead
+/// of by tensor-name string order — which canonical renaming would
+/// otherwise scramble, starving downstream frontiers of producer tensors.
+pub(crate) fn extract_clean_variants_with_cost(
+    eg: &EGraph<TensorAnalysis>,
+    class: Id,
+    clean: &CleanOps,
+    prefer: &HashSet<&str>,
+    max: usize,
+    leaf_bias: &dyn Fn(&str) -> f64,
+) -> Vec<(f64, RecExpr)> {
+    let base_cost = clean_cost(clean, prefer);
+    let cost = |node: &ENode, children: &[f64]| {
+        let bias = match node {
+            ENode::Op(sym, ch) if ch.is_empty() => leaf_bias(sym.as_str()),
+            _ => 0.0,
+        };
+        base_cost(node, children) + bias
+    };
     let extractor = Extractor::new(eg, &cost);
     let mut variants: Vec<(f64, RecExpr)> = Vec::new();
     for node in &eg[class].nodes {
@@ -1120,7 +1888,7 @@ fn extract_clean_variants(
             {
                 let mut e = RecExpr::new();
                 e.add(node.clone());
-                Some((1.0, e))
+                Some((1.0 + leaf_bias(sym.as_str()), e))
             }
             ENode::Op(sym, ch) if clean.is_clean(sym.as_str()) => {
                 let mut children_exprs = Vec::with_capacity(ch.len());
@@ -1154,7 +1922,7 @@ fn extract_clean_variants(
             .then_with(|| a.1.to_string().cmp(&b.1.to_string()))
     });
     variants.truncate(max);
-    variants.into_iter().map(|(_, e)| e).collect()
+    variants
 }
 
 /// Builds a `RecExpr` applying `node` to already-extracted child

@@ -153,17 +153,40 @@ fn fold_binary_with_attr(
 /// Encodes a `G_d` node as the equality `leaf(output) ≡ op(leaf(inputs))`,
 /// returning the class holding both.
 pub fn encode_node(eg: &mut EGraph<TensorAnalysis>, gd: &entangle_ir::Graph, node: &Node) -> Id {
-    let inputs: Vec<Id> = node
+    let inputs: Vec<&str> = node
         .inputs
         .iter()
-        .map(|&t| eg.add(ENode::leaf(&gd.tensor(t).name)))
+        .map(|&t| gd.tensor(t).name.as_str())
         .collect();
-    let app = encode_op(eg, &node.op, &inputs);
-    let out_leaf = eg.add(ENode::leaf(&gd.tensor(node.output).name));
+    encode_def(
+        eg,
+        &node.op,
+        &inputs,
+        &gd.tensor(node.output).name,
+        &node.name,
+    )
+}
+
+/// Encodes one operator definition given by tensor *names* — the graph-free
+/// core of [`encode_node`], also used by the canonical-space saturation memo
+/// (where the names are `$t0, $t1, …` rather than real `G_d` tensors).
+pub fn encode_def(
+    eg: &mut EGraph<TensorAnalysis>,
+    op: &Op,
+    input_names: &[&str],
+    output_name: &str,
+    node_name: &str,
+) -> Id {
+    let inputs: Vec<Id> = input_names
+        .iter()
+        .map(|name| eg.add(ENode::leaf(name)))
+        .collect();
+    let app = encode_op(eg, op, &inputs);
+    let out_leaf = eg.add(ENode::leaf(output_name));
     let (root, _) = eg.union_with(
         out_leaf,
         app,
-        entangle_egraph::Justification::Given(format!("G_d definition of {}", node.name)),
+        entangle_egraph::Justification::Given(format!("G_d definition of {node_name}")),
     );
     root
 }

@@ -74,13 +74,14 @@
 mod checker;
 mod encode;
 mod expect;
+mod memo;
 mod relation;
 
 pub use checker::{
-    check_lint, check_refinement, CheckOptions, CheckOutcome, LemmaStats, OpReport,
+    check_lint, check_refinement, CheckOptions, CheckOutcome, LemmaStats, OpReport, ParStats,
     RefinementError, SaturationSummary,
 };
-pub use encode::{clean_cost, encode_node, CleanOps};
+pub use encode::{clean_cost, encode_def, encode_node, CleanOps};
 pub use entangle_egraph::{SaturationReport, StopReason};
 pub use expect::{append_expr, check_expectation, ExpectationError};
 pub use relation::{Relation, RelationBuilder};

@@ -1,0 +1,369 @@
+//! Canonical per-operator problems for the cross-operator saturation memo.
+//!
+//! Distributed ML graphs are towers of structurally identical blocks: every
+//! transformer layer, every MoE expert re-poses the *same* per-operator
+//! mapping problems over differently named tensors. This module extracts the
+//! naming-independent core of one operator's search — the [`OpProblem`] —
+//! and solves it entirely in a canonical namespace (`$t0, $t1, …` for `G_d`
+//! tensor leaves, `$i0, $i1, …` for `G_s` input facts, `$n0, $n1, …` for
+//! `G_d` definition facts), so two isomorphic operators produce the same
+//! cache key *and* byte-identical [`Solved`] values. The checker renames a
+//! solved result back through the inverse [`Renamer`] — including the proof
+//! chains and the `Given` fact strings the trusted kernel re-validates — so
+//! a cache hit is observationally identical to a miss.
+//!
+//! Canonical names are assigned in first-occurrence order of a traversal
+//! that is itself canonical: input-mapping leaves in input/expression order,
+//! then frontier-closure definition outputs in discovery order. Isomorphic
+//! subproblems therefore canonicalize identically even when their real
+//! tensors interleave differently in `G_d`.
+
+use std::collections::{HashMap, HashSet};
+
+use entangle_egraph::{
+    EGraph, Id, Justification, Proof, RecExpr, Rewrite, RunReport, Runner, StopReason, Symbol,
+};
+use entangle_ir::{DType, Graph, Node, NodeId, Op, Shape, TensorId};
+use entangle_lemmas::TensorAnalysis;
+use entangle_par::Renamer;
+
+use crate::checker::{extract_clean_variants_with_cost, CheckOptions};
+use crate::encode::{encode_def, encode_op};
+
+/// One `G_d` operator definition pulled into the frontier, in canonical
+/// names.
+#[derive(Debug)]
+pub(crate) struct CanonDef {
+    /// Canonical node name (`$n{j}`) — only used in the `Given` fact string.
+    pub name: String,
+    pub op: Op,
+    pub inputs: Vec<String>,
+    pub output: String,
+}
+
+/// One canonical tensor leaf (`$t{i}`) with the analysis data the engine
+/// needs (shape/dtype drive conditional lemmas and synthetic-leaf folding).
+#[derive(Debug)]
+pub(crate) struct CanonLeaf {
+    pub name: String,
+    pub shape: Shape,
+    pub dtype: DType,
+    /// `true` when the real tensor is a `G_d` *output* — extraction prefers
+    /// these on cost ties (Listing 1 line 9 only keeps output-leaf mappings
+    /// for `G_s` outputs).
+    pub prefer: bool,
+}
+
+/// A naming-independent per-operator mapping problem: everything
+/// [`solve_problem`] reads. Two operators with equal problems (and equal
+/// engine configuration) have byte-identical solutions.
+#[derive(Debug)]
+pub(crate) struct OpProblem {
+    pub op: Op,
+    /// Per `G_s` input, in operator order: the canonical input name
+    /// (`$i{k}`, used only in the union fact string) and the canonicalized
+    /// clean mappings.
+    pub inputs: Vec<(String, Vec<RecExpr>)>,
+    /// The frontier closure, round by round, exactly as the sequential
+    /// engine would discover it (round 1 may be empty — it still saturates
+    /// the base term once).
+    pub def_rounds: Vec<Vec<CanonDef>>,
+    /// Canonical leaves in `$t` index order.
+    pub leaves: Vec<CanonLeaf>,
+}
+
+/// Assigns `$t{i}` names in first-occurrence order and accumulates the
+/// inverse renaming.
+struct Canonizer<'g> {
+    gd: &'g Graph,
+    gd_output_set: HashSet<TensorId>,
+    fwd: Renamer,
+    back: Renamer,
+    canon_of: HashMap<TensorId, String>,
+    leaves: Vec<CanonLeaf>,
+}
+
+impl Canonizer<'_> {
+    fn assign(&mut self, t: TensorId) -> String {
+        if let Some(name) = self.canon_of.get(&t) {
+            return name.clone();
+        }
+        let tensor = self.gd.tensor(t);
+        let cname = format!("$t{}", self.leaves.len());
+        self.fwd
+            .leaf(Symbol::new(&tensor.name), Symbol::new(&cname));
+        self.back
+            .leaf(Symbol::new(&cname), Symbol::new(&tensor.name));
+        self.leaves.push(CanonLeaf {
+            name: cname.clone(),
+            shape: tensor.shape.clone(),
+            dtype: tensor.dtype,
+            prefer: self.gd_output_set.contains(&t),
+        });
+        self.canon_of.insert(t, cname.clone());
+        cname
+    }
+}
+
+/// Builds the canonical problem for one `G_s` operator given its inputs'
+/// current mappings (`per_input`, in operator order), plus the
+/// canonical→real [`Renamer`] that replays a solution.
+///
+/// The frontier closure is *simulated* here — same rule, same round
+/// structure as `node_out_rel` — rather than discovered during saturation:
+/// the set of reachable `G_d` definitions depends only on the input
+/// mappings' leaves and the graph, never on what saturation derives, so the
+/// closure is a pure function of the problem.
+pub(crate) fn build_problem(
+    gs: &Graph,
+    gd: &Graph,
+    node: &Node,
+    per_input: &[Vec<RecExpr>],
+) -> (OpProblem, Renamer) {
+    let name_to_tensor: HashMap<&str, TensorId> = gd
+        .tensors()
+        .iter()
+        .map(|t| (t.name.as_str(), t.id))
+        .collect();
+    let mut cz = Canonizer {
+        gd,
+        gd_output_set: gd.outputs().iter().copied().collect(),
+        fwd: Renamer::new(),
+        back: Renamer::new(),
+        canon_of: HashMap::new(),
+        leaves: Vec::new(),
+    };
+
+    // Seed the related set (and the canonical namespace) from the input
+    // mappings' G_d leaves, in input/expression/leaf order.
+    let mut t_rel: HashSet<TensorId> = HashSet::new();
+    for exprs in per_input {
+        for e in exprs {
+            for sym in e.leaf_symbols() {
+                if let Some(&t) = name_to_tensor.get(sym.as_str()) {
+                    cz.assign(t);
+                    t_rel.insert(t);
+                }
+            }
+        }
+    }
+
+    let mut inputs = Vec::with_capacity(per_input.len());
+    for (k, (&t, exprs)) in node.inputs.iter().zip(per_input).enumerate() {
+        let cin = format!("$i{k}");
+        cz.back.fact(
+            format!("mappings of G_s tensor {cin}"),
+            format!("mappings of G_s tensor {}", gs.tensor(t).name),
+        );
+        inputs.push((cin, exprs.iter().map(|e| cz.fwd.rename_expr(e)).collect()));
+    }
+
+    // Frontier closure in the exact round structure of the sequential
+    // engine: each round scans G_d for operators whose inputs are all
+    // related, and the first round runs even when it adds nothing.
+    let mut defs_added: HashSet<NodeId> = HashSet::new();
+    let mut def_rounds: Vec<Vec<CanonDef>> = Vec::new();
+    let mut first_round = true;
+    let mut def_counter = 0usize;
+    loop {
+        let mut round = Vec::new();
+        for n in gd.nodes() {
+            if defs_added.contains(&n.id) {
+                continue;
+            }
+            if n.inputs.iter().all(|t| t_rel.contains(t)) {
+                defs_added.insert(n.id);
+                let inputs_c: Vec<String> = n.inputs.iter().map(|&t| cz.assign(t)).collect();
+                t_rel.insert(n.output);
+                let output_c = cz.assign(n.output);
+                let cname = format!("$n{def_counter}");
+                def_counter += 1;
+                cz.back.fact(
+                    format!("G_d definition of {cname}"),
+                    format!("G_d definition of {}", n.name),
+                );
+                round.push(CanonDef {
+                    name: cname,
+                    op: n.op.clone(),
+                    inputs: inputs_c,
+                    output: output_c,
+                });
+            }
+        }
+        if round.is_empty() && !first_round {
+            break;
+        }
+        first_round = false;
+        def_rounds.push(round);
+    }
+
+    (
+        OpProblem {
+            op: node.op.clone(),
+            inputs,
+            def_rounds,
+            leaves: cz.leaves,
+        },
+        cz.back,
+    )
+}
+
+impl OpProblem {
+    /// The cache key: the problem rendered canonically, plus the engine
+    /// configuration fingerprint (`cfg` — limits, clean set, lemma corpus)
+    /// computed once per check.
+    pub(crate) fn key(&self, cfg: &str) -> String {
+        use std::fmt::Write;
+        let mut k = String::with_capacity(256 + cfg.len());
+        let _ = write!(k, "op={:?};", self.op);
+        for (name, exprs) in &self.inputs {
+            let _ = write!(k, "in {name}:");
+            for e in exprs {
+                let _ = write!(k, "{e},");
+            }
+            k.push(';');
+        }
+        for (r, defs) in self.def_rounds.iter().enumerate() {
+            let _ = write!(k, "round{r}:");
+            for d in defs {
+                let _ = write!(k, "{:?}({})->{};", d.op, d.inputs.join(","), d.output);
+            }
+        }
+        for l in &self.leaves {
+            let _ = write!(k, "leaf {}:{}:{:?}:{};", l.name, l.shape, l.dtype, l.prefer);
+        }
+        k.push_str(cfg);
+        k
+    }
+}
+
+/// A solved canonical problem — everything an operator's merge step needs,
+/// expressed in canonical names. Stored once per key in the sharded cache
+/// and replayed (renamed back) by every structurally identical operator.
+#[derive(Debug)]
+pub(crate) struct Solved {
+    /// Clean variants with extraction cost and (when certifying) the proof
+    /// chain to the encoded base term, sorted by `(cost, canonical text)`
+    /// and truncated to `max_mappings`.
+    pub variants: Vec<(f64, RecExpr, Option<Proof>)>,
+    /// Frontier rounds run.
+    pub rounds: usize,
+    /// Limit-sticky stop reason across rounds.
+    pub stop: Option<StopReason>,
+    /// E-graph size after extraction and proof generation (matches the
+    /// sequential engine's measurement point).
+    pub egraph_nodes: usize,
+    /// E-graph size right after base-term encoding (the `encode` span
+    /// attribute).
+    pub encode_nodes: usize,
+    /// One report per saturation round — replayed into the check's lemma
+    /// stats and saturation telemetry so hit and miss are indistinguishable.
+    pub run_reports: Vec<RunReport>,
+}
+
+/// Solves a canonical problem from scratch: encode the base term, pull in
+/// the pre-computed closure round by round with a saturation run per round,
+/// then extract (and, when certifying, prove) the clean variants.
+///
+/// Deterministic given `(problem, opts, rewrites)` — the foundation of the
+/// cache's correctness under racing misses — up to `StopReason::TimeLimit`
+/// cuts, which depend on wall clock (see DESIGN.md's determinism contract).
+pub(crate) fn solve_problem(
+    p: &OpProblem,
+    opts: &CheckOptions,
+    rewrites: &[Rewrite<TensorAnalysis>],
+) -> Solved {
+    let mut analysis = TensorAnalysis::with_ctx(opts.sym_ctx.clone());
+    for l in &p.leaves {
+        analysis.register_leaf(&l.name, l.shape.clone(), l.dtype);
+    }
+    let mut eg = EGraph::with_analysis(analysis);
+
+    let mut input_ids: Vec<Id> = Vec::with_capacity(p.inputs.len());
+    for (name, exprs) in &p.inputs {
+        let mut rep: Option<Id> = None;
+        for e in exprs {
+            let id = eg.add_expr(e);
+            match rep {
+                None => rep = Some(id),
+                Some(first) => {
+                    eg.union_with(
+                        first,
+                        id,
+                        Justification::Given(format!("mappings of G_s tensor {name}")),
+                    );
+                }
+            }
+        }
+        input_ids.push(rep.expect("non-empty canonical mapping list"));
+    }
+    let base = encode_op(&mut eg, &p.op, &input_ids);
+    eg.rebuild();
+    let encode_nodes = eg.total_nodes();
+
+    let mut stop: Option<StopReason> = None;
+    let mut run_reports = Vec::with_capacity(p.def_rounds.len());
+    for defs in &p.def_rounds {
+        for d in defs {
+            let inputs: Vec<&str> = d.inputs.iter().map(String::as_str).collect();
+            encode_def(&mut eg, &d.op, &inputs, &d.output, &d.name);
+        }
+        eg.rebuild();
+        let owned = std::mem::replace(&mut eg, EGraph::with_analysis(TensorAnalysis::default()));
+        let mut runner = Runner::new(owned)
+            .with_iter_limit(opts.iter_limit)
+            .with_node_limit(opts.node_limit)
+            .with_time_limit(opts.time_limit);
+        let report = runner.run(rewrites);
+        eg = runner.egraph;
+        if report.stop_reason.is_limit() || stop.is_none() {
+            stop = Some(report.stop_reason);
+        }
+        run_reports.push(report);
+    }
+
+    let prefer: HashSet<&str> = p
+        .leaves
+        .iter()
+        .filter(|l| l.prefer)
+        .map(|l| l.name.as_str())
+        .collect();
+    // Tie-breaking must not depend on tensor names (canonical renaming
+    // scrambles string order): bias every `$t{k}` leaf by its
+    // first-occurrence index, so equal-cost extraction ties resolve to the
+    // most upstream leaf — keeping the leaf diversity downstream frontiers
+    // seed from. The bias is far below the 1e-6 prefer margin.
+    let leaf_bias = |name: &str| -> f64 {
+        name.strip_prefix("$t")
+            .and_then(|k| k.parse::<u64>().ok())
+            .map_or(0.0, |k| k as f64 * 1e-12)
+    };
+    let with_cost = extract_clean_variants_with_cost(
+        &eg,
+        base,
+        &opts.clean,
+        &prefer,
+        opts.max_mappings,
+        &leaf_bias,
+    );
+    let variants = if opts.certify {
+        with_cost
+            .into_iter()
+            .map(|(c, expr)| {
+                let vid = eg.add_expr(&expr);
+                let proof = eg.explain_equivalence(base, vid);
+                (c, expr, proof)
+            })
+            .collect()
+    } else {
+        with_cost.into_iter().map(|(c, e)| (c, e, None)).collect()
+    };
+    Solved {
+        variants,
+        rounds: p.def_rounds.len(),
+        stop,
+        egraph_nodes: eg.total_nodes(),
+        encode_nodes,
+        run_reports,
+    }
+}

@@ -106,6 +106,14 @@ pub struct EGraph<A: Analysis> {
     /// Operator symbols ever added (presence index for search prefiltering;
     /// never shrinks, which only costs precision, not correctness).
     op_index: HashSet<Symbol>,
+    /// Per-symbol class index: for every operator symbol, the ids of the
+    /// classes created holding a node with that head symbol. Entries are
+    /// appended at class creation and never removed; queries canonicalize
+    /// through the union-find (see [`EGraph::classes_with_op`]), so stale
+    /// ids only cost a `find` each, not correctness. This is the e-matching
+    /// fast path: rule search visits only classes that can contain the
+    /// pattern's head symbol.
+    sym_classes: HashMap<Symbol, Vec<Id>>,
     /// Why unions happened (the proof graph behind [`EGraph::explain`] and
     /// [`EGraph::explain_equivalence`]).
     proof: ProofGraph,
@@ -139,6 +147,7 @@ impl<A: Analysis> EGraph<A> {
             analysis_pending: Vec::new(),
             union_count: 0,
             op_index: HashSet::new(),
+            sym_classes: HashMap::new(),
             proof: ProofGraph::default(),
             orig: Vec::new(),
             orig_memo: HashMap::new(),
@@ -184,9 +193,38 @@ impl<A: Analysis> EGraph<A> {
         self.classes.values()
     }
 
-    /// Canonical class ids (snapshot).
+    /// Canonical class ids (snapshot), sorted for deterministic iteration.
+    ///
+    /// The sort matters: pattern search and extraction visit classes in this
+    /// order, and tie-breaks (equal-cost extractions, proof-edge insertion
+    /// order) inherit it. Hash-map order would make runs irreproducible.
     pub fn class_ids(&self) -> Vec<Id> {
-        self.classes.keys().copied().collect()
+        let mut ids: Vec<Id> = self.classes.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Canonical ids of classes containing at least one node with head
+    /// symbol `sym`, sorted and deduplicated — the e-matching fast path.
+    ///
+    /// Every node enters the e-graph through [`EGraph::add`], which indexes
+    /// the freshly created class under the node's symbol; unions only merge
+    /// classes, so canonicalizing the recorded ids through the union-find
+    /// covers every class that currently holds such a node.
+    pub fn classes_with_op(&self, sym: Symbol) -> Vec<Id> {
+        let mut ids: Vec<Id> = self
+            .sym_classes
+            .get(&sym)
+            .map(|v| {
+                v.iter()
+                    .map(|&id| self.find(id))
+                    .filter(|id| self.classes.contains_key(id))
+                    .collect()
+            })
+            .unwrap_or_default();
+        ids.sort();
+        ids.dedup();
+        ids
     }
 
     /// Adds a node (hash-consed) and returns a *term-faithful* id: the
@@ -214,6 +252,7 @@ impl<A: Analysis> EGraph<A> {
             if !ch.is_empty() {
                 self.op_index.insert(*sym);
             }
+            self.sym_classes.entry(*sym).or_default().push(id);
         }
         let data = A::make(self, &canonical);
         let class = EClass {
@@ -440,6 +479,11 @@ impl<A: Analysis> EGraph<A> {
         if let Some(class) = self.classes.get_mut(&id) {
             let existing = std::mem::take(&mut class.parents);
             let mut merged: Vec<(ENode, Id)> = existing;
+            // Sort the hash-map entries before merging: the parent-list
+            // order feeds later repairs (and through them proof-edge
+            // insertion order), so it must not depend on hasher state.
+            let mut seen: Vec<(ENode, Id)> = seen.into_iter().collect();
+            seen.sort();
             for (n, p) in seen {
                 if !merged.iter().any(|(mn, _)| *mn == n) {
                     merged.push((n, p));

@@ -282,17 +282,41 @@ impl Pattern {
 
     /// Searches the whole e-graph.
     pub fn search<A: Analysis>(&self, egraph: &EGraph<A>) -> Vec<SearchMatches> {
+        self.search_with_stats(egraph).0
+    }
+
+    /// Searches the whole e-graph, also reporting `(visited, skipped)`
+    /// class counts — the e-matching fast-path telemetry surfaced as
+    /// [`crate::SaturationReport`]'s searched-vs-skipped counters.
+    ///
+    /// When the pattern is rooted at an operator, only classes containing
+    /// that head symbol (per [`EGraph::classes_with_op`]) are visited;
+    /// every other class is counted as skipped. Patterns rooted at a
+    /// variable or integer fall back to scanning every class.
+    pub fn search_with_stats<A: Analysis>(
+        &self,
+        egraph: &EGraph<A>,
+    ) -> (Vec<SearchMatches>, u64, u64) {
+        let total = egraph.num_classes() as u64;
         // Prefilter: a pattern whose operators never occur cannot match.
         if self.required_ops().iter().any(|&sym| !egraph.has_op(sym)) {
-            return Vec::new();
+            return (Vec::new(), 0, total);
         }
+        let ids = match &self.ast {
+            // Head-symbol fast path: only classes holding a node with the
+            // root operator can match.
+            PatternAst::Op(sym, _) => egraph.classes_with_op(*sym),
+            // Var/Int roots match structurally anywhere: full scan.
+            _ => egraph.class_ids(),
+        };
+        let visited = ids.len() as u64;
         let mut out = Vec::new();
-        for id in egraph.class_ids() {
+        for id in ids {
             if let Some(m) = self.search_eclass(egraph, id) {
                 out.push(m);
             }
         }
-        out
+        (out, visited, total.saturating_sub(visited))
     }
 
     /// Searches one e-class.

@@ -180,6 +180,15 @@ impl<A: Analysis> Rewrite<A> {
         self.searcher.search(egraph)
     }
 
+    /// Like [`Rewrite::search`], also reporting `(visited, skipped)` class
+    /// counts from the per-symbol e-matching fast path.
+    pub fn search_with_stats(
+        &self,
+        egraph: &EGraph<A>,
+    ) -> (Vec<crate::pattern::SearchMatches>, u64, u64) {
+        self.searcher.search_with_stats(egraph)
+    }
+
     /// Applies the rule to a single match *without* unioning: checks the
     /// condition, runs the applier, and returns the ids it produced
     /// (`None` when the condition rejects the match).
@@ -220,6 +229,79 @@ impl<A: Analysis> Rewrite<A> {
                 if produced.is_empty() {
                     continue;
                 }
+                // Union each produced id with the *instantiated left-hand
+                // side* rather than the matched class id: both endpoints
+                // are then term-faithful (the LHS instantiation is the
+                // literal term the lemma matched, modulo canonical
+                // bindings), which is what proof extraction needs. The
+                // instantiation lands in `m.eclass`'s class, so the unions
+                // are semantically identical.
+                let lhs = self.searcher.ast().instantiate(egraph, subst);
+                for id in produced {
+                    let (_, did) = egraph.union_with(
+                        lhs,
+                        id,
+                        crate::explain::Justification::Rule {
+                            name: self.name.clone(),
+                            subst: subst.clone(),
+                        },
+                    );
+                    if did {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Like [`Rewrite::apply`], with a cross-iteration memo of
+    /// already-applied matches. The standard schedule re-searches the whole
+    /// e-graph every iteration, so every match found in iteration `k` is
+    /// found again in iterations `k+1..`; re-applying it is a pure no-op
+    /// (the right-hand side is already present and the union is already
+    /// made) that still pays condition evaluation, instantiation, and
+    /// hash-cons lookups. `applied` carries fingerprints of matches this
+    /// rule has successfully applied — under canonical class ids, so a
+    /// fingerprint survives unions of its bindings — and those are skipped.
+    ///
+    /// Only *successful* applications are memoized: a match rejected by its
+    /// condition, or whose dynamic applier produced nothing, is retried in
+    /// later iterations (both can start succeeding as analysis data and the
+    /// e-graph grow). Skipping is therefore behavior-preserving: the final
+    /// e-graph, the per-rule `applications` counts, and the saturation
+    /// fixpoint are identical to [`Rewrite::apply`] — only wasted work is
+    /// removed.
+    pub fn apply_deduped(
+        &self,
+        egraph: &mut EGraph<A>,
+        matches: &[crate::pattern::SearchMatches],
+        applied: &mut std::collections::HashSet<u64>,
+    ) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut changed = 0;
+        for m in matches {
+            for subst in &m.substs {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                egraph.find(m.eclass).hash(&mut h);
+                for (var, id) in subst.iter() {
+                    var.hash(&mut h);
+                    egraph.find(id).hash(&mut h);
+                }
+                let fp = h.finish();
+                if applied.contains(&fp) {
+                    continue;
+                }
+                if let Some(cond) = &self.condition {
+                    if !cond(egraph, m.eclass, subst) {
+                        continue;
+                    }
+                }
+                let produced = self.applier.apply_one(egraph, m.eclass, subst);
+                if produced.is_empty() {
+                    continue;
+                }
+                applied.insert(fp);
                 // Union each produced id with the *instantiated left-hand
                 // side* rather than the matched class id: both endpoints
                 // are then term-faithful (the LHS instantiation is the

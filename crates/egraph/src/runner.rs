@@ -94,6 +94,13 @@ pub struct SaturationReport {
     pub iterations: Vec<IterationReport>,
     /// Per-rule totals, keyed by rule name.
     pub rules: HashMap<String, RuleReport>,
+    /// E-classes actually visited by rule search, summed over every
+    /// (rule, iteration) search call.
+    pub searched_classes: u64,
+    /// E-classes the per-symbol index fast path (and the operator-presence
+    /// prefilter) let search skip, summed the same way. The skip rate
+    /// `skipped / (searched + skipped)` is the e-matching fast-path win.
+    pub skipped_classes: u64,
 }
 
 impl SaturationReport {
@@ -111,9 +118,12 @@ impl SaturationReport {
         rules
     }
 
-    /// Merges another run's telemetry (iterations appended, rules summed).
+    /// Merges another run's telemetry (iterations appended, rules and
+    /// class counters summed).
     pub fn merge(&mut self, other: &SaturationReport) {
         self.iterations.extend(other.iterations.iter().cloned());
+        self.searched_classes += other.searched_classes;
+        self.skipped_classes += other.skipped_classes;
         for (name, r) in &other.rules {
             let e = self.rules.entry(name.clone()).or_default();
             e.matches += r.matches;
@@ -210,6 +220,12 @@ impl<A: Analysis> Runner<A> {
         // Indexed alongside `rewrites` to avoid hashing rule names in the
         // hot loop; folded into the name-keyed map at the end.
         let mut per_rule: Vec<RuleReport> = vec![RuleReport::default(); rewrites.len()];
+        // Per-rule memo of already-applied match fingerprints: the standard
+        // schedule re-finds every prior match each iteration, and skipping
+        // re-application turns the apply phase from quadratic in iteration
+        // count to linear (see [`Rewrite::apply_deduped`]).
+        let mut applied_memo: Vec<std::collections::HashSet<u64>> =
+            vec![std::collections::HashSet::new(); rewrites.len()];
         let mut iterations = 0;
         let stop_reason = loop {
             if iterations >= self.iter_limit {
@@ -228,11 +244,13 @@ impl<A: Analysis> Runner<A> {
             let mut matches = Vec::with_capacity(rewrites.len());
             for (rw, stats) in rewrites.iter().zip(per_rule.iter_mut()) {
                 let t0 = Instant::now();
-                let ms = rw.search(&self.egraph);
+                let (ms, visited, skipped) = rw.search_with_stats(&self.egraph);
                 let dt = t0.elapsed().as_micros() as u64;
                 stats.search_us += dt;
                 search_us += dt;
                 stats.matches += ms.iter().map(|m| m.substs.len() as u64).sum::<u64>();
+                saturation.searched_classes += visited;
+                saturation.skipped_classes += skipped;
                 matches.push(ms);
             }
             // Apply phase.
@@ -240,7 +258,7 @@ impl<A: Analysis> Runner<A> {
             let mut apply_us = 0u64;
             for (i, (rw, ms)) in rewrites.iter().zip(&matches).enumerate() {
                 let t0 = Instant::now();
-                let changed = rw.apply(&mut self.egraph, ms);
+                let changed = rw.apply_deduped(&mut self.egraph, ms, &mut applied_memo[i]);
                 let dt = t0.elapsed().as_micros() as u64;
                 per_rule[i].apply_us += dt;
                 apply_us += dt;

@@ -155,6 +155,7 @@ impl Tracer {
                 id: 0,
                 name: String::new(),
                 start_us: 0,
+                dur_override_us: None,
                 attrs: Vec::new(),
             };
         };
@@ -180,6 +181,7 @@ impl Tracer {
             id,
             name: name.to_owned(),
             start_us: t_us,
+            dur_override_us: None,
             attrs: Vec::new(),
         }
     }
@@ -187,6 +189,68 @@ impl Tracer {
     /// Emits an instant event under the currently open span.
     pub fn event(&self, name: &str, attrs: &[(&str, String)]) {
         self.event_at(name, self.now_us(), None, attrs);
+    }
+
+    /// Replays records captured by a [`Tracer::collect`] sub-tracer into
+    /// this tracer, as if the work had run inline just now.
+    ///
+    /// Ids are re-assigned from this tracer's counter in record order — the
+    /// same order direct emission would have allocated them — so a check
+    /// whose per-operator spans were buffered on worker threads and replayed
+    /// in operator order produces the *same id sequence* as a sequential
+    /// check emitting directly. Top-level records (parent `None` in the
+    /// sub-tracer) are re-parented onto this tracer's currently open span;
+    /// timestamps are shifted by this tracer's current clock so the stream
+    /// stays monotone. `extra_attrs` are appended to the first top-level
+    /// span's `end` record — the checker adds its coordinator-side outcome
+    /// attributes and the `worker` tag there.
+    pub fn replay_records(&self, records: &[Record], extra_attrs: &[(String, String)]) {
+        let Some(inner) = &self.inner else { return };
+        let base_us = inner.epoch.elapsed().as_micros() as u64;
+        let ambient = inner.stack.lock().unwrap().last().copied();
+        let mut ids: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut first_top: Option<u64> = None;
+        for rec in records {
+            match rec.kind {
+                RecordKind::Begin | RecordKind::Event => {
+                    let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+                    ids.insert(rec.id, id);
+                    if rec.kind == RecordKind::Begin && rec.parent.is_none() && first_top.is_none()
+                    {
+                        first_top = Some(rec.id);
+                    }
+                    let parent = match rec.parent {
+                        Some(p) => ids.get(&p).copied(),
+                        None => ambient,
+                    };
+                    inner.sink.record(&Record {
+                        kind: rec.kind,
+                        id,
+                        parent,
+                        name: rec.name.clone(),
+                        t_us: base_us + rec.t_us,
+                        dur_us: rec.dur_us,
+                        attrs: rec.attrs.clone(),
+                    });
+                }
+                RecordKind::End => {
+                    let id = ids.get(&rec.id).copied().unwrap_or(rec.id);
+                    let mut attrs = rec.attrs.clone();
+                    if first_top == Some(rec.id) {
+                        attrs.extend(extra_attrs.iter().cloned());
+                    }
+                    inner.sink.record(&Record {
+                        kind: RecordKind::End,
+                        id,
+                        parent: None,
+                        name: rec.name.clone(),
+                        t_us: base_us + rec.t_us,
+                        dur_us: rec.dur_us,
+                        attrs,
+                    });
+                }
+            }
+        }
     }
 
     /// Emits an event with an explicit timestamp (and optional duration) —
@@ -219,6 +283,7 @@ pub struct SpanGuard {
     id: u64,
     name: String,
     start_us: u64,
+    dur_override_us: Option<u64>,
     attrs: Vec<(String, String)>,
 }
 
@@ -227,6 +292,17 @@ impl SpanGuard {
     pub fn attr(&mut self, key: &str, value: impl ToString) {
         if self.tracer.is_some() {
             self.attrs.push((key.to_owned(), value.to_string()));
+        }
+    }
+
+    /// Overrides the span's reported duration (the externally-timed
+    /// counterpart of [`Tracer::event_at`]). Used when a span *describes*
+    /// work that ran elsewhere — e.g. a saturation run replayed from the
+    /// cross-operator memo reports the original run's wall clock, not the
+    /// microseconds the replay took.
+    pub fn set_elapsed_us(&mut self, dur_us: u64) {
+        if self.tracer.is_some() {
+            self.dur_override_us = Some(dur_us);
         }
     }
 
@@ -258,7 +334,10 @@ impl Drop for SpanGuard {
             parent: None,
             name: std::mem::take(&mut self.name),
             t_us,
-            dur_us: Some(t_us.saturating_sub(self.start_us)),
+            dur_us: Some(
+                self.dur_override_us
+                    .unwrap_or_else(|| t_us.saturating_sub(self.start_us)),
+            ),
             attrs: std::mem::take(&mut self.attrs),
         });
     }

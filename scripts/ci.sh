@@ -19,18 +19,28 @@ for gd in examples/graphs/*.gd.json; do
 done
 echo "    7 workloads clean"
 
-echo "==> model-zoo certify sweep (emit certificates, re-check with the trusted kernel)"
+echo "==> model-zoo --jobs sweep (parallel checker at jobs=1 and jobs=4)"
+for jobs in 1 4; do
+  for gd in examples/graphs/*.gd.json; do
+    base="${gd%.gd.json}"
+    ./target/release/entangle --jobs "$jobs" check "$base.gs.json" "$gd" --maps "$base.maps" >/dev/null \
+      || { echo "check --jobs $jobs FAILED on $base"; exit 1; }
+  done
+done
+echo "    7 workloads clean at jobs=1 and jobs=4"
+
+echo "==> model-zoo certify sweep (emit certificates at jobs=4, re-check with the trusted kernel)"
 certdir=$(mktemp -d)
 trap 'rm -rf "$certdir"' EXIT
 for gd in examples/graphs/*.gd.json; do
   base="${gd%.gd.json}"
   cert="$certdir/$(basename "$base").cert.json"
-  ./target/release/entangle certify "$base.gs.json" "$gd" --maps "$base.maps" --emit "$cert" >/dev/null \
-    || { echo "certify (emit) FAILED on $base"; exit 1; }
+  ./target/release/entangle --jobs 4 certify "$base.gs.json" "$gd" --maps "$base.maps" --emit "$cert" >/dev/null \
+    || { echo "certify (emit, jobs=4) FAILED on $base"; exit 1; }
   ./target/release/entangle certify "$base.gs.json" "$gd" --check "$cert" >/dev/null \
     || { echo "certify (re-check) FAILED on $base"; exit 1; }
 done
-echo "    7 certificates kernel-accepted"
+echo "    7 certificates emitted at jobs=4 and kernel-accepted"
 
 echo "==> model-zoo trace sweep (--trace on every subcommand, validate with trace --check)"
 tracedir=$(mktemp -d)
