@@ -35,6 +35,8 @@
 //! assert_eq!(grads.graph.tensor(gw).shape.to_string(), "[2, 1]");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod rules;
 
 pub use rules::{backward, AutodiffError, GradGraph};

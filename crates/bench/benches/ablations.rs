@@ -42,7 +42,7 @@ fn bench_ablations(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 entangle::check_refinement(&w.gs, &w.dist.graph, &ri, &opts).expect("verifies")
-            })
+            });
         });
     }
     group.finish();

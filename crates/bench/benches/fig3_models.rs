@@ -22,7 +22,7 @@ fn bench_models(c: &mut Criterion) {
             b.iter(|| {
                 entangle::check_refinement(&w.gs, &w.dist.graph, &ri, &hinted_opts())
                     .expect("verifies")
-            })
+            });
         });
     }
     group.finish();

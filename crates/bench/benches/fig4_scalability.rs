@@ -21,7 +21,7 @@ fn bench_scalability(c: &mut Criterion) {
                         b.iter(|| {
                             entangle::check_refinement(&w.gs, &w.dist.graph, &ri, &hinted_opts())
                                 .expect("verifies")
-                        })
+                        });
                     },
                 );
             }

@@ -27,7 +27,7 @@ fn bench_egraph(c: &mut Criterion) {
             let mut runner = entangle_egraph::Runner::new(eg).with_iter_limit(8);
             runner.run(&rewrites);
             assert_eq!(runner.egraph.find(l), runner.egraph.find(r));
-        })
+        });
     });
 
     // Symbolic solver: chained inequalities.
@@ -43,7 +43,7 @@ fn bench_egraph(c: &mut Criterion) {
                 ctx.check(&vars[0], Rel::Lt, &vars[7]),
                 entangle_symbolic::Truth::Proved
             );
-        })
+        });
     });
 
     // Runtime: batched matmul on the bench model size.
@@ -53,7 +53,7 @@ fn bench_egraph(c: &mut Criterion) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let x = random_value(&mut rng, &[2, 16, 32]);
         let w = random_value(&mut rng, &[32, 32]);
-        b.iter(|| eval_op(&entangle_ir::Op::Matmul, &[&x, &w]).unwrap())
+        b.iter(|| eval_op(&entangle_ir::Op::Matmul, &[&x, &w]).unwrap());
     });
 
     group.finish();

@@ -1,0 +1,97 @@
+//! Rule-class backoff benchmark: `check_refinement` across the model zoo
+//! with the static backoff scheduler on (the default) against the
+//! unthrottled engine (`rule_backoff = false`).
+//!
+//! Writes `results/BENCH_rules.json` (stable field order, no serde) and
+//! prints the comparison table. Expected shape: the shallow workloads are
+//! within noise of each other (the schedule is derived once per process
+//! and their saturation never trips a budget), and MoE/TP-SP2 — whose
+//! `scalar_mul` chains make the duplicating drivers re-search hundreds of
+//! thousands of substitutions — wins outright.
+
+use std::time::{Duration, Instant};
+
+use entangle::{check_refinement, CheckOptions};
+use entangle_bench::{print_table, secs, zoo};
+use entangle_parallel::Distributed;
+
+/// Best-of-N wall clock for one configuration.
+fn time_check(
+    gs: &entangle_ir::Graph,
+    dist: &Distributed,
+    opts: &CheckOptions,
+    reps: usize,
+) -> Duration {
+    let ri = dist.relation(gs).expect("relation builds");
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        check_refinement(gs, &dist.graph, &ri, opts)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", dist.graph.name()));
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn opts(rule_backoff: bool) -> CheckOptions {
+    CheckOptions {
+        rule_backoff,
+        jobs: 1,
+        ..CheckOptions::default()
+    }
+}
+
+fn main() {
+    let reps = 3;
+
+    // The static analysis the schedule comes from, summarized up front.
+    let rewrites = entangle_lemmas::rewrites_of(&entangle_lemmas::registry());
+    let analysis = entangle_rules::analyze(&rewrites);
+    println!(
+        "corpus: {} rules, {} generative cycles, {} throttled drivers [{}]\n",
+        analysis.classes.len(),
+        analysis.cycles.len(),
+        analysis.throttled.len(),
+        analysis.throttled.join(", "),
+    );
+    println!("Rule-class backoff benchmark ({reps} reps, best-of):\n");
+
+    let mut rows = Vec::new();
+    let mut json_cases = Vec::new();
+    for case in zoo() {
+        let t_off = time_check(&case.gs, &case.dist, &opts(false), reps);
+        let t_on = time_check(&case.gs, &case.dist, &opts(true), reps);
+        let speedup = t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            case.display.clone(),
+            secs(t_off),
+            secs(t_on),
+            format!("{speedup:.2}x"),
+        ]);
+        json_cases.push(format!(
+            "{{\"name\":{},\"unthrottled_ms\":{:.3},\"backoff_ms\":{:.3},\"speedup\":{:.3}}}",
+            entangle_lint::json_str(&case.display),
+            t_off.as_secs_f64() * 1e3,
+            t_on.as_secs_f64() * 1e3,
+            speedup,
+        ));
+    }
+
+    print_table(&["workload", "unthrottled", "backoff", "speedup"], &rows);
+
+    let throttled: Vec<String> = analysis
+        .throttled
+        .iter()
+        .map(|n| entangle_lint::json_str(n))
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"rule_backoff\",\"reps\":{reps},\"rules\":{},\"cycles\":{},\"throttled\":[{}],\"cases\":[{}]}}\n",
+        analysis.classes.len(),
+        analysis.cycles.len(),
+        throttled.join(","),
+        json_cases.join(",")
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_rules.json", &json).expect("write BENCH_rules.json");
+    println!("\nwrote results/BENCH_rules.json");
+}

@@ -5,6 +5,8 @@
 //! benches under `benches/` time the same workloads. See EXPERIMENTS.md for
 //! the paper-vs-measured comparison.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use entangle::{check_refinement, CheckOptions, CheckOutcome};

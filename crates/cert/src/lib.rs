@@ -25,6 +25,8 @@
 //! see DESIGN.md ("Certificates and the trusted kernel") for the exact
 //! boundary.
 
+#![forbid(unsafe_code)]
+
 mod cert;
 mod json;
 mod kernel;

@@ -19,7 +19,7 @@
 //! A maps file holds one `gs_tensor = s-expression` mapping per line
 //! (`#`-prefixed lines are comments). Exit code 0 = verified, 1 = bug
 //! found, 2 = usage/input error, 3 = static lint errors, 4 = certificate
-//! rejected by the trusted kernel.
+//! rejected by the trusted kernel, 5 = rule-corpus analysis errors.
 //!
 //! The global `--trace FILE` flag streams a JSON-lines structured trace of
 //! any invocation (spans for every pipeline stage, saturation telemetry
@@ -27,6 +27,8 @@
 //! `entangle trace` runs a workload under an in-memory collector and prints
 //! the timing profile: per-stage wall clock, the hottest lemmas by
 //! cumulative apply time, and the e-graph growth curve.
+
+#![forbid(unsafe_code)]
 
 use std::fmt;
 use std::fs;
@@ -82,6 +84,12 @@ pub enum Command {
         /// Path to the graph JSON.
         graph: String,
         /// Emit the report as JSON.
+        json: bool,
+    },
+    /// Run the static rule-corpus analysis (`entangle-rules`) over the
+    /// full lemma registry.
+    Rules {
+        /// Emit the analysis as JSON.
         json: bool,
     },
     /// Run the sharding-propagation analysis over one graph file.
@@ -151,6 +159,7 @@ USAGE:
   entangle certify <gs.json> <gd.json> --check FILE
   entangle expect  <gs.json> <gd.json> [--map ...|--maps FILE] --fs EXPR --fd EXPR
   entangle lint    <graph.json> [--json]
+  entangle rules   [--json]
   entangle shard   <gd.json> [--gs <gs.json>] [--map ...|--maps FILE] [--json]
   entangle info    <graph.json> [--dot]
   entangle trace   <workload> [--top N] [--json] [--perfetto FILE]
@@ -174,6 +183,12 @@ lint runs the static diagnostics passes (well-formedness, distribution
 consistency) over one graph and prints every finding; check runs them on
 both graphs before any saturation (see E###/W### codes in the docs).
 
+rules runs the static rule-corpus analysis (RL## codes) over the full
+lemma registry: growth classification (simplifying / size-preserving /
+generative), the rule-interaction graph with its generative cycles, the
+backoff throttle set the checker derives from them, duplicate/subsumed/
+dead rules, and abstract shape/dtype soundness of every pattern rule.
+
 shard runs the abstract sharding-propagation analysis (SH## codes): with
 --gs and mappings it seeds shard layouts from the input relation, checks
 cross-rank consistency, and prints the relation hints it can prove;
@@ -194,7 +209,8 @@ trace-event file; --check parses a JSON-lines trace captured earlier with
 --trace and verifies every span balances.
 
 EXIT CODES:  0 verified   1 refinement/expectation failed   2 usage error
-             3 static lint errors   4 certificate rejected";
+             3 static lint errors   4 certificate rejected
+             5 rule-corpus analysis errors";
 
 /// Parses argv (without the program name).
 ///
@@ -218,6 +234,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 Some(other) => return Err(CliError(format!("lint: unknown flag {other}"))),
             };
             Ok(Command::Lint { graph, json })
+        }
+        "rules" => {
+            let json = match it.next().map(String::as_str) {
+                None => false,
+                Some("--json") => true,
+                Some(other) => return Err(CliError(format!("rules: unknown flag {other}"))),
+            };
+            Ok(Command::Rules { json })
         }
         "shard" => {
             let gd = it
@@ -689,6 +713,7 @@ fn command_name(cmd: &Command) -> &'static str {
         Command::Certify { .. } => "certify",
         Command::Expect { .. } => "expect",
         Command::Lint { .. } => "lint",
+        Command::Rules { .. } => "rules",
         Command::Shard { .. } => "shard",
         Command::Info { .. } => "info",
         Command::Trace { .. } => "trace",
@@ -734,6 +759,26 @@ fn run_inner(cmd: &Command, tracer: &Tracer, jobs: Option<usize>) -> Result<i32,
                 g.num_tensors(),
             );
             Ok(if report.is_clean() { 0 } else { 3 })
+        }
+        Command::Rules { json } => {
+            let rewrites = entangle_lemmas::rewrites_of(&entangle_lemmas::registry());
+            let analysis = {
+                let mut sp = tracer.span("stage:rules");
+                let analysis = entangle_rules::analyze(&rewrites);
+                sp.attr("rules", analysis.classes.len());
+                sp.attr("cycles", analysis.cycles.len());
+                sp.attr("throttled", analysis.throttled.len());
+                sp.attr("errors", analysis.report.error_count());
+                sp.attr("warnings", analysis.report.warning_count());
+                analysis
+            };
+            if *json {
+                println!("{}", analysis.to_json());
+            } else {
+                print!("{}", analysis.render());
+                println!();
+            }
+            Ok(if analysis.report.is_clean() { 0 } else { 5 })
         }
         Command::Shard { gd, gs, maps, json } => {
             let gd = {
@@ -831,6 +876,10 @@ fn run_inner(cmd: &Command, tracer: &Tracer, jobs: Option<usize>) -> Result<i32,
             let t_shard = t2.elapsed();
             println!("lint     : {}", lint.summary());
             println!("shard    : {}", shard.summary());
+            println!(
+                "corpus   : {} lemmas registered (see `entangle rules`)",
+                entangle_lemmas::registry().len()
+            );
             println!(
                 "parallel : {} cores detected, checker runs {} jobs by default",
                 entangle_par::available_jobs(),

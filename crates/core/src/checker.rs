@@ -6,8 +6,8 @@ use std::time::{Duration, Instant};
 
 use entangle_cert::{CertError, Certificate, MappingCert};
 use entangle_egraph::{
-    EGraph, ENode, Extractor, Id, Justification, Proof, RecExpr, Rewrite, Runner, SaturationReport,
-    StopReason,
+    BackoffSchedule, EGraph, ENode, Extractor, Id, Justification, Proof, RecExpr, Rewrite, Runner,
+    SaturationReport, StopReason,
 };
 use entangle_ir::{Graph, Node, NodeId, TensorId};
 use entangle_lemmas::{registry, rewrites_of, TensorAnalysis};
@@ -93,6 +93,19 @@ pub struct CheckOptions {
     /// not the key) and in the ablation modes. Turn off to measure the
     /// uncached engine (`bench_par`'s baseline).
     pub cache: bool,
+    /// Rule-class-driven backoff scheduling (on by default): the static
+    /// corpus analysis (`entangle-rules`) classifies every rewrite and
+    /// throttles non-simplifying members of generative interaction cycles —
+    /// a rule whose per-iteration match count exceeds the budget sits out a
+    /// cooldown, with both doubling on repeat offenses. Saturation still
+    /// only reports `Saturated` after a full iteration with every rule
+    /// active, so verdicts, relations, and certificates are identical with
+    /// the scheduler on or off (the determinism suite pins this); what
+    /// changes is wasted e-matching on blowup pairs like
+    /// `scalar_mul-distribute` ⇄ `scalar_mul-compose`. The schedule is
+    /// derived once per check from the active rewrite set. Turn off to
+    /// measure the unthrottled engine (`bench_rules`' baseline).
+    pub rule_backoff: bool,
 }
 
 impl Default for CheckOptions {
@@ -113,6 +126,7 @@ impl Default for CheckOptions {
             trace: Tracer::null(),
             jobs: entangle_par::available_jobs(),
             cache: true,
+            rule_backoff: true,
         }
     }
 }
@@ -615,6 +629,15 @@ fn check_refinement_inner(
         .clone()
         .unwrap_or_else(|| rewrites_of(&registry()));
 
+    // Rule-class-driven backoff: derive the throttle schedule ONCE per check
+    // from the active rewrite set (classification + interaction-cycle
+    // analysis, no e-graph) and share it with every per-operator runner.
+    let backoff: Option<BackoffSchedule> = if opts.rule_backoff {
+        entangle_rules::backoff_schedule(&rewrites)
+    } else {
+        None
+    };
+
     let mut certificate = opts.certify.then(|| Certificate {
         gs: gs.name().to_owned(),
         gd: gd.name().to_owned(),
@@ -682,6 +705,7 @@ fn check_refinement_inner(
             &gs_output_set,
             cache.as_ref(),
             cfg_fp,
+            backoff.as_ref(),
         );
         let mut st = MapState {
             relation: &mut relation,
@@ -754,6 +778,7 @@ fn check_refinement_inner(
                         &mut saturation,
                         eg,
                         false,
+                        backoff.as_ref(),
                         tracer,
                     );
                     let n = eg.total_nodes();
@@ -772,6 +797,7 @@ fn check_refinement_inner(
                         &mut saturation,
                         &mut eg,
                         opts.frontier,
+                        backoff.as_ref(),
                         tracer,
                     );
                     let n = eg.total_nodes();
@@ -926,12 +952,13 @@ fn engine_fingerprint(opts: &CheckOptions, rewrites: &[Rewrite<TensorAnalysis>])
     let mut fp = String::with_capacity(64 * rewrites.len());
     let _ = write!(
         fp,
-        "|cfg:iters={},nodes={},time_us={},max={},certify={},clean={:?};lemmas:",
+        "|cfg:iters={},nodes={},time_us={},max={},certify={},backoff={},clean={:?};lemmas:",
         opts.iter_limit,
         opts.node_limit,
         opts.time_limit.as_micros(),
         opts.max_mappings,
         opts.certify,
+        opts.rule_backoff,
         opts.clean,
     );
     for rw in rewrites {
@@ -1034,6 +1061,7 @@ struct MapCtx<'a> {
     covered: Vec<bool>,
     cache: Option<&'a ShardedCache<Solved>>,
     cfg_fp: String,
+    backoff: Option<&'a BackoffSchedule>,
 }
 
 impl<'a> MapCtx<'a> {
@@ -1048,6 +1076,7 @@ impl<'a> MapCtx<'a> {
         gs_output_set: &HashSet<TensorId>,
         cache: Option<&'a ShardedCache<Solved>>,
         cfg_fp: String,
+        backoff: Option<&'a BackoffSchedule>,
     ) -> Self {
         let nodes: Vec<&Node> = gs.nodes().iter().collect();
         let hint_vecs: Vec<&[RecExpr]> = nodes
@@ -1081,6 +1110,7 @@ impl<'a> MapCtx<'a> {
             covered,
             cache,
             cfg_fp,
+            backoff,
         }
     }
 }
@@ -1147,7 +1177,10 @@ fn run_op(ctx: &MapCtx, idx: usize, per_input: &[Vec<RecExpr>], traced: bool) ->
         let key = problem.key(&ctx.cfg_fp);
         let solved = match cache.get(&key) {
             Some(v) => v,
-            None => cache.insert(key, solve_problem(&problem, ctx.opts, ctx.rewrites)),
+            None => cache.insert(
+                key,
+                solve_problem(&problem, ctx.opts, ctx.rewrites, ctx.backoff),
+            ),
         };
         emit_solved_trace(&tracer, &solved);
         for r in &solved.run_reports {
@@ -1204,6 +1237,7 @@ fn run_op(ctx: &MapCtx, idx: usize, per_input: &[Vec<RecExpr>], traced: bool) ->
             &mut summary,
             &mut eg,
             true,
+            ctx.backoff,
             &tracer,
         ) {
             Ok(search) => Ok(OpSuccess {
@@ -1563,7 +1597,7 @@ fn map_stage_scheduled(
                     Done::Covered => {
                         // Hints were staged at dispatch; relation insertion
                         // here dedups to the same contents.
-                        merge_covered(ctx, st, idx, Duration::ZERO)
+                        merge_covered(ctx, st, idx, Duration::ZERO);
                     }
                     Done::Run(res, worker) => merge_run(ctx, st, idx, *res, worker)?,
                 }
@@ -1627,6 +1661,7 @@ fn node_out_rel(
     summary: &mut SaturationSummary,
     eg: &mut EGraph<TensorAnalysis>,
     frontier: bool,
+    backoff: Option<&BackoffSchedule>,
     tracer: &Tracer,
 ) -> Result<NodeSearch, RefinementError> {
     let fail = |relation: &Relation, stop: Option<StopReason>| RefinementError::OperatorUnmapped {
@@ -1759,7 +1794,8 @@ fn node_out_rel(
         let mut runner = Runner::new(owned)
             .with_iter_limit(opts.iter_limit)
             .with_node_limit(opts.node_limit)
-            .with_time_limit(opts.time_limit);
+            .with_time_limit(opts.time_limit)
+            .with_backoff(backoff.cloned());
         let report = runner.run(rewrites);
         *eg = runner.egraph;
         stats.merge(&report.applications);

@@ -71,6 +71,8 @@
 //! assert!(f_maps.iter().any(|m| m.to_string() == "(concat F1 F2 0)"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod checker;
 mod encode;
 mod expect;

@@ -21,7 +21,8 @@
 use std::collections::{HashMap, HashSet};
 
 use entangle_egraph::{
-    EGraph, Id, Justification, Proof, RecExpr, Rewrite, RunReport, Runner, StopReason, Symbol,
+    BackoffSchedule, EGraph, Id, Justification, Proof, RecExpr, Rewrite, RunReport, Runner,
+    StopReason, Symbol,
 };
 use entangle_ir::{DType, Graph, Node, NodeId, Op, Shape, TensorId};
 use entangle_lemmas::TensorAnalysis;
@@ -272,6 +273,7 @@ pub(crate) fn solve_problem(
     p: &OpProblem,
     opts: &CheckOptions,
     rewrites: &[Rewrite<TensorAnalysis>],
+    backoff: Option<&BackoffSchedule>,
 ) -> Solved {
     let mut analysis = TensorAnalysis::with_ctx(opts.sym_ctx.clone());
     for l in &p.leaves {
@@ -313,7 +315,8 @@ pub(crate) fn solve_problem(
         let mut runner = Runner::new(owned)
             .with_iter_limit(opts.iter_limit)
             .with_node_limit(opts.node_limit)
-            .with_time_limit(opts.time_limit);
+            .with_time_limit(opts.time_limit)
+            .with_backoff(backoff.cloned());
         let report = runner.run(rewrites);
         eg = runner.egraph;
         if report.stop_reason.is_limit() || stop.is_none() {

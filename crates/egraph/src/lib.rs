@@ -47,6 +47,8 @@
 //! assert_eq!(runner.egraph.find(l), runner.egraph.find(r));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod egraph;
 mod explain;
 mod extract;
@@ -63,7 +65,10 @@ pub use extract::{AstSize, CostFunction, Extractor};
 pub use node::{ENode, ParseExprError, RecExpr};
 pub use pattern::{Pattern, PatternAst, SearchMatches, Subst, Var};
 pub use rewrite::{Applier, Condition, Rewrite};
-pub use runner::{IterationReport, RuleReport, RunReport, Runner, SaturationReport, StopReason};
+pub use runner::{
+    BackoffSchedule, IterationReport, RuleReport, RunReport, Runner, SaturationReport, StopReason,
+    DEFAULT_BAN_LENGTH, DEFAULT_MATCH_BUDGET,
+};
 pub use symbol::Symbol;
 pub use unionfind::{Id, UnionFind};
 

@@ -67,6 +67,12 @@ pub struct Rewrite<A: Analysis> {
     /// and conditioned lemmas); `None` for dynamic appliers. Lets proof
     /// checkers validate rule steps by pure pattern matching.
     rhs: Option<Pattern>,
+    /// Static *sketch* of a dynamic applier's output, for rule analysis
+    /// only ([`Rewrite::with_rhs_hint`]). Never used to apply or prove
+    /// anything; variables not bound by the left-hand side stand for
+    /// values the applier mints (folded scalar constants, synthetic
+    /// leaves).
+    rhs_hint: Option<Pattern>,
 }
 
 impl<A: Analysis> Clone for Rewrite<A> {
@@ -77,6 +83,7 @@ impl<A: Analysis> Clone for Rewrite<A> {
             condition: self.condition.clone(),
             applier: self.applier.clone(),
             rhs: self.rhs.clone(),
+            rhs_hint: self.rhs_hint.clone(),
         }
     }
 }
@@ -110,6 +117,7 @@ impl<A: Analysis> Rewrite<A> {
             searcher,
             condition: None,
             rhs: Some(applier.clone()),
+            rhs_hint: None,
             applier: Arc::new(applier),
         })
     }
@@ -139,6 +147,7 @@ impl<A: Analysis> Rewrite<A> {
             searcher: lhs.parse()?,
             condition: None,
             rhs: None,
+            rhs_hint: None,
             applier: Arc::new(DynApplier {
                 f: Arc::new(applier),
             }),
@@ -168,6 +177,24 @@ impl<A: Analysis> Rewrite<A> {
     /// for dynamic appliers).
     pub fn rhs(&self) -> Option<&Pattern> {
         self.rhs.as_ref()
+    }
+
+    /// Attaches a static right-hand-side sketch to a dynamic rewrite, for
+    /// the `entangle-rules` corpus analysis. Unlike [`Rewrite::parse`],
+    /// variables not bound by the left-hand side are allowed: they stand
+    /// for values the applier computes (e.g. a gcd-reduced scalar).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sketch fails to parse.
+    pub fn with_rhs_hint(mut self, hint: &str) -> Result<Self, ParseExprError> {
+        self.rhs_hint = Some(hint.parse()?);
+        Ok(self)
+    }
+
+    /// The static sketch attached via [`Rewrite::with_rhs_hint`], if any.
+    pub fn rhs_hint(&self) -> Option<&Pattern> {
+        self.rhs_hint.as_ref()
     }
 
     /// `true` when the rewrite is gated by a side condition.

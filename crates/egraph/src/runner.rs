@@ -1,10 +1,97 @@
 //! Equality saturation driver with resource limits and per-rule statistics.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use crate::egraph::{Analysis, EGraph};
 use crate::rewrite::Rewrite;
+
+/// Default per-iteration match budget for throttled rules (see
+/// [`BackoffSchedule`]). The throttled set is the generative-cycle
+/// *drivers* — rules whose match volume explodes combinatorially when
+/// they misbehave — so the budget is deliberately tight: any sizable
+/// per-iteration match volume from a driver is the blowup signature, and
+/// the budget doubles with each ban, so well-behaved bursts recover.
+/// Swept on the MoE/TP-SP2 workload (`bench_rules`): 16/16 gives the
+/// best end-to-end time, and the budget's escalation keeps the shallow
+/// zoo workloads at noise level.
+pub const DEFAULT_MATCH_BUDGET: u64 = 16;
+
+/// Default ban length (iterations) for a rule that first exceeds its match
+/// budget; doubles on every repeat offense, egg-style.
+pub const DEFAULT_BAN_LENGTH: usize = 16;
+
+/// A static backoff schedule: a set of rule names eligible for
+/// match-budget throttling, typically the members of a generative rewrite
+/// cycle found by `entangle-rules`' interaction-graph analysis.
+///
+/// Scheduling is egg's `BackoffScheduler` idea driven by a *static* rule
+/// classification instead of runtime heuristics: a throttled rule whose
+/// search exceeds `match_budget << times_banned` substitutions is banned
+/// (its search is skipped entirely) for `ban_length << times_banned`
+/// iterations. Rules outside the set — in particular every rule classified
+/// *simplifying* — are never throttled.
+///
+/// The schedule cannot change verdicts: the runner only reports
+/// [`StopReason::Saturated`] after a full iteration in which **no** rule
+/// was banned and no union happened, so the final e-graph is closed under
+/// the whole rule set exactly as with the unthrottled schedule (see
+/// [`Runner::run`]). It is also deterministic — ban state depends only on
+/// match counts, never on wall clock.
+#[derive(Debug, Clone, Default)]
+pub struct BackoffSchedule {
+    throttled: HashSet<String>,
+    match_budget: u64,
+    ban_length: usize,
+}
+
+impl BackoffSchedule {
+    /// A schedule throttling the given rule names with the default budget
+    /// and ban length.
+    pub fn new(throttled: impl IntoIterator<Item = String>) -> Self {
+        BackoffSchedule {
+            throttled: throttled.into_iter().collect(),
+            match_budget: DEFAULT_MATCH_BUDGET,
+            ban_length: DEFAULT_BAN_LENGTH,
+        }
+    }
+
+    /// Overrides the per-iteration match budget.
+    pub fn with_match_budget(mut self, budget: u64) -> Self {
+        self.match_budget = budget.max(1);
+        self
+    }
+
+    /// Overrides the initial ban length (iterations).
+    pub fn with_ban_length(mut self, len: usize) -> Self {
+        self.ban_length = len.max(1);
+        self
+    }
+
+    /// `true` when `rule` is eligible for throttling.
+    pub fn is_throttled(&self, rule: &str) -> bool {
+        self.throttled.contains(rule)
+    }
+
+    /// Number of throttled rules.
+    pub fn len(&self) -> usize {
+        self.throttled.len()
+    }
+
+    /// `true` when no rule is throttled (the schedule is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.throttled.is_empty()
+    }
+}
+
+/// Per-rule backoff state during one run.
+#[derive(Debug, Clone, Copy, Default)]
+struct BackoffState {
+    throttled: bool,
+    /// Rule search is skipped while `iteration <= banned_until`.
+    banned_until: usize,
+    times_banned: u32,
+}
 
 /// Why a saturation run stopped.
 ///
@@ -176,6 +263,7 @@ pub struct Runner<A: Analysis> {
     iter_limit: usize,
     node_limit: usize,
     time_limit: Duration,
+    backoff: Option<BackoffSchedule>,
 }
 
 impl<A: Analysis> Runner<A> {
@@ -187,6 +275,7 @@ impl<A: Analysis> Runner<A> {
             iter_limit: 30,
             node_limit: 50_000,
             time_limit: Duration::from_secs(10),
+            backoff: None,
         }
     }
 
@@ -208,11 +297,26 @@ impl<A: Analysis> Runner<A> {
         self
     }
 
+    /// Installs a [`BackoffSchedule`]. `None` (the default) is the
+    /// unthrottled standard schedule.
+    pub fn with_backoff(mut self, schedule: Option<BackoffSchedule>) -> Self {
+        self.backoff = schedule;
+        self
+    }
+
     /// Runs the rewrites to saturation or a limit.
     ///
     /// Each iteration searches *all* rules against the frozen e-graph, then
     /// applies all matches, then rebuilds — the standard egg schedule, which
     /// keeps rule application order-independent.
+    ///
+    /// With a [`BackoffSchedule`] installed, throttled rules whose search
+    /// exceeds the match budget are banned — their search is skipped — for
+    /// a cooldown that doubles on repeat offenses. An iteration that
+    /// performs no union does **not** end the run while any rule is banned:
+    /// all bans are lifted and the loop continues, so `Saturated` still
+    /// certifies a fixpoint of the *full* rule set and the verdict is
+    /// unchanged from the unthrottled schedule.
     pub fn run(&mut self, rewrites: &[Rewrite<A>]) -> RunReport {
         let start = Instant::now();
         let mut applications: HashMap<String, u64> = HashMap::new();
@@ -226,6 +330,16 @@ impl<A: Analysis> Runner<A> {
         // count to linear (see [`Rewrite::apply_deduped`]).
         let mut applied_memo: Vec<std::collections::HashSet<u64>> =
             vec![std::collections::HashSet::new(); rewrites.len()];
+        let mut backoff: Vec<BackoffState> = rewrites
+            .iter()
+            .map(|rw| BackoffState {
+                throttled: self
+                    .backoff
+                    .as_ref()
+                    .is_some_and(|s| s.is_throttled(rw.name())),
+                ..BackoffState::default()
+            })
+            .collect();
         let mut iterations = 0;
         let stop_reason = loop {
             if iterations >= self.iter_limit {
@@ -239,18 +353,41 @@ impl<A: Analysis> Runner<A> {
             }
             iterations += 1;
             let iter_start = start.elapsed();
-            // Search phase against the frozen graph.
+            // Search phase against the frozen graph. Banned rules are
+            // skipped outright — that skip, not apply dedup, is where the
+            // backoff win comes from.
             let mut search_us = 0u64;
+            let mut any_banned = false;
             let mut matches = Vec::with_capacity(rewrites.len());
-            for (rw, stats) in rewrites.iter().zip(per_rule.iter_mut()) {
+            for ((rw, stats), bo) in rewrites.iter().zip(per_rule.iter_mut()).zip(&mut backoff) {
+                if bo.throttled && iterations <= bo.banned_until {
+                    any_banned = true;
+                    matches.push(Vec::new());
+                    continue;
+                }
                 let t0 = Instant::now();
                 let (ms, visited, skipped) = rw.search_with_stats(&self.egraph);
                 let dt = t0.elapsed().as_micros() as u64;
                 stats.search_us += dt;
                 search_us += dt;
-                stats.matches += ms.iter().map(|m| m.substs.len() as u64).sum::<u64>();
+                let found: u64 = ms.iter().map(|m| m.substs.len() as u64).sum();
+                stats.matches += found;
                 saturation.searched_classes += visited;
                 saturation.skipped_classes += skipped;
+                if bo.throttled {
+                    let budget = self
+                        .backoff
+                        .as_ref()
+                        .map_or(u64::MAX, |s| s.match_budget << bo.times_banned.min(16));
+                    if found > budget {
+                        let ban = self
+                            .backoff
+                            .as_ref()
+                            .map_or(0, |s| s.ban_length << bo.times_banned.min(16));
+                        bo.banned_until = iterations + ban;
+                        bo.times_banned += 1;
+                    }
+                }
                 matches.push(ms);
             }
             // Apply phase.
@@ -282,6 +419,15 @@ impl<A: Analysis> Runner<A> {
                 unions,
             });
             if unions == 0 {
+                if any_banned {
+                    // A quiet iteration under bans proves nothing: lift
+                    // every ban and force a full confirmation iteration
+                    // before Saturated may be reported.
+                    for bo in &mut backoff {
+                        bo.banned_until = 0;
+                    }
+                    continue;
+                }
                 break StopReason::Saturated;
             }
         };

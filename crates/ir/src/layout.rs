@@ -80,7 +80,7 @@ pub fn coalesce(segs: Vec<Seg>) -> Vec<Seg> {
         match (out.last_mut(), seg) {
             (Some(Seg::Pad(a)), Seg::Pad(b)) => *a += b,
             (Some(Seg::Piece { end, .. }), Seg::Piece { start: s2, end: e2 }) if *end == s2 => {
-                *end = e2
+                *end = e2;
             }
             (_, seg) => out.push(seg),
         }

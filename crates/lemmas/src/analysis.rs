@@ -134,6 +134,56 @@ impl Analysis for TensorAnalysis {
     }
 }
 
+/// Every operator name [`decode_op`] can decode — the e-graph-level
+/// operator vocabulary. A rewrite whose pattern mentions an operator
+/// outside this list can never match a term built by the checker (the
+/// `entangle-rules` RL01 *dead rule* diagnostic). Kept in sync with the
+/// `decode_op` match arms by `tests::vocabulary_matches_decode_op`.
+pub const OP_VOCABULARY: &[&str] = &[
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "maximum",
+    "neg",
+    "exp",
+    "sqrt",
+    "rsqrt",
+    "tanh",
+    "gelu",
+    "silu",
+    "relu",
+    "sigmoid",
+    "step",
+    "gelu_grad",
+    "silu_grad",
+    "ones_like",
+    "cos",
+    "sin",
+    "identity",
+    "sum_all",
+    "mean_all",
+    "matmul",
+    "embedding",
+    "embedding_grad",
+    "rms_norm",
+    "mse_loss",
+    "cross_entropy",
+    "layer_norm",
+    "rope",
+    "scalar_mul",
+    "sum_dim",
+    "mean_dim",
+    "softmax",
+    "transpose",
+    "slice",
+    "concat",
+    "pad",
+    "attention",
+    "reshape",
+    "permute",
+];
+
 /// Reconstructs an [`Op`] from its e-graph head symbol and the metadata of
 /// its children; returns the op and the number of leading tensor children.
 ///

@@ -47,9 +47,8 @@ pub(crate) fn install(b: &mut Builder) {
             let (Some(d), Some(ra)) = (int(eg, subst[v("d")]), rank(eg, a0)) else {
                 return vec![];
             };
-            let rb = match rank(eg, bb) {
-                Some(r) => r,
-                None => return vec![],
+            let Some(rb) = rank(eg, bb) else {
+                return vec![];
             };
             // The contraction dim (ra-1) cannot be split on one side only.
             if d == ra as i64 - 1 {
@@ -76,9 +75,8 @@ pub(crate) fn install(b: &mut Builder) {
             let (Some(d), Some(rb)) = (int(eg, subst[v("d")]), rank(eg, b0)) else {
                 return vec![];
             };
-            let ra = match rank(eg, a) {
-                Some(r) => r,
-                None => return vec![],
+            let Some(ra) = rank(eg, a) else {
+                return vec![];
             };
             // The contraction dim (rb-2) cannot be split on one side only.
             if d == rb as i64 - 2 {

@@ -88,7 +88,20 @@ impl Builder {
         Builder { lemmas: Vec::new() }
     }
 
+    /// An empty builder for registration-invariant tests.
+    #[cfg(test)]
+    pub(crate) fn new_for_tests() -> Builder {
+        Builder::new()
+    }
+
     /// Registers a lemma, assigning the next id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a lemma with the same name is already registered: a
+    /// duplicate would silently shadow the earlier lemma in every
+    /// name-keyed consumer (Figure 6 stats, the audit, certificates, the
+    /// backoff schedule), so the registry rejects it outright.
     pub(crate) fn push(
         &mut self,
         rewrite: Rewrite<TensorAnalysis>,
@@ -97,6 +110,11 @@ impl Builder {
         complexity: usize,
         models: &[&'static str],
     ) {
+        assert!(
+            !self.lemmas.iter().any(|l| l.name == rewrite.name()),
+            "duplicate lemma name registered: {:?}",
+            rewrite.name()
+        );
         self.lemmas.push(Lemma {
             id: self.lemmas.len(),
             name: rewrite.name().to_owned(),

@@ -319,7 +319,11 @@ pub(crate) fn install(b: &mut Builder) {
             vec![add_op(eg, "scalar_mul", vec![subst[v("x")], nc, dc])]
         },
     )
-    .expect("parses");
+    .expect("parses")
+    // Static sketch for the rule analyzer: the applier mints a fresh
+    // gcd-reduced fraction (?fn ?fd are unbound on purpose).
+    .with_rhs_hint("(scalar_mul ?x ?fn ?fd)")
+    .expect("hint parses");
     b.push(rw, Category::General, 14, 2, &[]);
 
     // Fractions in relations are canonical: 2/8 rewrites to 1/4, so scale
@@ -340,7 +344,9 @@ pub(crate) fn install(b: &mut Builder) {
             vec![add_op(eg, "scalar_mul", vec![subst[v("x")], nc, mc])]
         },
     )
-    .expect("parses");
+    .expect("parses")
+    .with_rhs_hint("(scalar_mul ?x ?fn ?fd)")
+    .expect("hint parses");
     b.push(rw, Category::General, 12, 1, &[]);
 
     let rw = Rewrite::parse_if(
@@ -391,7 +397,9 @@ pub(crate) fn install(b: &mut Builder) {
             vec![add_op(eg, "scalar_mul", vec![subst[v("x")], nc, dc])]
         },
     )
-    .expect("parses");
+    .expect("parses")
+    .with_rhs_hint("(scalar_mul ?x ?fn ?fd)")
+    .expect("hint parses");
     b.push(rw, Category::General, 16, 3, &["bytedance-moe"]);
 
     // x + x = 2x: makes a missing 1/T scale visible as a leftover

@@ -45,10 +45,12 @@
 //! assert_eq!(names.len(), lemmas.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod analysis;
 mod corpus;
 
-pub use analysis::{cond, decode_op, Meta, TensorAnalysis};
+pub use analysis::{cond, decode_op, Meta, TensorAnalysis, OP_VOCABULARY};
 pub use corpus::{registry, rewrites_of, Category, Lemma};
 
 /// Prefix of *synthetic* leaf names minted by canonicalization lemmas

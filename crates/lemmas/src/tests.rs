@@ -466,6 +466,41 @@ fn analysis_infers_shapes_through_expressions() {
     assert_eq!(eg[u].data.shape, None);
 }
 
+#[test]
+fn vocabulary_matches_decode_op() {
+    use crate::{decode_op, Meta, OP_VOCABULARY};
+    use entangle_symbolic::SymExpr;
+    // Every vocabulary name must decode under at least one small palette of
+    // child metadata (tensor children first, then integer attributes) —
+    // i.e. the list has no entry `decode_op` does not actually know.
+    let tensor_f32 = Meta::tensor(Shape::of(&[4, 4]), DType::F32);
+    let tensor_i64 = Meta::tensor(Shape::of(&[4, 4]), DType::I64);
+    let int0 = Meta::scalar(SymExpr::constant(0));
+    let int1 = Meta::scalar(SymExpr::constant(1));
+    for name in OP_VOCABULARY {
+        let mut decoded = false;
+        'palettes: for tensors in 0..=3usize {
+            for attrs in 0..=4usize {
+                for ints in [&int0, &int1] {
+                    for tensor in [&tensor_f32, &tensor_i64] {
+                        let mut metas = vec![tensor.clone(); tensors];
+                        metas.extend(std::iter::repeat_n(ints.clone(), attrs));
+                        if decode_op(name, &metas).is_some() {
+                            decoded = true;
+                            break 'palettes;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(decoded, "vocabulary op {name:?} never decodes");
+    }
+    // And the duals the corpus relies on are present.
+    for required in ["scalar_mul", "concat", "slice", "matmul", "attention"] {
+        assert!(OP_VOCABULARY.contains(&required));
+    }
+}
+
 mod condition_gating {
     //! Negative tests: conditioned lemmas must NOT fire when their side
     //! conditions fail — each case here is a soundness bug if it flips.
@@ -898,4 +933,24 @@ mod concrete_validation {
         );
         assert!(lhs.allclose(&rhs, 1e-12));
     }
+}
+
+#[test]
+#[should_panic(expected = "duplicate lemma name registered")]
+fn registry_rejects_duplicate_names() {
+    let mut b = crate::corpus::Builder::new_for_tests();
+    b.uni(
+        "dup-name",
+        "(add ?a ?b)",
+        "(add ?b ?a)",
+        Category::Clean,
+        &[],
+    );
+    b.uni(
+        "dup-name",
+        "(mul ?a ?b)",
+        "(mul ?b ?a)",
+        Category::Clean,
+        &[],
+    );
 }

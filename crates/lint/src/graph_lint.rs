@@ -128,19 +128,16 @@ fn well_formedness(graph: &Graph, report: &mut LintReport) {
                 resolvable = false;
             }
         }
-        let out = match tensor_ref(graph, node.output) {
-            None => {
-                diags.push(Diagnostic::error(
-                    codes::DANGLING_REF,
-                    anchor.clone(),
-                    format!(
-                        "node {:?} claims nonexistent output tensor {}",
-                        node.name, node.output
-                    ),
-                ));
-                continue;
-            }
-            Some(t) => t,
+        let Some(out) = tensor_ref(graph, node.output) else {
+            diags.push(Diagnostic::error(
+                codes::DANGLING_REF,
+                anchor.clone(),
+                format!(
+                    "node {:?} claims nonexistent output tensor {}",
+                    node.name, node.output
+                ),
+            ));
+            continue;
         };
         if resolvable {
             match infer_output(&node.op, &metas) {

@@ -24,6 +24,8 @@
 //! or whole graph), a message, and an optional suggestion. The catalogue of
 //! codes lives in [`codes`].
 
+#![forbid(unsafe_code)]
+
 pub mod audit;
 mod graph_lint;
 

@@ -34,6 +34,8 @@
 //! assert_eq!(g.outputs().len(), 1); // the logits
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod config;
 mod regression;
 mod transformer;

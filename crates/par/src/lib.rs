@@ -18,6 +18,8 @@
 //!
 //! [`available_jobs`] reports the core count used for the default `jobs`.
 
+#![forbid(unsafe_code)]
+
 mod cache;
 mod canon;
 mod pool;

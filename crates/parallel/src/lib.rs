@@ -31,6 +31,8 @@
 //! assert!(outcome.output_relation.is_complete_for(gs.outputs()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod accum;
 pub mod bugs;
 mod dist;

@@ -1,0 +1,151 @@
+//! The rule-interaction graph: which rules can feed which, and which of
+//! the resulting cycles are generative.
+//!
+//! Edge `A → B` means *output of `A` can trigger `B`*: some operator-rooted
+//! subterm of `A`'s effective right-hand side unifies (after renaming
+//! apart) with `B`'s left-hand-side **root** pattern. Root-only matching is
+//! deliberate: matching against every LHS subpattern connects nearly the
+//! whole corpus through shared connective tissue (`concat`, `add`) into one
+//! uninformative mega-component, while the root is exactly what saturation
+//! searches for.
+//!
+//! A strongly connected component with a cycle is *generative* when it
+//! contains a **driver**: an unconditioned rule that duplicates a bound
+//! variable. Such a cycle re-feeds itself strictly growing material —
+//! statically, this is the `scalar_mul-distribute` ⇄ `scalar_mul-compose`
+//! blowup the MoE trace measures dynamically.
+
+use entangle_egraph::Rewrite;
+use entangle_lemmas::TensorAnalysis;
+
+use crate::classify::{effective_rhs, RuleClass};
+use crate::pattern_util::{op_subterms, rename_vars, unifiable};
+
+/// The directed rule-interaction graph over the corpus (indices into the
+/// rewrite slice it was built from).
+#[derive(Debug, Clone)]
+pub struct InteractionGraph {
+    /// `edges[i]` = sorted indices of rules whose LHS root unifies with an
+    /// RHS subterm of rule `i`.
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// One generative cycle: a strongly connected component with at least one
+/// driver. Indices are into the rewrite slice, sorted ascending.
+#[derive(Debug, Clone)]
+pub struct GenerativeCycle {
+    /// Every rule in the component.
+    pub members: Vec<usize>,
+    /// The duplicating, unconditioned rules that make the cycle grow.
+    pub drivers: Vec<usize>,
+}
+
+/// Builds the interaction graph for a rewrite slice.
+pub fn interaction_graph(rewrites: &[Rewrite<TensorAnalysis>]) -> InteractionGraph {
+    // Rename each side apart once up front; unification treats shared
+    // variable names as shared variables, and distinct rules' `?x`s are not.
+    let rhs_subterms: Vec<Vec<entangle_egraph::PatternAst>> = rewrites
+        .iter()
+        .map(|rw| match effective_rhs(rw) {
+            Some(rhs) => op_subterms(rhs.ast())
+                .into_iter()
+                .map(|t| rename_vars(t, "·r"))
+                .collect(),
+            None => Vec::new(),
+        })
+        .collect();
+    let lhs_roots: Vec<entangle_egraph::PatternAst> = rewrites
+        .iter()
+        .map(|rw| rename_vars(rw.searcher().ast(), "·l"))
+        .collect();
+    let edges = rhs_subterms
+        .iter()
+        .map(|subs| {
+            lhs_roots
+                .iter()
+                .enumerate()
+                .filter(|(_, lhs)| subs.iter().any(|sub| unifiable(sub, lhs)))
+                .map(|(j, _)| j)
+                .collect()
+        })
+        .collect();
+    InteractionGraph { edges }
+}
+
+/// Iterative Tarjan SCC. Components are returned with members sorted
+/// ascending, and the component list itself sorted by smallest member, so
+/// the output is deterministic regardless of traversal order.
+fn sccs(edges: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = edges.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit call stack: (node, next child position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call = vec![(root, 0usize)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = edges[v].get(*ci) {
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    out.push(comp);
+                }
+                call.pop();
+                if let Some(&mut (u, _)) = call.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    out.sort_unstable_by_key(|c| c[0]);
+    out
+}
+
+/// Finds every generative cycle: an SCC that actually cycles (size > 1, or
+/// a self-loop) and contains at least one driver.
+pub fn generative_cycles(graph: &InteractionGraph, classes: &[RuleClass]) -> Vec<GenerativeCycle> {
+    sccs(&graph.edges)
+        .into_iter()
+        .filter(|comp| comp.len() > 1 || graph.edges[comp[0]].contains(&comp[0]))
+        .filter_map(|comp| {
+            let drivers: Vec<usize> = comp
+                .iter()
+                .copied()
+                .filter(|&i| classes[i].duplicating && !classes[i].conditioned)
+                .collect();
+            (!drivers.is_empty()).then_some(GenerativeCycle {
+                members: comp,
+                drivers,
+            })
+        })
+        .collect()
+}

@@ -615,7 +615,7 @@ fn attention(
                 }
                 let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let mut denom = 0.0;
-                for sc in scores.iter_mut() {
+                for sc in &mut scores {
                     *sc = (*sc - max).exp();
                     denom += *sc;
                 }

@@ -36,6 +36,8 @@
 //! assert_eq!(env[&s].data(), &[11.0, 22.0, 33.0, 44.0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod eval;
 mod value;
 

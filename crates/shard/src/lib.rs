@@ -53,6 +53,8 @@
 //! assert_eq!(first.code, entangle_shard::codes::WINDOW_MISALIGNED);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod analyze;
 mod domain;
 mod hints;

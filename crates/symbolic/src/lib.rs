@@ -40,6 +40,8 @@
 //! assert_eq!(ctx.check(&h, Rel::Ge, &n), Truth::Refuted);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod expr;
 mod solver;
 

@@ -44,6 +44,8 @@
 //! assert_eq!(report.events.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod report;
 mod sink;
 

@@ -64,6 +64,17 @@ for gd in examples/graphs/*.gd.json; do
 done
 echo "    21 traces emitted, parsed, and balanced"
 
+echo "==> rule-corpus static analysis (entangle rules, clean corpus gate)"
+./target/release/entangle rules --json > /dev/null \
+  || { echo "entangle rules found error-severity RL diagnostics"; exit 1; }
+rules_summary=$(./target/release/entangle rules)
+echo "    ${rules_summary%%$'\n'*}"
+echo "    corpus clean (no RL errors); golden output pinned by tests/rules_golden.rs"
+
+echo "==> rule-backoff smoke (bench_rules: writes results/BENCH_rules.json)"
+./target/release/bench_rules >/dev/null
+echo "    results/BENCH_rules.json written"
+
 echo "==> trace profile smoke (entangle trace gpt-tp2)"
 ./target/release/entangle trace gpt-tp2 >/dev/null \
   || { echo "entangle trace gpt-tp2 FAILED"; exit 1; }
@@ -75,7 +86,11 @@ echo "    results/BENCH_trace.json written, overhead gate passed"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets (-D warnings + pedantic subset)"
+cargo clippy --workspace --all-targets -- -D warnings \
+  -W clippy::uninlined_format_args \
+  -W clippy::explicit_iter_loop \
+  -W clippy::manual_let_else \
+  -W clippy::semicolon_if_nothing_returned
 
 echo "CI OK"

@@ -192,7 +192,7 @@ mod tests {
         g.sample_size(2);
         g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         g.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..n).sum::<u64>());
         });
         g.finish();
     }
