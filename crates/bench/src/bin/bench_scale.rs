@@ -1,0 +1,220 @@
+//! Depth-scaling suite: pins the template-lifted memo's sublinear curve.
+//!
+//! Sweeps layer counts over the deep-model builders (Llama-3 and Qwen2 at
+//! tp8, the deep MoE stack at tp+sp2) with the structural template analysis
+//! on and off, certification on throughout (the instantiated proofs must
+//! survive the trusted kernel at every depth). Writes
+//! `results/BENCH_scale.json` (stable field order, no serde) and prints the
+//! comparison table.
+//!
+//! The headline gate: with templates on, the 32-layer Llama-3 check must
+//! cost less than 8x the 4-layer check — layer k's per-operator problems
+//! hit the class entries published while checking layer 0, so wall time
+//! grows with the mapping count the kernel re-validates, not with the
+//! saturation the deeper graph would otherwise re-run.
+//!
+//! Usage: `bench_scale [--layers 1,4,...]` (default sweep 1,4,16,32; CI
+//! smoke runs `--layers 1,4`).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use entangle::{CheckOptions, CheckOutcome};
+use entangle_bench::{llama_workload, moe_deep_workload, print_table, qwen2_workload, Workload};
+
+/// The wall-time ratio ceiling for the deepest vs. the 4-layer Llama-3
+/// check with templates on.
+const GATE_RATIO: f64 = 8.0;
+
+/// Best-of-N wall clock, plus the last outcome.
+fn time_check(w: &Workload, opts: &CheckOptions, reps: usize) -> (Duration, CheckOutcome) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps {
+        let (outcome, t) = w.check(opts);
+        best = best.min(t);
+        last = Some(outcome);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn scale_opts(templates: bool) -> CheckOptions {
+    CheckOptions {
+        templates,
+        certify: true,
+        ..CheckOptions::default()
+    }
+}
+
+struct Point {
+    model: &'static str,
+    layers: usize,
+    ops: usize,
+    on_ms: f64,
+    off_ms: f64,
+    template_hits: u64,
+    instantiated: u64,
+    fallbacks: u64,
+    mappings: usize,
+}
+
+fn main() {
+    let mut layer_counts: Vec<usize> = vec![1, 4, 16, 32];
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--layers" => {
+                let spec = args.next().expect("--layers needs a comma-separated list");
+                layer_counts = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--layers: not a number"))
+                    .collect();
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let reps = 3;
+    println!("Depth-scaling suite (layers {layer_counts:?}, {reps} reps best-of, certify on):\n");
+
+    type Builder = fn(usize) -> Workload;
+    let builders: [(&'static str, Builder); 3] = [
+        ("Llama-3/TP8", |l| llama_workload(8, l)),
+        ("Qwen2/TP8", |l| qwen2_workload(8, l)),
+        ("MoE/TP-SP2", |l| moe_deep_workload(2, l)),
+    ];
+
+    let mut points: Vec<Point> = Vec::new();
+    for (model, build) in builders {
+        for &layers in &layer_counts {
+            let w = build(layers);
+            let (t_on, out_on) = time_check(&w, &scale_opts(true), reps);
+            let (t_off, out_off) = time_check(&w, &scale_opts(false), reps);
+            let rel_on = out_on.full_relation.display(&w.gs).to_string();
+            let rel_off = out_off.full_relation.display(&w.gs).to_string();
+            assert_eq!(
+                rel_on, rel_off,
+                "{model} l{layers}: verdict differs with templates on vs off"
+            );
+            points.push(Point {
+                model,
+                layers,
+                ops: w.total_ops(),
+                on_ms: t_on.as_secs_f64() * 1e3,
+                off_ms: t_off.as_secs_f64() * 1e3,
+                template_hits: out_on.par.template_hits,
+                instantiated: out_on.par.template_instantiated,
+                fallbacks: out_on.par.template_fallbacks,
+                mappings: out_on
+                    .certificate
+                    .as_ref()
+                    .map(|c| c.mappings.len())
+                    .unwrap_or(0),
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.model.to_owned(),
+                p.layers.to_string(),
+                p.ops.to_string(),
+                format!("{:.1}", p.on_ms),
+                format!("{:.1}", p.off_ms),
+                p.template_hits.to_string(),
+                p.instantiated.to_string(),
+                p.fallbacks.to_string(),
+                p.mappings.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "model",
+            "layers",
+            "ops",
+            "tmpl ms",
+            "no-tmpl ms",
+            "hits",
+            "inst",
+            "fb",
+            "mappings",
+        ],
+        &rows,
+    );
+
+    // The sublinear-curve gate, on the Llama-3 sweep when it spans 4 and
+    // the deepest layer count.
+    let llama_at = |l: usize| {
+        points
+            .iter()
+            .find(|p| p.model == "Llama-3/TP8" && p.layers == l)
+    };
+    let deepest = layer_counts.iter().copied().max().unwrap_or(0);
+    let mut gate = None;
+    if deepest > 4 {
+        if let (Some(p4), Some(pd)) = (llama_at(4), llama_at(deepest)) {
+            let ratio = pd.on_ms / p4.on_ms;
+            let pass = ratio < GATE_RATIO;
+            println!(
+                "\ngate: {} l{deepest} / l4 wall-time ratio {ratio:.2} (< {GATE_RATIO:.0} with \
+                 templates on) — {}",
+                p4.model,
+                if pass { "PASS" } else { "FAIL" }
+            );
+            gate = Some((deepest, ratio, pass));
+            assert!(
+                pass,
+                "scale gate failed: l{deepest}/l4 = {ratio:.2} >= {GATE_RATIO:.0}"
+            );
+        }
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"scale\",\"reps\":{reps},\"certify\":true,\"layers\":["
+    );
+    for (i, l) in layer_counts.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, "{l}");
+    }
+    json.push_str("],\"points\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"model\":\"{}\",\"layers\":{},\"ops\":{},\"templates_ms\":{:.3},\
+             \"no_templates_ms\":{:.3},\"template_hits\":{},\"instantiated\":{},\
+             \"fallbacks\":{},\"mappings\":{}}}",
+            p.model,
+            p.layers,
+            p.ops,
+            p.on_ms,
+            p.off_ms,
+            p.template_hits,
+            p.instantiated,
+            p.fallbacks,
+            p.mappings
+        );
+    }
+    json.push(']');
+    match gate {
+        Some((deepest, ratio, pass)) => {
+            let _ = write!(
+                json,
+                ",\"gate\":{{\"model\":\"Llama-3/TP8\",\"deepest\":{deepest},\
+                 \"ratio_vs_l4\":{ratio:.3},\"ceiling\":{GATE_RATIO:.1},\"pass\":{pass}}}}}"
+            );
+        }
+        None => json.push('}'),
+    }
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_scale.json", &json).expect("write results/BENCH_scale.json");
+    println!("\nwrote results/BENCH_scale.json");
+}

@@ -5,38 +5,55 @@
 //!
 //! Usage: `export_zoo [dir]` (default `examples/graphs`). Writes
 //! `<name>.gs.json`, `<name>.gd.json` and `<name>.maps` per workload.
+//! `export_zoo <dir> --deep-llama N` instead exports the single deep
+//! Llama-3 tp8 workload at `N` layers as `llama3_l<N>.*` (the CI
+//! deep-model certify round-trip).
 
 use std::fs;
 use std::path::Path;
 
-use entangle_bench::zoo;
+use entangle_bench::{llama_workload, zoo, Workload};
+
+fn export(dir: &str, name: &str, gs: &entangle_ir::Graph, dist: &entangle_parallel::Distributed) {
+    let base = Path::new(dir).join(name);
+    fs::write(
+        base.with_extension("gs.json"),
+        gs.to_json().expect("serialize gs"),
+    )
+    .expect("write gs");
+    fs::write(
+        base.with_extension("gd.json"),
+        dist.graph.to_json().expect("serialize gd"),
+    )
+    .expect("write gd");
+    let maps: String = dist
+        .input_maps
+        .iter()
+        .map(|(n, e)| format!("{n} = {e}\n"))
+        .collect();
+    fs::write(base.with_extension("maps"), maps).expect("write maps");
+    println!("{dir}/{name}.{{gs.json,gd.json,maps}}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let dir = args.get(1).map(String::as_str).unwrap_or("examples/graphs");
     fs::create_dir_all(dir).expect("create output dir");
 
+    if args.get(2).map(String::as_str) == Some("--deep-llama") {
+        let layers: usize = args
+            .get(3)
+            .expect("--deep-llama needs a layer count")
+            .parse()
+            .expect("--deep-llama: not a number");
+        let w: Workload = llama_workload(8, layers);
+        export(dir, &format!("llama3_l{layers}"), &w.gs, &w.dist);
+        return;
+    }
+
     let cases = zoo();
     for case in &cases {
-        let base = Path::new(dir).join(&case.name);
-        fs::write(
-            base.with_extension("gs.json"),
-            case.gs.to_json().expect("serialize gs"),
-        )
-        .expect("write gs");
-        fs::write(
-            base.with_extension("gd.json"),
-            case.dist.graph.to_json().expect("serialize gd"),
-        )
-        .expect("write gd");
-        let maps: String = case
-            .dist
-            .input_maps
-            .iter()
-            .map(|(n, e)| format!("{n} = {e}\n"))
-            .collect();
-        fs::write(base.with_extension("maps"), maps).expect("write maps");
-        println!("{dir}/{}.{{gs.json,gd.json,maps}}", case.name);
+        export(dir, &case.name, &case.gs, &case.dist);
     }
     println!("exported {} workloads", cases.len());
 }

@@ -147,6 +147,29 @@ pub fn moe_workload(par: usize, backward: bool) -> Workload {
     }
 }
 
+/// A deep MoE *stack* under TP+SP+EP: `layers` MoE layers, each with its
+/// own router, experts and load-balance head (the BENCH_scale deep-model
+/// sweeps; `moe_workload` keeps the paper's fixed 1/2-layer shapes).
+pub fn moe_deep_workload(par: usize, layers: usize) -> Workload {
+    let cfg = MoeConfig {
+        base: bench_config(),
+        experts: 8,
+    }
+    .with_layers(layers);
+    let gs = moe(&cfg);
+    let dist = if par == 1 {
+        Distributed::identity(&gs)
+    } else {
+        parallelize_moe(&cfg, &Strategy::tp_sp(par))
+    };
+    Workload {
+        name: format!("MoE(tp{par},l{layers})"),
+        strategies: "TP+SP+EP",
+        gs,
+        dist,
+    }
+}
+
 /// The HuggingFace regression workload (gradient accumulation).
 pub fn regression_workload(microbatches: usize) -> Workload {
     let cfg = RegressionConfig {

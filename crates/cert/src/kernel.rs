@@ -137,6 +137,33 @@ pub fn verify(
     Ok(())
 }
 
+/// Validates a single [`MappingCert`] against an explicitly supplied
+/// accepted-mapping set (`G_s` input tensor name → accepted expressions).
+///
+/// This is the entry point the checker's template instantiation uses: an
+/// instantiated mapping is kernel-checked *eagerly*, before it may enter
+/// the relation, under exactly the rules [`verify`] applies per mapping —
+/// the proof must start from the kernel's own operator encoding, every
+/// step must be justified, and the result must re-infer to the `G_s`
+/// tensor's shape and dtype.
+///
+/// # Errors
+///
+/// [`CertError::Malformed`] for an unknown operator,
+/// [`CertError::Rejected`] when the chain fails validation.
+pub fn verify_mapping(
+    mc: &MappingCert,
+    gs: &Graph,
+    gd: &Graph,
+    lemmas: &[Rewrite<TensorAnalysis>],
+    ctx: &SymCtx,
+    accepted: &HashMap<String, Vec<RecExpr>>,
+) -> Result<(), CertError> {
+    let lemma_index: HashMap<&str, &Rewrite<TensorAnalysis>> =
+        lemmas.iter().map(|r| (r.name(), r)).collect();
+    check_mapping(mc, gs, gd, &lemma_index, ctx, accepted)
+}
+
 fn check_mapping(
     mc: &MappingCert,
     gs: &Graph,
@@ -146,9 +173,7 @@ fn check_mapping(
     accepted: &Accepted,
 ) -> Result<(), CertError> {
     let node = gs
-        .nodes()
-        .iter()
-        .find(|n| n.name == mc.operator)
+        .node_by_name(&mc.operator)
         .ok_or_else(|| CertError::Malformed(format!("unknown G_s operator {}", mc.operator)))?;
     if gs.tensor(node.output).name != mc.tensor {
         return Err(CertError::rejected(
@@ -224,6 +249,23 @@ fn validate_chain(
     ctx: &SymCtx,
     accepted: &Accepted,
 ) -> Result<(), String> {
+    validate_chain_from(proof, from, None, to, gd, lemmas, ctx, accepted)
+}
+
+/// [`validate_chain`] with an optionally pre-computed meta for `from` —
+/// congruence steps infer the whole `before` term once and hand each child
+/// its slot's meta instead of re-inferring the full term per child.
+#[allow(clippy::too_many_arguments)]
+fn validate_chain_from(
+    proof: &Proof,
+    from: (&RecExpr, Id),
+    from_meta: Option<TermMeta>,
+    to: (&RecExpr, Id),
+    gd: &Graph,
+    lemmas: &HashMap<&str, &Rewrite<TensorAnalysis>>,
+    ctx: &SymCtx,
+    accepted: &Accepted,
+) -> Result<(), String> {
     if proof.steps.is_empty() {
         return if term_eq(from.0, from.1, to.0, to.1) {
             Ok(())
@@ -238,7 +280,10 @@ fn validate_chain(
             first.before()
         ));
     }
-    let mut cur_meta = term_meta_at(from.0, from.1, gd)?;
+    let mut cur_meta = match from_meta {
+        Some(m) => m,
+        None => term_meta_at(from.0, from.1, gd)?,
+    };
     for (k, step) in proof.steps.iter().enumerate() {
         if k > 0 && !exprs_eq(proof.steps[k - 1].after(), step.before()) {
             return Err(format!("step {k} does not chain from the previous step"));
@@ -283,10 +328,14 @@ fn check_step(
             if sb != sa || cb.len() != ca.len() || cb.len() != children.len() {
                 return Err("congruence step operator/arity mismatch".to_owned());
             }
+            let before_metas = term_metas(before, gd)?;
             for (i, child) in children.iter().enumerate() {
-                validate_chain(
+                let from_meta = meta_term(&before_metas[cb[i].index()])
+                    .map_err(|why| format!("argument {i}: {why}"))?;
+                validate_chain_from(
                     child,
                     (before, cb[i]),
+                    Some(from_meta),
                     (after, ca[i]),
                     gd,
                     lemmas,
@@ -330,9 +379,7 @@ fn check_given(
 ) -> Result<(), String> {
     if let Some(op_name) = fact.strip_prefix("G_d definition of ") {
         let node = gd
-            .nodes()
-            .iter()
-            .find(|n| n.name == op_name)
+            .node_by_name(op_name)
             .ok_or_else(|| format!("no G_d operator named {op_name}"))?;
         let mut leaf = RecExpr::default();
         leaf.add(ENode::leaf(&gd.tensor(node.output).name));
@@ -401,7 +448,12 @@ fn check_universal(
 
 /// Matches a pattern against a concrete subterm, binding variables to
 /// subterm slots; nonlinear variables must bind structurally equal terms.
-fn match_term(pat: &PatternAst, expr: &RecExpr, at: Id, sigma: &mut Vec<(Var, Id)>) -> bool {
+pub(crate) fn match_term(
+    pat: &PatternAst,
+    expr: &RecExpr,
+    at: Id,
+    sigma: &mut Vec<(Var, Id)>,
+) -> bool {
     match pat {
         PatternAst::Var(v) => {
             if let Some(&(_, prev)) = sigma.iter().find(|(pv, _)| pv == v) {
@@ -504,15 +556,16 @@ fn replay(
     ctx: &SymCtx,
 ) -> Result<(), String> {
     let mut analysis = TensorAnalysis::with_ctx(ctx.clone());
-    for t in gd.tensors() {
-        analysis.register_leaf(&t.name, t.shape.clone(), t.dtype);
-    }
+    // Only the leaves the two terms mention need analysis entries —
+    // registering all of `G_d` here made every replayed step O(|G_d|).
     for e in [lhs_t, rhs_t] {
         for sym in e.leaf_symbols() {
             if let Some(rest) = sym.as_str().strip_prefix(SYNTHETIC_LEAF_PREFIX) {
                 let dims = parse_ones_shape(rest)
                     .ok_or_else(|| format!("unparsable synthetic leaf {sym}"))?;
                 analysis.register_leaf(sym.as_str(), Shape::of(&dims), DType::F32);
+            } else if let Some(t) = gd.tensor_by_name(sym.as_str()) {
+                analysis.register_leaf(&t.name, t.shape.clone(), t.dtype);
             }
         }
     }
@@ -615,15 +668,19 @@ fn term_metas(expr: &RecExpr, gd: &Graph) -> Result<Vec<Meta>, String> {
     Ok(metas)
 }
 
-/// Infers what the subterm at `at` denotes.
-pub(crate) fn term_meta_at(expr: &RecExpr, at: Id, gd: &Graph) -> Result<TermMeta, String> {
-    let metas = term_metas(expr, gd)?;
-    let m = &metas[at.index()];
+/// Converts one inferred slot meta into the [`TermMeta`] summary.
+fn meta_term(m: &Meta) -> Result<TermMeta, String> {
     match (&m.shape, m.dtype) {
         (Some(s), Some(d)) => Ok(TermMeta::Tensor(s.clone(), d)),
         _ if m.scalar.is_some() => Ok(TermMeta::Scalar),
         _ => Err("uninferable term".to_owned()),
     }
+}
+
+/// Infers what the subterm at `at` denotes.
+pub(crate) fn term_meta_at(expr: &RecExpr, at: Id, gd: &Graph) -> Result<TermMeta, String> {
+    let metas = term_metas(expr, gd)?;
+    meta_term(&metas[at.index()])
 }
 
 /// Pure mirror of the checker's operator encoding (`encode_op`):

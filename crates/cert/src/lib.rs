@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 mod cert;
+mod instantiate;
 mod json;
 mod kernel;
 
@@ -35,5 +36,6 @@ mod kernel;
 mod tests;
 
 pub use cert::{exprs_eq, term_eq, CertError, Certificate, MappingCert};
+pub use instantiate::{retarget_proof, retarget_slice_bounds};
 pub use json::{from_json, to_json};
-pub use kernel::verify;
+pub use kernel::{verify, verify_mapping};

@@ -11,6 +11,7 @@
 //! entangle certify <gs.json> <gd.json> --check cert.json
 //! entangle expect  <gs.json> <gd.json> --maps relations.txt --fs F --fd '(concat F1 F2 0)'
 //! entangle lint    <graph.json>
+//! entangle iso     <graph.json>
 //! entangle info    <graph.json>
 //! entangle trace   gpt-tp2
 //! entangle --trace out.jsonl check <gs.json> <gd.json> --maps relations.txt
@@ -19,7 +20,8 @@
 //! A maps file holds one `gs_tensor = s-expression` mapping per line
 //! (`#`-prefixed lines are comments). Exit code 0 = verified, 1 = bug
 //! found, 2 = usage/input error, 3 = static lint errors, 4 = certificate
-//! rejected by the trusted kernel, 5 = rule-corpus analysis errors.
+//! rejected by the trusted kernel, 5 = rule-corpus analysis errors,
+//! 6 = template-analysis errors.
 //!
 //! The global `--trace FILE` flag streams a JSON-lines structured trace of
 //! any invocation (spans for every pipeline stage, saturation telemetry
@@ -104,6 +106,15 @@ pub enum Command {
         /// Emit the analysis as JSON.
         json: bool,
     },
+    /// Run the static graph-template analysis over one graph file.
+    Iso {
+        /// Path to the graph JSON.
+        graph: String,
+        /// Neighborhood radius for the canonical forms (`None` = default).
+        radius: Option<usize>,
+        /// Emit the analysis as JSON.
+        json: bool,
+    },
     /// Print a summary of one graph file.
     Info {
         /// Path to the graph JSON.
@@ -161,6 +172,7 @@ USAGE:
   entangle lint    <graph.json> [--json]
   entangle rules   [--json]
   entangle shard   <gd.json> [--gs <gs.json>] [--map ...|--maps FILE] [--json]
+  entangle iso     <graph.json> [--radius N] [--json]
   entangle info    <graph.json> [--dot]
   entangle trace   <workload> [--top N] [--json] [--perfetto FILE]
   entangle trace   <gs.json> <gd.json> [--map ...|--maps FILE]
@@ -194,6 +206,14 @@ shard runs the abstract sharding-propagation analysis (SH## codes): with
 cross-rank consistency, and prints the relation hints it can prove;
 without, it reports the per-tensor layout structure of the graph alone.
 
+iso runs the static graph-template analysis (IS## codes): each operator's
+producer-side neighborhood is canonicalized into a bounded-depth
+fingerprint (leaf names dropped, slice bounds parameterized) and the graph
+is partitioned into repeated template classes — the partition the checker
+reuses to solve one representative per class. Findings cover fingerprint
+collisions, near-miss templates (one instance out of step with a repeated
+class), and non-bijective parameter-leaf alignment.
+
 certify runs the proof-carrying check: the saturation engine's derivation
 is extracted as a rewrite certificate and re-validated by the independent
 trusted kernel before success is reported. --emit/--json export the
@@ -210,7 +230,8 @@ trace-event file; --check parses a JSON-lines trace captured earlier with
 
 EXIT CODES:  0 verified   1 refinement/expectation failed   2 usage error
              3 static lint errors   4 certificate rejected
-             5 rule-corpus analysis errors";
+             5 rule-corpus analysis errors
+             6 template-analysis errors";
 
 /// Parses argv (without the program name).
 ///
@@ -282,6 +303,34 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError("shard: --map/--maps need --gs".into()));
             }
             Ok(Command::Shard { gd, gs, maps, json })
+        }
+        "iso" => {
+            let graph = it
+                .next()
+                .ok_or_else(|| CliError("iso: missing <graph.json>".into()))?
+                .clone();
+            let mut radius = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--radius" => {
+                        let n = it
+                            .next()
+                            .ok_or_else(|| CliError("--radius needs a number".into()))?;
+                        radius = Some(
+                            n.parse()
+                                .map_err(|_| CliError(format!("--radius: not a number: {n:?}")))?,
+                        );
+                    }
+                    "--json" => json = true,
+                    other => return Err(CliError(format!("iso: unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Iso {
+                graph,
+                radius,
+                json,
+            })
         }
         "info" => {
             let graph = it
@@ -701,9 +750,20 @@ fn par_summary(par: &entangle::ParStats) -> String {
     } else {
         "cache off".to_owned()
     };
+    let templates = if par.templates_enabled && par.template_classes > 0 {
+        format!(
+            "; templates {} classes, {} hits ({} kernel-instantiated, {} fallbacks)",
+            par.template_classes,
+            par.template_hits,
+            par.template_instantiated,
+            par.template_fallbacks
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "parallel : {} jobs on {} cores; {}",
-        par.jobs, par.cores, cache
+        "parallel : {} jobs on {} cores; {}{}",
+        par.jobs, par.cores, cache, templates
     )
 }
 
@@ -715,6 +775,7 @@ fn command_name(cmd: &Command) -> &'static str {
         Command::Lint { .. } => "lint",
         Command::Rules { .. } => "rules",
         Command::Shard { .. } => "shard",
+        Command::Iso { .. } => "iso",
         Command::Info { .. } => "info",
         Command::Trace { .. } => "trace",
         Command::Help => "help",
@@ -831,6 +892,51 @@ fn run_inner(cmd: &Command, tracer: &Tracer, jobs: Option<usize>) -> Result<i32,
             println!("{}: {}", gd.name(), analysis.summary());
             Ok(if analysis.is_clean() { 0 } else { 3 })
         }
+        Command::Iso {
+            graph,
+            radius,
+            json,
+        } => {
+            let g = {
+                let mut sp = tracer.span("load");
+                sp.attr("path", graph);
+                load_graph(graph)?
+            };
+            let analysis = {
+                let mut sp = tracer.span("stage:iso");
+                let analysis = match radius {
+                    Some(r) => entangle_iso::analyze_with(&g, *r),
+                    None => entangle_iso::analyze(&g),
+                };
+                sp.attr("classes", analysis.class_count());
+                sp.attr("covered", analysis.covered());
+                sp.attr("errors", analysis.report.error_count());
+                sp.attr("warnings", analysis.report.warning_count());
+                analysis
+            };
+            if *json {
+                println!("{}", analysis.to_json(&g));
+                return Ok(if analysis.report.is_clean() { 0 } else { 6 });
+            }
+            if !analysis.classes.is_empty() {
+                println!("template classes (radius {}):", analysis.radius);
+                for c in &analysis.classes {
+                    println!(
+                        "  #{} {:016x} {} ×{}  (representative {})",
+                        c.id,
+                        c.fingerprint,
+                        c.op,
+                        c.members.len(),
+                        g.nodes()[c.representative()].name
+                    );
+                }
+            }
+            if !analysis.report.diagnostics.is_empty() {
+                println!("{}", analysis.report.render(Some(&g)));
+            }
+            println!("{}: {}", g.name(), analysis.summary());
+            Ok(if analysis.report.is_clean() { 0 } else { 6 })
+        }
         Command::Info { graph, dot } => {
             let t0 = Instant::now();
             let g = {
@@ -874,8 +980,15 @@ fn run_inner(cmd: &Command, tracer: &Tracer, jobs: Option<usize>) -> Result<i32,
                 entangle_shard::analyze_graph(&g)
             };
             let t_shard = t2.elapsed();
+            let t3 = Instant::now();
+            let iso = {
+                let _sp = tracer.span("stage:iso");
+                entangle_iso::analyze(&g)
+            };
+            let t_iso = t3.elapsed();
             println!("lint     : {}", lint.summary());
             println!("shard    : {}", shard.summary());
+            println!("templates: {}", iso.summary());
             println!(
                 "corpus   : {} lemmas registered (see `entangle rules`)",
                 entangle_lemmas::registry().len()
@@ -886,11 +999,12 @@ fn run_inner(cmd: &Command, tracer: &Tracer, jobs: Option<usize>) -> Result<i32,
                 jobs.unwrap_or_else(entangle_par::available_jobs).max(1)
             );
             println!(
-                "timings  : load {}, lint {}, shard {} (total {})",
+                "timings  : load {}, lint {}, shard {}, iso {} (total {})",
                 ms(t_load),
                 ms(t_lint),
                 ms(t_shard),
-                ms(t_load + t_lint + t_shard)
+                ms(t_iso),
+                ms(t_load + t_lint + t_shard + t_iso)
             );
             Ok(0)
         }

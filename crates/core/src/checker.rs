@@ -2,21 +2,23 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use entangle_cert::{CertError, Certificate, MappingCert};
 use entangle_egraph::{
     BackoffSchedule, EGraph, ENode, Extractor, Id, Justification, Proof, RecExpr, Rewrite, Runner,
-    SaturationReport, StopReason,
+    SaturationReport, StopReason, Symbol,
 };
 use entangle_ir::{Graph, Node, NodeId, TensorId};
 use entangle_lemmas::{registry, rewrites_of, TensorAnalysis};
-use entangle_par::{with_pool, ShardedCache};
+use entangle_par::{with_pool, Renamer, ShardedCache};
 use entangle_symbolic::SymCtx;
 use entangle_trace::{Record, Tracer};
 
 use crate::encode::{clean_cost, encode_node, encode_op, CleanOps};
-use crate::memo::{build_problem, solve_problem, Solved};
+use crate::memo::{build_problem, solve_problem, GdConsumers, Solved, TemplateKey};
 use crate::relation::Relation;
 
 /// Tuning knobs and ablation switches for [`check_refinement`].
@@ -93,6 +95,21 @@ pub struct CheckOptions {
     /// not the key) and in the ablation modes. Turn off to measure the
     /// uncached engine (`bench_par`'s baseline).
     pub cache: bool,
+    /// Template-lifted memoization (on by default): the `entangle-iso`
+    /// static analysis partitions `G_s` into repeated structure classes
+    /// before any saturation, and the memo is lifted from per-operator to
+    /// per-template keys — concrete integer slice bounds become `$b{i}`
+    /// placeholders, so the N experts of an MoE or the repeated layers of
+    /// a deep model share one solved representative. A member whose bounds
+    /// differ from the representative's re-checks an *instantiated*
+    /// certificate in the `entangle-cert` trusted kernel (substituting
+    /// member bounds into the template proof); kernel rejection falls back
+    /// to a concrete solve, so verdicts never depend on instantiation.
+    /// With `certify` off, cross-bound instantiation is disabled (there is
+    /// no proof to re-check) and only equal-bound template hits replay.
+    /// Requires the saturation memo (`cache`); turn off to measure the
+    /// per-operator-only memo (`bench_scale`'s ablation baseline).
+    pub templates: bool,
     /// Rule-class-driven backoff scheduling (on by default): the static
     /// corpus analysis (`entangle-rules`) classifies every rewrite and
     /// throttles non-simplifying members of generative interaction cycles —
@@ -126,6 +143,7 @@ impl Default for CheckOptions {
             trace: Tracer::null(),
             jobs: entangle_par::available_jobs(),
             cache: true,
+            templates: true,
             rule_backoff: true,
         }
     }
@@ -145,6 +163,24 @@ pub struct ParStats {
     pub cache_hits: u64,
     /// Memo lookups that had to solve from scratch.
     pub cache_misses: u64,
+    /// Whether template-lifted memoization was active.
+    pub templates_enabled: bool,
+    /// Repeated structure classes the static analysis found in `G_s`.
+    pub template_classes: usize,
+    /// `G_s` operators covered by some repeated class.
+    pub template_covered: usize,
+    /// Template lookups that found the class representative's entry.
+    pub template_hits: u64,
+    /// Template lookups that missed (representative not yet solved, or the
+    /// member's problem differs structurally from the representative's).
+    pub template_misses: u64,
+    /// Template hits replayed through certificate instantiation (member
+    /// bounds substituted into the template proof, kernel re-checked).
+    pub template_instantiated: u64,
+    /// Template hits that could not be replayed (kernel rejected the
+    /// instantiated proof, or `certify` was off with differing bounds) and
+    /// fell back to a concrete solve.
+    pub template_fallbacks: u64,
 }
 
 impl ParStats {
@@ -679,6 +715,15 @@ fn check_refinement_inner(
     } else {
         String::new()
     };
+    // Static template analysis: with the memo on, the `entangle-iso`
+    // partition lifts the cache from per-operator to per-template keys —
+    // each repeated-structure class solves its representative once, and
+    // members replay or instantiate its certificate instead of
+    // re-saturating. Off (`opts.templates = false`) is the ablation.
+    let iso_partition = (opts.templates && use_cache).then(|| entangle_iso::analyze(gs));
+    let templates = iso_partition
+        .as_ref()
+        .map(|a| TemplateInfo::new(a, gs.nodes().len()));
 
     // Monolithic (ablation) mode: one shared e-graph with all of G_d.
     let mut shared: Option<EGraph<TensorAnalysis>> = if opts.fresh_egraph_per_op {
@@ -706,6 +751,7 @@ fn check_refinement_inner(
             cache.as_ref(),
             cfg_fp,
             backoff.as_ref(),
+            templates.as_ref(),
         );
         let mut st = MapState {
             relation: &mut relation,
@@ -925,6 +971,10 @@ fn check_refinement_inner(
     }
 
     let cache_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+    let template_stats = templates
+        .as_ref()
+        .map(|t| t.cache.stats())
+        .unwrap_or_default();
     Ok(CheckOutcome {
         output_relation,
         full_relation: relation,
@@ -938,6 +988,15 @@ fn check_refinement_inner(
             cache_enabled: use_cache,
             cache_hits: cache_stats.hits,
             cache_misses: cache_stats.misses,
+            templates_enabled: templates.is_some(),
+            template_classes: templates.as_ref().map_or(0, |t| t.classes),
+            template_covered: templates.as_ref().map_or(0, |t| t.covered),
+            template_hits: template_stats.hits,
+            template_misses: template_stats.misses,
+            template_instantiated: templates
+                .as_ref()
+                .map_or(0, |t| t.instantiated.load(Relaxed)),
+            template_fallbacks: templates.as_ref().map_or(0, |t| t.fallbacks.load(Relaxed)),
         },
     })
 }
@@ -1048,6 +1107,57 @@ fn fresh_egraph(gd: &Graph, opts: &CheckOptions) -> EGraph<TensorAnalysis> {
 // with identical inputs.
 // ---------------------------------------------------------------------------
 
+/// One solved template class: the representative's per-site bound values
+/// and definition-slot names (render order, matching
+/// `OpProblem::template_key`) and its solved canonical problem,
+/// certificates included.
+struct TemplateEntry {
+    bounds: Vec<i64>,
+    defs: Vec<(String, String)>,
+    solved: Arc<Solved>,
+}
+
+/// The static template partition plus the per-template memo, shared with
+/// worker threads. Only a class *representative* (its smallest G_s node
+/// index) publishes an entry; members consult it read-only, so lookups are
+/// deterministic for any worker count once the scheduler orders members
+/// after their representative.
+struct TemplateInfo {
+    /// Per G_s node index: `(class id, representative node index)` for
+    /// nodes in a repeated-structure class.
+    class_rep: Vec<Option<(usize, usize)>>,
+    /// Number of template classes in the partition.
+    classes: usize,
+    /// Operators covered by some class.
+    covered: usize,
+    cache: ShardedCache<TemplateEntry>,
+    /// Members whose mappings were instantiated from the representative's
+    /// certificate (kernel-accepted).
+    instantiated: AtomicU64,
+    /// Members that fell back to a concrete solve (instantiation
+    /// unavailable or rejected).
+    fallbacks: AtomicU64,
+}
+
+impl TemplateInfo {
+    fn new(analysis: &entangle_iso::IsoAnalysis, num_nodes: usize) -> TemplateInfo {
+        let mut class_rep = vec![None; num_nodes];
+        for (idx, slot) in class_rep.iter_mut().enumerate() {
+            if let Some(class) = analysis.class_of(idx) {
+                *slot = Some((class.id, class.representative()));
+            }
+        }
+        TemplateInfo {
+            class_rep,
+            classes: analysis.class_count(),
+            covered: analysis.covered(),
+            cache: ShardedCache::new(16),
+            instantiated: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Immutable per-check context shared with worker threads.
 struct MapCtx<'a> {
     gs: &'a Graph,
@@ -1062,6 +1172,10 @@ struct MapCtx<'a> {
     cache: Option<&'a ShardedCache<Solved>>,
     cfg_fp: String,
     backoff: Option<&'a BackoffSchedule>,
+    templates: Option<&'a TemplateInfo>,
+    /// Consumer index over `G_d`, built once and shared by every
+    /// `build_problem` frontier closure.
+    consumers: GdConsumers,
 }
 
 impl<'a> MapCtx<'a> {
@@ -1077,6 +1191,7 @@ impl<'a> MapCtx<'a> {
         cache: Option<&'a ShardedCache<Solved>>,
         cfg_fp: String,
         backoff: Option<&'a BackoffSchedule>,
+        templates: Option<&'a TemplateInfo>,
     ) -> Self {
         let nodes: Vec<&Node> = gs.nodes().iter().collect();
         let hint_vecs: Vec<&[RecExpr]> = nodes
@@ -1111,6 +1226,8 @@ impl<'a> MapCtx<'a> {
             cache,
             cfg_fp,
             backoff,
+            templates,
+            consumers: GdConsumers::new(gd),
         }
     }
 }
@@ -1150,6 +1267,227 @@ struct OpResult {
     elapsed: Duration,
 }
 
+/// A successful template replay: the solved result, plus — when the replay
+/// went through certificate instantiation — the substituted per-variant
+/// expressions and proof chains that must enter the emitted certificate.
+type TemplateReplay = (Arc<Solved>, Option<Vec<(RecExpr, Option<Proof>)>>);
+
+/// Member-side template lookup. Key equality pairs the member's definition
+/// slots with the representative's, yielding a canonical-to-canonical
+/// [`Renamer`] (tensor names plus `Given` fact labels). From there:
+///
+/// - identity translation, equal bounds: the member's concrete problem
+///   equals the representative's — replay is exactly a concrete-memo hit;
+/// - non-identity translation, equal bounds: the problems are isomorphic
+///   by construction of the normalized key, so the translated solution is
+///   admitted (with certification on, each translated proof is still
+///   re-checked by the trusted kernel first — it will enter the
+///   certificate);
+/// - differing bounds (certification on only): the representative's
+///   certificate is *instantiated* — candidate bound substitutions are
+///   applied to every variant's expression and proof chain and the result
+///   is admitted only after the trusted kernel re-validates it.
+///
+/// Returns `None` — fall back to a concrete solve — on a memo miss, on a
+/// cross-bound hit without certification, or when the kernel rejects any
+/// variant.
+fn template_lookup(
+    ctx: &MapCtx,
+    node: &Node,
+    per_input: &[Vec<RecExpr>],
+    back: &Renamer,
+    templates: &TemplateInfo,
+    tk: &TemplateKey,
+) -> Option<TemplateReplay> {
+    let entry = templates.cache.get(&tk.key)?;
+    if entry.defs.len() != tk.defs.len() || entry.bounds.len() != tk.bounds.len() {
+        // Defensive: key equality fixes both lengths.
+        templates.fallbacks.fetch_add(1, Relaxed);
+        return None;
+    }
+    // Representative-canonical → member-canonical translation from the
+    // definition-slot pairing.
+    let mut translate = Renamer::new();
+    let mut identity = true;
+    for ((rep_label, rep_out), (mem_label, mem_out)) in entry.defs.iter().zip(&tk.defs) {
+        if rep_out != mem_out {
+            identity = false;
+            translate.leaf(Symbol::new(rep_out), Symbol::new(mem_out));
+        }
+        if rep_label != mem_label {
+            identity = false;
+            translate.fact(
+                format!("G_d definition of {rep_label}"),
+                format!("G_d definition of {mem_label}"),
+            );
+        }
+    }
+    if entry.bounds == tk.bounds && identity {
+        return Some((entry.solved.clone(), None));
+    }
+    let mappings = if entry.bounds == tk.bounds {
+        // Translated replay: same problem up to canonical renaming. Trusted
+        // without certification (isomorphism transport, the same trust
+        // level as the concrete memo's renamed replay); kernel-gated with
+        // it, because the translated proofs enter the certificate.
+        instantiate_template(
+            ctx,
+            node,
+            per_input,
+            back,
+            &entry,
+            &translate,
+            &[HashMap::new()],
+            !ctx.opts.certify,
+        )
+    } else if ctx.opts.certify {
+        // Cross-bound instantiation: try the value substitution read off
+        // the differing sites (when consistent), then the identity
+        // substitution (bound sites may belong to *other* members'
+        // structures that the variant never mentions). Kernel-gated.
+        let mut candidates: Vec<HashMap<i64, i64>> = Vec::new();
+        if let Some(m) = diff_value_map(&entry.bounds, &tk.bounds) {
+            candidates.push(m);
+        }
+        candidates.push(HashMap::new());
+        instantiate_template(
+            ctx,
+            node,
+            per_input,
+            back,
+            &entry,
+            &translate,
+            &candidates,
+            false,
+        )
+    } else {
+        None
+    };
+    match mappings {
+        Some(m) => {
+            templates.instantiated.fetch_add(1, Relaxed);
+            Some((entry.solved.clone(), Some(m)))
+        }
+        None => {
+            templates.fallbacks.fetch_add(1, Relaxed);
+            None
+        }
+    }
+}
+
+/// The per-site value substitution implied by the differing bound sites,
+/// or `None` when the sites conflict (one representative value would need
+/// two images) or nothing differs.
+fn diff_value_map(rep: &[i64], member: &[i64]) -> Option<HashMap<i64, i64>> {
+    let mut map = HashMap::new();
+    for (&r, &m) in rep.iter().zip(member) {
+        if r == m {
+            continue;
+        }
+        match map.entry(r) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != m {
+                    return None;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(m);
+            }
+        }
+    }
+    (!map.is_empty()).then_some(map)
+}
+
+/// Builds this member's mappings from the representative's solution:
+/// translate each variant into the member's canonical namespace, apply a
+/// candidate bound substitution to its expression and proof chain (rule
+/// substitutions are re-derived — see `entangle-cert`), rename out of the
+/// canonical namespace with this member's own renamer, and — unless
+/// `trusted` — re-check the mapping in the trusted kernel against the
+/// member's accepted input mappings. Each variant keeps the first candidate
+/// the kernel accepts; a variant no candidate can justify abandons the
+/// whole instantiation, so soundness never rests on the substitution
+/// heuristic.
+#[allow(clippy::too_many_arguments)]
+fn instantiate_template(
+    ctx: &MapCtx,
+    node: &Node,
+    per_input: &[Vec<RecExpr>],
+    back: &Renamer,
+    entry: &TemplateEntry,
+    translate: &Renamer,
+    candidates: &[HashMap<i64, i64>],
+    trusted: bool,
+) -> Option<Vec<(RecExpr, Option<Proof>)>> {
+    let accepted: HashMap<String, Vec<RecExpr>> = node
+        .inputs
+        .iter()
+        .zip(per_input)
+        .map(|(&t, exprs)| (ctx.gs.tensor(t).name.clone(), exprs.clone()))
+        .collect();
+    // The inputs' first mappings are what the certificate records (the
+    // saturation base term applies the operator to exactly these).
+    let first_inputs: Vec<RecExpr> = per_input
+        .iter()
+        .filter_map(|m| m.first().cloned())
+        .collect();
+    let tensor = ctx.gs.tensor(node.output).name.clone();
+    let mut mapped: Vec<(f64, RecExpr, Option<Proof>)> =
+        Vec::with_capacity(entry.solved.variants.len());
+    'variants: for (cost, expr, proof) in &entry.solved.variants {
+        let t_expr = translate.rename_expr(expr);
+        let t_proof = proof.as_ref().map(|p| translate.rename_proof(p));
+        if trusted {
+            let real_expr = back.rename_expr(&t_expr);
+            let real_proof = t_proof.as_ref().map(|p| back.rename_proof(p));
+            mapped.push((*cost, real_expr, real_proof));
+            continue;
+        }
+        let t_proof = t_proof?;
+        for value_map in candidates {
+            let (c_expr, c_proof) = if value_map.is_empty() {
+                (t_expr.clone(), t_proof.clone())
+            } else {
+                let e = entangle_cert::retarget_slice_bounds(&t_expr, value_map);
+                match entangle_cert::retarget_proof(&t_proof, value_map, ctx.rewrites) {
+                    Ok(p) => (e, p),
+                    Err(_) => continue,
+                }
+            };
+            let real_expr = back.rename_expr(&c_expr);
+            let real_proof = back.rename_proof(&c_proof);
+            let mc = MappingCert {
+                tensor: tensor.clone(),
+                operator: node.name.clone(),
+                inputs: first_inputs.clone(),
+                expr: real_expr.clone(),
+                proof: real_proof.clone(),
+            };
+            if entangle_cert::verify_mapping(
+                &mc,
+                ctx.gs,
+                ctx.gd,
+                ctx.rewrites,
+                &ctx.opts.sym_ctx,
+                &accepted,
+            )
+            .is_ok()
+            {
+                mapped.push((*cost, real_expr, Some(real_proof)));
+                continue 'variants;
+            }
+        }
+        return None;
+    }
+    // Restore the sequential engine's (cost, real text) ordering.
+    mapped.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.to_string().cmp(&b.1.to_string()))
+    });
+    Some(mapped.into_iter().map(|(_, e, p)| (e, p)).collect())
+}
+
 /// Solves one operator on the current thread. `per_input` is the snapshot
 /// of its inputs' final mappings (operator order). With a cache, the
 /// canonical memo engine runs; without one, the classic per-operator search
@@ -1173,21 +1511,77 @@ fn run_op(ctx: &MapCtx, idx: usize, per_input: &[Vec<RecExpr>], traced: bool) ->
     let mut outcome: Result<OpSuccess, OpFail> = if per_input.iter().any(|m| m.is_empty()) {
         Err(OpFail { stop: None })
     } else if let Some(cache) = ctx.cache {
-        let (problem, back) = build_problem(ctx.gs, ctx.gd, node, per_input);
+        let (problem, back) = build_problem(ctx.gs, ctx.gd, node, per_input, &ctx.consumers);
         let key = problem.key(&ctx.cfg_fp);
-        let solved = match cache.get(&key) {
-            Some(v) => v,
-            None => cache.insert(
-                key,
-                solve_problem(&problem, ctx.opts, ctx.rewrites, ctx.backoff),
-            ),
+        // Template lift: a node in a repeated class additionally gets a
+        // per-template key with slice bounds abstracted to placeholders and
+        // frontier-definition names structure-normalized.
+        let tpl = ctx.templates.and_then(|t| {
+            let (class, rep) = t.class_rep[idx]?;
+            let tk = problem.template_key(&ctx.cfg_fp, class)?;
+            Some((t, rep, tk))
+        });
+        // Mappings instantiated from the representative's certificate, in
+        // real names and final order (only set on a cross-bound template
+        // hit); `solved` always remains the telemetry source.
+        let mut instantiated: Option<Vec<(RecExpr, Option<Proof>)>> = None;
+        // Members consult the template memo *before* the concrete memo: the
+        // representative publishes before any member dispatches, so the
+        // chosen path is a static property of the node — never a function
+        // of concrete-cache timing — and member results stay bit-equal for
+        // any worker count. The concrete memo in turn only ever holds
+        // `solve_problem` outputs (instantiated mappings are never inserted
+        // there), keeping its values a pure function of the key.
+        let from_template = match &tpl {
+            Some((t, rep, tk)) if *rep != idx => {
+                template_lookup(ctx, node, per_input, &back, t, tk).map(|(solved, inst)| {
+                    instantiated = inst;
+                    solved
+                })
+            }
+            _ => None,
         };
+        let solved = match from_template {
+            Some(solved) => solved,
+            None => match cache.get(&key) {
+                Some(v) => v,
+                None => cache.insert(
+                    key,
+                    solve_problem(&problem, ctx.opts, ctx.rewrites, ctx.backoff),
+                ),
+            },
+        };
+        // The representative publishes the class entry — whether its own
+        // solve was fresh or a concrete-memo hit — so member behaviour
+        // depends only on the schedule order, not on cache timing. A
+        // failed representative publishes nothing: members with different
+        // bounds might still succeed and must search for themselves.
+        if let Some((t, rep, tk)) = tpl {
+            if rep == idx && !solved.variants.is_empty() {
+                t.cache.insert(
+                    tk.key,
+                    TemplateEntry {
+                        bounds: tk.bounds,
+                        defs: tk.defs,
+                        solved: solved.clone(),
+                    },
+                );
+            }
+        }
         emit_solved_trace(&tracer, &solved);
         for r in &solved.run_reports {
             stats.merge(&r.applications);
             summary.record(r);
         }
-        if solved.variants.is_empty() {
+        if let Some(mappings) = instantiated {
+            Ok(OpSuccess {
+                mappings,
+                rounds: solved.rounds,
+                stop: solved.stop,
+                egraph_nodes: solved.egraph_nodes,
+                rescued: false,
+            })
+        } else if solved.variants.is_empty() {
             Err(OpFail { stop: solved.stop })
         } else {
             // Rename back to real G_d tensors, then restore the sequential
@@ -1538,6 +1932,16 @@ fn map_stage_scheduled(
                 .filter_map(|t| out_to_idx.get(t).copied())
                 .filter(|&j| j < i)
                 .collect();
+            // A template member must not dispatch before its class
+            // representative has had the chance to publish — lookups then
+            // depend only on the (deterministic) schedule order, never on
+            // worker timing. The representative is the smallest member
+            // index, so the edge always points backwards.
+            if let Some((_, rep)) = ctx.templates.and_then(|t| t.class_rep[i]) {
+                if rep < i {
+                    d.push(rep);
+                }
+            }
             d.sort_unstable();
             d.dedup();
             d

@@ -18,13 +18,13 @@
 //! subproblems therefore canonicalize identically even when their real
 //! tensors interleave differently in `G_d`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use entangle_egraph::{
-    BackoffSchedule, EGraph, Id, Justification, Proof, RecExpr, Rewrite, RunReport, Runner,
+    BackoffSchedule, EGraph, ENode, Id, Justification, Proof, RecExpr, Rewrite, RunReport, Runner,
     StopReason, Symbol,
 };
-use entangle_ir::{DType, Graph, Node, NodeId, Op, Shape, TensorId};
+use entangle_ir::{DType, Graph, Node, Op, Shape, TensorId};
 use entangle_lemmas::TensorAnalysis;
 use entangle_par::Renamer;
 
@@ -106,6 +106,42 @@ impl Canonizer<'_> {
     }
 }
 
+/// Per-check index over `G_d`: for every tensor id, the *positions* (not
+/// ids — ids on unvalidated graphs may be misindexed) of the nodes that
+/// consume it, ascending. Built once per `check_refinement` and shared by
+/// every [`build_problem`] call so the frontier closure only re-examines
+/// nodes whose inputs just became related, instead of rescanning the whole
+/// graph each round.
+pub(crate) struct GdConsumers {
+    by_tensor: Vec<Vec<u32>>,
+    /// Positions of nodes with no inputs — eligible from the first round.
+    sourceless: Vec<u32>,
+}
+
+impl GdConsumers {
+    pub(crate) fn new(gd: &Graph) -> GdConsumers {
+        let mut by_tensor: Vec<Vec<u32>> = vec![Vec::new(); gd.tensors().len()];
+        let mut sourceless = Vec::new();
+        for (pos, n) in gd.nodes().iter().enumerate() {
+            let pos = u32::try_from(pos).expect("graph larger than u32 positions");
+            if n.inputs.is_empty() {
+                sourceless.push(pos);
+            }
+            for &t in &n.inputs {
+                let v = &mut by_tensor[t.0 as usize];
+                // A node listing the same tensor twice appends back-to-back.
+                if v.last() != Some(&pos) {
+                    v.push(pos);
+                }
+            }
+        }
+        GdConsumers {
+            by_tensor,
+            sourceless,
+        }
+    }
+}
+
 /// Builds the canonical problem for one `G_s` operator given its inputs'
 /// current mappings (`per_input`, in operator order), plus the
 /// canonical→real [`Renamer`] that replays a solution.
@@ -120,12 +156,8 @@ pub(crate) fn build_problem(
     gd: &Graph,
     node: &Node,
     per_input: &[Vec<RecExpr>],
+    consumers: &GdConsumers,
 ) -> (OpProblem, Renamer) {
-    let name_to_tensor: HashMap<&str, TensorId> = gd
-        .tensors()
-        .iter()
-        .map(|t| (t.name.as_str(), t.id))
-        .collect();
     let mut cz = Canonizer {
         gd,
         gd_output_set: gd.outputs().iter().copied().collect(),
@@ -141,7 +173,7 @@ pub(crate) fn build_problem(
     for exprs in per_input {
         for e in exprs {
             for sym in e.leaf_symbols() {
-                if let Some(&t) = name_to_tensor.get(sym.as_str()) {
+                if let Some(t) = gd.tensor_by_name(sym.as_str()).map(|t| t.id) {
                     cz.assign(t);
                     t_rel.insert(t);
                 }
@@ -159,36 +191,54 @@ pub(crate) fn build_problem(
         inputs.push((cin, exprs.iter().map(|e| cz.fwd.rename_expr(e)).collect()));
     }
 
-    // Frontier closure in the exact round structure of the sequential
-    // engine: each round scans G_d for operators whose inputs are all
-    // related, and the first round runs even when it adds nothing.
-    let mut defs_added: HashSet<NodeId> = HashSet::new();
+    // Frontier closure with the exact round structure of the sequential
+    // engine's full-graph scan, driven by the consumer worklist instead: a
+    // node re-enters the *current* round only when an input became related
+    // at a smaller scan position (the in-order scan would still reach it),
+    // otherwise the next round. The first round runs even when empty.
+    let mut defs_added: HashSet<u32> = HashSet::new();
     let mut def_rounds: Vec<Vec<CanonDef>> = Vec::new();
-    let mut first_round = true;
     let mut def_counter = 0usize;
+    let mut candidates: BTreeSet<u32> = consumers.sourceless.iter().copied().collect();
+    for &t in &t_rel {
+        candidates.extend(consumers.by_tensor[t.0 as usize].iter().copied());
+    }
+    let mut first_round = true;
     loop {
         let mut round = Vec::new();
-        for n in gd.nodes() {
-            if defs_added.contains(&n.id) {
+        let mut next: BTreeSet<u32> = BTreeSet::new();
+        while let Some(pos) = candidates.pop_first() {
+            if defs_added.contains(&pos) {
                 continue;
             }
-            if n.inputs.iter().all(|t| t_rel.contains(t)) {
-                defs_added.insert(n.id);
-                let inputs_c: Vec<String> = n.inputs.iter().map(|&t| cz.assign(t)).collect();
-                t_rel.insert(n.output);
-                let output_c = cz.assign(n.output);
-                let cname = format!("$n{def_counter}");
-                def_counter += 1;
-                cz.back.fact(
-                    format!("G_d definition of {cname}"),
-                    format!("G_d definition of {}", n.name),
-                );
-                round.push(CanonDef {
-                    name: cname,
-                    op: n.op.clone(),
-                    inputs: inputs_c,
-                    output: output_c,
-                });
+            let n = &gd.nodes()[pos as usize];
+            if !n.inputs.iter().all(|t| t_rel.contains(t)) {
+                // Not ready — dropped, re-queued when another input becomes
+                // related (exactly when the scan's verdict could change).
+                continue;
+            }
+            defs_added.insert(pos);
+            let inputs_c: Vec<String> = n.inputs.iter().map(|&t| cz.assign(t)).collect();
+            t_rel.insert(n.output);
+            let output_c = cz.assign(n.output);
+            let cname = format!("$n{def_counter}");
+            def_counter += 1;
+            cz.back.fact(
+                format!("G_d definition of {cname}"),
+                format!("G_d definition of {}", n.name),
+            );
+            round.push(CanonDef {
+                name: cname,
+                op: n.op.clone(),
+                inputs: inputs_c,
+                output: output_c,
+            });
+            for &c in &consumers.by_tensor[n.output.0 as usize] {
+                if c > pos {
+                    candidates.insert(c);
+                } else {
+                    next.insert(c);
+                }
             }
         }
         if round.is_empty() && !first_round {
@@ -196,6 +246,7 @@ pub(crate) fn build_problem(
         }
         first_round = false;
         def_rounds.push(round);
+        candidates = next;
     }
 
     (
@@ -235,6 +286,234 @@ impl OpProblem {
         }
         k.push_str(cfg);
         k
+    }
+
+    /// The *template* cache key: the canonical problem re-normalized so that
+    /// structurally corresponding members of an `entangle-iso` template
+    /// class render identically even when their canonical forms differ:
+    ///
+    /// - every concrete integer slice bound becomes a *per-site* `$b`
+    ///   placeholder (no value dedup — sibling instances disagree on which
+    ///   values coincide); the concrete values are returned in render order
+    ///   in [`TemplateKey::bounds`];
+    /// - frontier-definition output tensors are renumbered `$c0, $c1, …` in
+    ///   a structure-sorted order (per closure round, per readiness batch,
+    ///   sorted by abstracted signature, then concrete bound values, then
+    ///   original position). Definition outputs that are *also* input-mapping
+    ///   leaves keep their `$t` names — the mapping-determined namespace is
+    ///   member-invariant and anchors each member's "own" definitions to the
+    ///   same slot.
+    ///
+    /// The original `$n{j}` fact labels and output tensor names are returned
+    /// per normalized slot in [`TemplateKey::defs`], so a hit can translate
+    /// the representative's solution into the member's canonical namespace
+    /// with a [`Renamer`]. The key is prefixed with the structural class id
+    /// so problems from different template classes can never collide — a
+    /// cross-class collision would make hit-vs-solve timing dependent and
+    /// break the jobs-invariance contract.
+    ///
+    /// Returns `None` when a closure round cannot be topologically ordered
+    /// (never happens for frontier output — defensive only).
+    pub(crate) fn template_key(&self, cfg: &str, class: usize) -> Option<TemplateKey> {
+        use std::fmt::Write;
+        let mut bounds = Vec::new();
+        let mut key = String::with_capacity(512 + cfg.len());
+        let _ = write!(key, "class={class};op=");
+        abstract_op(&mut key, &self.op, &mut bounds);
+        key.push(';');
+        for (name, exprs) in &self.inputs {
+            let _ = write!(key, "in {name}:");
+            for e in exprs {
+                abstract_expr(&mut key, e, e.root_id(), false, &mut bounds);
+                key.push(',');
+            }
+            key.push(';');
+        }
+
+        let mapping_leaves: HashSet<String> = self
+            .inputs
+            .iter()
+            .flat_map(|(_, es)| es.iter())
+            .flat_map(|e| e.leaf_symbols())
+            .map(|s| s.as_str().to_owned())
+            .collect();
+        let def_outputs: HashSet<&str> = self
+            .def_rounds
+            .iter()
+            .flatten()
+            .map(|d| d.output.as_str())
+            .collect();
+        // Maps renumbered definition outputs; mapping-determined names are
+        // identity and need no entry.
+        let mut norm: HashMap<String, String> = HashMap::new();
+        let mut defs_meta: Vec<(String, String)> = Vec::new();
+        let mut renumbered = 0usize;
+        let resolve = |norm: &HashMap<String, String>, name: &str| -> Option<String> {
+            if let Some(n) = norm.get(name) {
+                Some(n.clone())
+            } else if def_outputs.contains(name) && !mapping_leaves.contains(name) {
+                None
+            } else {
+                Some(name.to_owned())
+            }
+        };
+        for round in &self.def_rounds {
+            key.push_str("round:");
+            let mut remaining: Vec<&CanonDef> = round.iter().collect();
+            while !remaining.is_empty() {
+                // (signature, site values, original position, def)
+                let mut ready: Vec<(String, Vec<i64>, usize, &CanonDef)> = Vec::new();
+                let mut rest: Vec<&CanonDef> = Vec::new();
+                for (pos, d) in remaining.into_iter().enumerate() {
+                    let mut sig = String::new();
+                    let mut vals = Vec::new();
+                    abstract_op(&mut sig, &d.op, &mut vals);
+                    sig.push('(');
+                    let mut resolved = true;
+                    for i in &d.inputs {
+                        match resolve(&norm, i) {
+                            Some(n) => {
+                                sig.push_str(&n);
+                                sig.push(',');
+                            }
+                            None => {
+                                resolved = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !resolved {
+                        rest.push(d);
+                        continue;
+                    }
+                    sig.push(')');
+                    if mapping_leaves.contains(&d.output) {
+                        // Leaf-anchored output: part of the signature, so
+                        // each member's "own" definitions sort to the same
+                        // slot regardless of their concrete bounds.
+                        let _ = write!(sig, "->{}", d.output);
+                    }
+                    ready.push((sig, vals, pos, d));
+                }
+                if ready.is_empty() {
+                    return None;
+                }
+                ready.sort_by(|a, b| {
+                    a.0.cmp(&b.0)
+                        .then_with(|| a.1.cmp(&b.1))
+                        .then(a.2.cmp(&b.2))
+                });
+                for (sig, vals, _, d) in ready {
+                    let out = if mapping_leaves.contains(&d.output) {
+                        d.output.clone()
+                    } else {
+                        let c = format!("$c{renumbered}");
+                        renumbered += 1;
+                        norm.insert(d.output.clone(), c.clone());
+                        c
+                    };
+                    let _ = write!(key, "{sig}->{out};");
+                    bounds.extend(vals);
+                    defs_meta.push((d.name.clone(), d.output.clone()));
+                }
+                remaining = rest;
+            }
+        }
+
+        // Leaves: mapping-determined ones in original (member-invariant)
+        // order, then definition outputs in normalized slot order.
+        let by_name: HashMap<&str, &CanonLeaf> =
+            self.leaves.iter().map(|l| (l.name.as_str(), l)).collect();
+        for l in &self.leaves {
+            if def_outputs.contains(l.name.as_str()) && !mapping_leaves.contains(&l.name) {
+                continue;
+            }
+            let _ = write!(
+                key,
+                "leaf {}:{}:{:?}:{};",
+                l.name, l.shape, l.dtype, l.prefer
+            );
+        }
+        for (_, out) in &defs_meta {
+            if mapping_leaves.contains(out) {
+                continue;
+            }
+            let l = by_name.get(out.as_str())?;
+            let _ = write!(
+                key,
+                "leaf {}:{}:{:?}:{};",
+                norm[out], l.shape, l.dtype, l.prefer
+            );
+        }
+        key.push_str(cfg);
+        Some(TemplateKey {
+            key,
+            bounds,
+            defs: defs_meta,
+        })
+    }
+}
+
+/// A per-template cache key: see [`OpProblem::template_key`].
+pub(crate) struct TemplateKey {
+    pub key: String,
+    /// Concrete slice-bound values, one per `$b` site, in render order.
+    pub bounds: Vec<i64>,
+    /// Per normalized definition slot: the (`$n{j}` fact label, output
+    /// tensor name) pair in this problem's own canonical namespace. Two
+    /// problems with equal keys pair slot-by-slot; differing entries become
+    /// `Renamer` translations from the representative's namespace into the
+    /// member's.
+    pub defs: Vec<(String, String)>,
+}
+
+/// Renders an operator with concrete slice bounds abstracted to per-site
+/// `$b` placeholders (values pushed onto `bounds`); every other attribute
+/// (dims, scales, ranks) stays concrete — it is part of the template's
+/// structure, not its parameterization.
+fn abstract_op(out: &mut String, op: &Op, bounds: &mut Vec<i64>) {
+    use std::fmt::Write;
+    match op {
+        Op::Slice { dim, start, end } if start.as_const().is_some() && end.as_const().is_some() => {
+            bounds.push(start.as_const().unwrap());
+            bounds.push(end.as_const().unwrap());
+            let _ = write!(out, "Slice[dim={dim},start=$b,end=$b]");
+        }
+        op => {
+            let _ = write!(out, "{op:?}");
+        }
+    }
+}
+
+/// Renders an expression in [`RecExpr`] display syntax with integers in
+/// slice-bound positions (children 2 and 3 of a 4-argument `slice`)
+/// abstracted to per-site `$b` placeholders; integers anywhere else —
+/// dims, scalars — stay concrete.
+fn abstract_expr(out: &mut String, e: &RecExpr, at: Id, bound_pos: bool, bounds: &mut Vec<i64>) {
+    use std::fmt::Write;
+    match e.node(at) {
+        ENode::Int(i) if bound_pos => {
+            bounds.push(*i);
+            out.push_str("$b");
+        }
+        ENode::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        ENode::Sym(s) => {
+            let _ = write!(out, "{{{s}}}");
+        }
+        ENode::Op(sym, ch) if ch.is_empty() => {
+            let _ = write!(out, "{sym}");
+        }
+        ENode::Op(sym, ch) => {
+            let slice_bounds = sym.as_str() == "slice" && ch.len() == 4;
+            let _ = write!(out, "({sym}");
+            for (i, c) in ch.iter().enumerate() {
+                out.push(' ');
+                abstract_expr(out, e, *c, slice_bounds && i >= 2, bounds);
+            }
+            out.push(')');
+        }
     }
 }
 

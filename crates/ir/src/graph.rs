@@ -102,6 +102,13 @@ pub struct Graph {
     nodes: Vec<Node>,
     inputs: Vec<TensorId>,
     outputs: Vec<TensorId>,
+    /// Name → vector-position index, maintained by every construction path
+    /// (positions, not ids: unvalidated graphs may carry misindexed ids).
+    /// Duplicate names — possible in unvalidated graphs, and for nodes
+    /// after tensor-name uniquification — keep the *first* occurrence,
+    /// matching a forward linear scan.
+    tensor_index: HashMap<String, usize>,
+    node_index: HashMap<String, usize>,
 }
 
 impl Graph {
@@ -134,9 +141,14 @@ impl Graph {
         &self.tensors[id.0 as usize]
     }
 
-    /// A tensor by name, if present.
+    /// A tensor by name, if present. O(1).
     pub fn tensor_by_name(&self, name: &str) -> Option<&Tensor> {
-        self.tensors.iter().find(|t| t.name == name)
+        self.tensor_index.get(name).map(|&i| &self.tensors[i])
+    }
+
+    /// A node by name (first occurrence for duplicates), if present. O(1).
+    pub fn node_by_name(&self, name: &str) -> Option<&Node> {
+        self.node_index.get(name).map(|&i| &self.nodes[i])
     }
 
     /// The operator nodes, in topological order.
@@ -286,6 +298,9 @@ impl Graph {
             unique = format!("{name}#{}", id.0);
         }
         let node_id = NodeId(self.nodes.len() as u32);
+        self.tensor_index
+            .entry(unique.clone())
+            .or_insert(self.tensors.len());
         self.tensors.push(Tensor {
             id,
             name: unique,
@@ -293,6 +308,9 @@ impl Graph {
             dtype,
             producer: Some(node_id),
         });
+        self.node_index
+            .entry(name.to_owned())
+            .or_insert(self.nodes.len());
         self.nodes.push(Node {
             id: node_id,
             name: name.to_owned(),
@@ -418,12 +436,22 @@ impl Graph {
         inputs: Vec<TensorId>,
         outputs: Vec<TensorId>,
     ) -> Graph {
+        let mut tensor_index = HashMap::with_capacity(tensors.len());
+        for (i, t) in tensors.iter().enumerate() {
+            tensor_index.entry(t.name.clone()).or_insert(i);
+        }
+        let mut node_index = HashMap::with_capacity(nodes.len());
+        for (i, n) in nodes.iter().enumerate() {
+            node_index.entry(n.name.clone()).or_insert(i);
+        }
         Graph {
             name,
             tensors,
             nodes,
             inputs,
             outputs,
+            tensor_index,
+            node_index,
         }
     }
 }
@@ -457,6 +485,8 @@ impl GraphBuilder {
                 nodes: Vec::new(),
                 inputs: Vec::new(),
                 outputs: Vec::new(),
+                tensor_index: HashMap::new(),
+                node_index: HashMap::new(),
             },
         }
     }
@@ -467,6 +497,10 @@ impl GraphBuilder {
         if self.graph.tensor_by_name(&unique).is_some() {
             unique = format!("{name}#{}", id.0);
         }
+        self.graph
+            .tensor_index
+            .entry(unique.clone())
+            .or_insert(self.graph.tensors.len());
         self.graph.tensors.push(Tensor {
             id,
             name: unique,
@@ -507,6 +541,10 @@ impl GraphBuilder {
         let out = self.fresh_tensor(name, shape, dtype);
         let node_id = NodeId(self.graph.nodes.len() as u32);
         self.graph.tensors[out.0 as usize].producer = Some(node_id);
+        self.graph
+            .node_index
+            .entry(name.to_owned())
+            .or_insert(self.graph.nodes.len());
         self.graph.nodes.push(Node {
             id: node_id,
             name: name.to_owned(),

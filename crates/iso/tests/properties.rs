@@ -1,0 +1,122 @@
+//! Canonical-form stability: the template partition must not depend on
+//! node order or on leaf (graph-input) names — those are exactly the
+//! quantities the fingerprint parameterizes away.
+
+use std::collections::BTreeSet;
+
+use entangle_ir::{Graph, NodeId, Tensor};
+use entangle_iso::analyze;
+use entangle_models::{llama3, moe, ModelConfig, MoeConfig};
+use entangle_parallel::{parallelize_moe, Strategy};
+use proptest::prelude::*;
+
+/// The partition as a canonical value: the set of member-name sets.
+fn partition(g: &Graph) -> BTreeSet<BTreeSet<String>> {
+    analyze(g)
+        .classes
+        .iter()
+        .map(|c| {
+            c.members
+                .iter()
+                .map(|&m| g.nodes()[m].name.clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// Rebuilds `g` with its node list permuted (ids renumbered, producer
+/// links rewritten) — semantically the same graph.
+fn permute_nodes(g: &Graph, keys: &[u64]) -> Graph {
+    let n = g.nodes().len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (keys[i % keys.len().max(1)], i));
+    let mut new_id_of_old = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_id_of_old[old] = new as u32;
+    }
+    let nodes = order
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| {
+            let mut node = g.nodes()[old].clone();
+            node.id = NodeId(new as u32);
+            node
+        })
+        .collect();
+    let tensors = g
+        .tensors()
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            t.producer = t.producer.map(|p| NodeId(new_id_of_old[p.0 as usize]));
+            t
+        })
+        .collect();
+    Graph::from_parts_unchecked(
+        g.name().to_owned(),
+        tensors,
+        nodes,
+        g.inputs().to_vec(),
+        g.outputs().to_vec(),
+    )
+}
+
+/// Rebuilds `g` with every graph-input tensor renamed to `p{i}`.
+fn rename_leaves(g: &Graph) -> Graph {
+    let tensors: Vec<Tensor> = g
+        .tensors()
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            if t.producer.is_none() {
+                t.name = format!("p{}", t.id.0);
+            }
+            t
+        })
+        .collect();
+    Graph::from_parts_unchecked(
+        g.name().to_owned(),
+        tensors,
+        g.nodes().to_vec(),
+        g.inputs().to_vec(),
+        g.outputs().to_vec(),
+    )
+}
+
+fn subjects() -> Vec<Graph> {
+    let llama = llama3(&ModelConfig::tiny().with_layers(2));
+    let moe_gs = moe(&MoeConfig::tiny());
+    let moe_gd = parallelize_moe(&MoeConfig::tiny(), &Strategy::tp_sp(2)).graph;
+    vec![llama, moe_gs, moe_gd]
+}
+
+#[test]
+fn partition_is_invariant_under_leaf_renaming() {
+    for g in subjects() {
+        assert_eq!(
+            partition(&g),
+            partition(&rename_leaves(&g)),
+            "leaf renaming changed the partition of {}",
+            g.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn partition_is_invariant_under_node_reordering(
+        keys in proptest::collection::vec(0u64..1_000_000, 8..32),
+    ) {
+        for g in subjects() {
+            let permuted = permute_nodes(&g, &keys);
+            prop_assert_eq!(
+                partition(&g),
+                partition(&permuted),
+                "node reordering changed the partition of {}",
+                g.name()
+            );
+        }
+    }
+}

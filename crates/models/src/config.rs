@@ -81,4 +81,14 @@ impl MoeConfig {
             experts: 4,
         }
     }
+
+    /// Returns a copy with a different layer count: a deep MoE *stack*,
+    /// each layer carrying its own router, experts and load-balance head
+    /// (the BENCH_scale deep-model sweeps).
+    pub fn with_layers(&self, layers: usize) -> MoeConfig {
+        MoeConfig {
+            base: self.base.with_layers(layers),
+            experts: self.experts,
+        }
+    }
 }

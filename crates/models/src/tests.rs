@@ -101,6 +101,28 @@ fn moe_expert_count_scales_graph() {
 }
 
 #[test]
+fn moe_layers_scale_stack_linearly() {
+    let cfg = MoeConfig::tiny();
+    let n1 = moe(&cfg.with_layers(1)).num_nodes();
+    let n2 = moe(&cfg.with_layers(2)).num_nodes();
+    let n4 = moe(&cfg.with_layers(4)).num_nodes();
+    assert_eq!(n2 - n1, (n4 - n2) / 2, "per-layer node count is constant");
+    assert!(n4 > n2 && n2 > n1);
+    moe(&cfg.with_layers(3)).validate().unwrap();
+}
+
+#[test]
+fn deep_builders_validate() {
+    // The BENCH_scale deep models: 32-layer dense stacks and a deep MoE
+    // stack must stay well-formed (every layer re-wires residuals, rope
+    // tables and per-layer weights correctly).
+    let cfg = ModelConfig::tiny().with_layers(32);
+    llama3(&cfg).validate().unwrap();
+    qwen2(&cfg).validate().unwrap();
+    moe(&MoeConfig::tiny().with_layers(8)).validate().unwrap();
+}
+
+#[test]
 fn regression_builds_and_runs() {
     let g = regression(&RegressionConfig::tiny());
     g.validate().unwrap();

@@ -64,6 +64,27 @@ for gd in examples/graphs/*.gd.json; do
 done
 echo "    21 traces emitted, parsed, and balanced"
 
+echo "==> model-zoo iso sweep (entangle iso, clean template partitions)"
+for gd in examples/graphs/*.gd.json; do
+  ./target/release/entangle iso "$gd" --json >/dev/null \
+    || { echo "iso sweep FAILED on $gd"; exit 1; }
+done
+echo "    7 graphs partitioned, no IS errors; goldens pinned by tests/iso_golden.rs"
+
+echo "==> deep-model certify round-trip (16-layer Llama-3 tp8, emit + kernel re-check)"
+cargo run --release -q -p entangle-bench --bin export_zoo -- "$certdir" --deep-llama 16
+deep="$certdir/llama3_l16"
+./target/release/entangle certify "$deep.gs.json" "$deep.gd.json" --maps "$deep.maps" \
+  --emit "$deep.cert.json" >/dev/null \
+  || { echo "deep certify (emit) FAILED"; exit 1; }
+./target/release/entangle certify "$deep.gs.json" "$deep.gd.json" --check "$deep.cert.json" >/dev/null \
+  || { echo "deep certify (re-check) FAILED"; exit 1; }
+echo "    16-layer certificate emitted and kernel-accepted"
+
+echo "==> depth-scaling smoke (bench_scale --layers 1,4: writes results/BENCH_scale.json)"
+./target/release/bench_scale --layers 1,4 >/dev/null
+echo "    results/BENCH_scale.json written, verdicts identical with templates on/off"
+
 echo "==> rule-corpus static analysis (entangle rules, clean corpus gate)"
 ./target/release/entangle rules --json > /dev/null \
   || { echo "entangle rules found error-severity RL diagnostics"; exit 1; }

@@ -1,0 +1,74 @@
+//! Golden stable-output test for the graph-template analysis: the exact
+//! JSON `entangle iso --json` prints for each zoo distributed graph is
+//! checked in under `tests/golden/iso/`. Any partition change — a class
+//! splitting or merging, a fingerprint drift, a new IS diagnostic — shows
+//! up as a diff here and must be reviewed deliberately.
+//!
+//! Regenerate after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test --test iso_golden`
+
+use entangle_bench::zoo;
+
+fn case_json(g: &entangle_ir::Graph) -> String {
+    let mut json = entangle_iso::analyze(g).to_json(g);
+    json.push('\n');
+    json
+}
+
+#[test]
+fn zoo_partitions_match_golden() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/iso");
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    if update {
+        std::fs::create_dir_all(dir).expect("golden dir");
+    }
+    for case in zoo() {
+        let got = case_json(&case.dist.graph);
+        let path = format!("{dir}/{}.json", case.name);
+        if update {
+            std::fs::write(&path, &got).expect("golden written");
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!("{path} missing — run UPDATE_GOLDEN=1 cargo test --test iso_golden")
+        });
+        assert_eq!(
+            got, want,
+            "{}: template partition drifted from the golden; if intentional, \
+             regenerate with UPDATE_GOLDEN=1 cargo test --test iso_golden",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn zoo_partitions_are_deterministic() {
+    for case in zoo() {
+        assert_eq!(
+            case_json(&case.dist.graph),
+            case_json(&case.dist.graph),
+            "{}: analysis output is not deterministic",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn zoo_partitions_are_clean_and_cover_repetition() {
+    // No zoo graph may produce IS## *errors* (the CI sweep pins exit 0),
+    // and every distributed graph has repeated structure to find.
+    for case in zoo() {
+        let analysis = entangle_iso::analyze(&case.dist.graph);
+        assert_eq!(
+            analysis.report.error_count(),
+            0,
+            "{}: unexpected IS errors",
+            case.name
+        );
+        assert!(
+            analysis.class_count() > 0,
+            "{}: no repeated template classes found",
+            case.name
+        );
+    }
+}

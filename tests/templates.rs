@@ -1,0 +1,165 @@
+//! End-to-end pins for the structural template analysis (`entangle-iso` +
+//! the template-lifted saturation memo).
+//!
+//! Three contracts:
+//!
+//! 1. **Transparency** — verdicts, output relations and full relations are
+//!    bit-identical with templates on and off, across the whole workload
+//!    zoo and the Table 3 bug corpus. Template reuse may only remove work,
+//!    never change an answer.
+//! 2. **Engagement** — on the MoE workload (eight experts re-posing the
+//!    same per-expert problems under different slice bounds), the template
+//!    memo must actually fire: template hits, certificate-instantiated
+//!    replays, fewer concrete solves, and a higher effective hit rate than
+//!    the per-operator memo alone.
+//! 3. **Determinism at depth** — the new deep-model builders produce
+//!    identical outcomes at `jobs` = 1 and 4.
+
+use entangle::{check_refinement, CheckOptions, CheckOutcome, RefinementError};
+use entangle_bench::{llama_workload, moe_deep_workload, qwen2_workload, zoo, Workload};
+use entangle_parallel::bugs::{all_bugs, BugVerdict};
+
+fn opts(templates: bool) -> CheckOptions {
+    CheckOptions {
+        templates,
+        ..CheckOptions::default()
+    }
+}
+
+/// Deterministic fingerprint of a check result: verdict, both relations,
+/// per-operator reports. Timing and scheduling stats are excluded.
+fn signature(gs: &entangle_ir::Graph, result: &Result<CheckOutcome, RefinementError>) -> String {
+    match result {
+        Err(e) => format!("FAILED\n{e:?}\n"),
+        Ok(o) => {
+            let mut out = String::from("VERIFIED\n");
+            out.push_str(&o.output_relation.display(gs).to_string());
+            out.push_str(&o.full_relation.display(gs).to_string());
+            for r in &o.op_reports {
+                out.push_str(&format!("{} mappings={}\n", r.name, r.mappings));
+            }
+            out
+        }
+    }
+}
+
+#[test]
+fn zoo_verdicts_identical_with_and_without_templates() {
+    for case in zoo() {
+        let ri = case.dist.relation(&case.gs).expect("relation builds");
+        let on = check_refinement(&case.gs, &case.dist.graph, &ri, &opts(true));
+        let off = check_refinement(&case.gs, &case.dist.graph, &ri, &opts(false));
+        assert_eq!(
+            signature(&case.gs, &on),
+            signature(&case.gs, &off),
+            "{}: verdict differs with templates on vs off",
+            case.name
+        );
+    }
+}
+
+#[test]
+fn table3_bug_verdicts_identical_with_and_without_templates() {
+    for case in all_bugs(true).into_iter().chain(all_bugs(false)) {
+        let render = |v: BugVerdict| match v {
+            BugVerdict::Clean => "clean".to_owned(),
+            BugVerdict::RefinementBug(e) => format!("refinement: {e:?}"),
+            BugVerdict::ExpectationBug(e) => format!("expectation: {e:?}"),
+        };
+        let on = render(case.run(&opts(true)));
+        let off = render(case.run(&opts(false)));
+        assert_eq!(
+            on, off,
+            "bug {} ({}, buggy={}): verdict differs with templates on vs off",
+            case.id, case.name, case.buggy
+        );
+    }
+}
+
+#[test]
+fn moe_templates_engage_and_raise_effective_hit_rate() {
+    let case = zoo()
+        .into_iter()
+        .find(|c| c.name == "moe_tpsp2")
+        .expect("moe_tpsp2 is in the workload zoo");
+    let ri = case.dist.relation(&case.gs).expect("relation builds");
+    let on = check_refinement(&case.gs, &case.dist.graph, &ri, &opts(true))
+        .expect("moe_tpsp2 verifies with templates");
+    let off = check_refinement(&case.gs, &case.dist.graph, &ri, &opts(false))
+        .expect("moe_tpsp2 verifies without templates");
+
+    let p = &on.par;
+    assert!(p.templates_enabled, "templates requested but not enabled");
+    assert!(p.template_classes > 0, "no repeated classes found in MoE");
+    assert!(
+        p.template_hits > 0,
+        "expected template hits on the repeated per-expert ops, got 0 \
+         ({} misses)",
+        p.template_misses
+    );
+    assert!(
+        p.template_instantiated > 0,
+        "expected certificate-instantiated replays across expert slice \
+         bounds, got 0 ({} fallbacks)",
+        p.template_fallbacks
+    );
+
+    // The per-expert cache-miss fix: the eight experts' gate slices differ
+    // only in slice bounds, which defeated the per-operator memo. Template
+    // keys parameterize those bounds, so fewer problems are solved from
+    // scratch and the effective (concrete + template) hit rate rises.
+    assert!(
+        p.cache_misses < off.par.cache_misses,
+        "templates did not reduce concrete solves: {} on vs {} off",
+        p.cache_misses,
+        off.par.cache_misses
+    );
+    let effective = (p.cache_hits + p.template_hits) as f64
+        / (p.cache_hits + p.template_hits + p.cache_misses) as f64;
+    assert!(
+        effective > off.par.hit_rate(),
+        "effective hit rate did not improve: {effective:.3} on vs {:.3} off",
+        off.par.hit_rate()
+    );
+
+    // Transparency on this workload specifically (certificates included via
+    // the default certify=true options).
+    assert_eq!(
+        on.full_relation.display(&case.gs).to_string(),
+        off.full_relation.display(&case.gs).to_string(),
+        "moe_tpsp2: relation differs with templates on vs off"
+    );
+}
+
+#[test]
+fn deep_builders_deterministic_across_jobs() {
+    let deep: [Workload; 3] = [
+        llama_workload(8, 8),
+        qwen2_workload(8, 8),
+        moe_deep_workload(2, 2),
+    ];
+    for w in &deep {
+        let ri = w.dist.relation(&w.gs).expect("relation builds");
+        let mut baseline: Option<String> = None;
+        for jobs in [1usize, 4] {
+            let o = check_refinement(
+                &w.gs,
+                &w.dist.graph,
+                &ri,
+                &CheckOptions {
+                    jobs,
+                    ..CheckOptions::default()
+                },
+            );
+            let sig = signature(&w.gs, &o);
+            match &baseline {
+                None => baseline = Some(sig),
+                Some(s0) => assert_eq!(
+                    s0, &sig,
+                    "{}: outcome differs between jobs=1 and jobs={jobs}",
+                    w.name
+                ),
+            }
+        }
+    }
+}
